@@ -1,0 +1,15 @@
+"""Ablation bench: correlation labels vs raw low-level metrics.
+
+The paper's central claim — correlation similarities transfer across
+frameworks where raw low-level metrics do not.
+"""
+
+from repro.experiments import ablations
+
+
+def test_abl_features(once):
+    result = once(ablations.compare_feature_sets)
+    print()
+    print(result.format_table())
+    corr, raw = result.mean_mape
+    assert corr < raw

@@ -1,0 +1,11 @@
+"""Ablation bench: the correlation-interval label width (paper: 0.05)."""
+
+from repro.experiments import ablations
+
+
+def test_abl_intervals(once):
+    result = once(ablations.sweep_interval_width)
+    print()
+    print(result.format_table())
+    idx = result.values.index(0.05)
+    assert result.mean_mape[idx] <= result.mean_mape[-1]

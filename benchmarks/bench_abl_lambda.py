@@ -1,0 +1,12 @@
+"""Ablation bench: the CMF tradeoff λ (paper best practice: 0.75)."""
+
+from repro.experiments import ablations
+
+
+def test_abl_lambda(once):
+    result = once(ablations.sweep_lambda)
+    print()
+    print(result.format_table())
+    # The balanced tradeoff should beat both extremes.
+    idx = result.values.index(0.75)
+    assert result.mean_mape[idx] <= min(result.mean_mape[0], result.mean_mape[-1])

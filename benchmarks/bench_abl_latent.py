@@ -1,0 +1,10 @@
+"""Ablation bench: CMF latent feature count g."""
+
+from repro.experiments import ablations
+
+
+def test_abl_latent(once):
+    result = once(ablations.sweep_latent_dim)
+    print()
+    print(result.format_table())
+    assert len(result.values) == len(result.mean_mape)

@@ -1,0 +1,12 @@
+"""Ablation bench: the number of online probe VMs (paper: 3 random)."""
+
+from repro.experiments import ablations
+
+
+def test_abl_probes(once):
+    result = once(ablations.sweep_probes)
+    print()
+    print(result.format_table())
+    # More probes never catastrophically hurt; zero probes is worst or
+    # close to it (only the sandbox anchors the calibration).
+    assert min(result.mean_mape[2:]) <= result.mean_mape[0]

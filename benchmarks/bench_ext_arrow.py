@@ -1,0 +1,41 @@
+"""Extension bench: Arrow (low-level-augmented BO) vs plain CherryPick.
+
+Arrow is the paper's Section-6 answer to CherryPick's search cost; this
+bench compares both black-box searches on the same workloads with the
+same evaluation budget.
+"""
+
+import numpy as np
+
+from repro.baselines.arrow import Arrow
+from repro.baselines.cherrypick import CherryPick
+from repro.experiments.common import DEFAULT_SEED, ground_truth
+from repro.workloads.catalog import get_workload
+
+WORKLOADS = ("spark-lr", "spark-kmeans", "spark-sort")
+BUDGET = 10
+
+
+def _run():
+    gt = ground_truth(DEFAULT_SEED)
+    rows = []
+    for name in WORKLOADS:
+        spec = get_workload(name)
+        arrow = Arrow(max_iters=BUDGET, ei_threshold=0.0, seed=3,
+                      collector_seed=DEFAULT_SEED, repetitions=2)
+        a_final = arrow.optimize_workload(spec)[-1].best_so_far
+        cp = CherryPick(max_iters=BUDGET, ei_threshold=0.0, seed=3)
+        c_final = cp.optimize(lambda vm: gt.value_of(spec, vm.name))[-1].best_so_far
+        rows.append((name, a_final, c_final, gt.best_value(spec)))
+    return rows
+
+
+def test_ext_arrow(once):
+    rows = once(_run)
+    print()
+    print("-- extension: Arrow vs CherryPick (same 10-run budget) --")
+    print(f"{'workload':16s} {'Arrow s':>9s} {'CherryPick s':>13s} {'optimal s':>10s}")
+    for name, a, c, best in rows:
+        print(f"{name:16s} {a:>9.1f} {c:>13.1f} {best:>10.1f}")
+    # Arrow should be competitive with plain BO under an equal budget.
+    assert np.mean([a / best for _, a, _, best in rows]) < 1.5

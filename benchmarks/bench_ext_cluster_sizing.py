@@ -1,0 +1,52 @@
+"""Extension bench: joint (VM type, cluster size) selection.
+
+Table 1's iteration-to-parallelism correlation "can infer to the choice
+of the number of VMs"; this bench exercises the inferred extension and
+verifies the joint choice beats the fixed-size choice under budget.
+"""
+
+import numpy as np
+
+from repro.baselines.ground_truth import GroundTruth
+from repro.core.cluster_sizing import ClusterSizer
+from repro.experiments.common import DEFAULT_SEED, fitted_vesta
+from repro.frameworks.registry import simulate_run
+from repro.cloud.cluster import Cluster
+from repro.cloud.vmtypes import get_vm_type
+from repro.workloads.catalog import get_workload
+
+
+def _run(seed: int = DEFAULT_SEED):
+    vesta = fitted_vesta(seed)
+    rows = []
+    for name in ("spark-lr", "spark-page-rank", "spark-sort"):
+        spec = get_workload(name)
+        session = vesta.online(spec)
+        sizer = ClusterSizer(session)
+        joint = sizer.best("budget")
+        fixed = session.recommend("budget")
+        # Ground-truth budgets of both choices.
+        vm_j = get_vm_type(joint.vm_name)
+        rt_j = simulate_run(spec, vm_j, nodes=joint.nodes, with_timeseries=False).runtime_s
+        cost_j = Cluster(vm=vm_j, nodes=joint.nodes).budget(rt_j)
+        vm_f = get_vm_type(fixed.vm_name)
+        rt_f = simulate_run(spec, vm_f, with_timeseries=False).runtime_s
+        cost_f = Cluster(vm=vm_f, nodes=spec.nodes).budget(rt_f)
+        rows.append((name, joint, cost_j, fixed.vm_name, cost_f, sizer.prefers_thin_cluster()))
+    return rows
+
+
+def test_ext_cluster_sizing(once):
+    rows = once(_run)
+    print()
+    print("-- extension: joint (VM type, nodes) selection under budget --")
+    print(f"{'workload':16s} {'joint pick':22s} {'joint $':>8s} {'fixed pick':>14s} "
+          f"{'fixed $':>8s} {'thin?':>6s}")
+    wins = 0
+    for name, joint, cost_j, fixed_name, cost_f, thin in rows:
+        pick = f"{joint.vm_name} x{joint.nodes}"
+        wins += cost_j <= cost_f * 1.001
+        print(f"{name:16s} {pick:22s} {cost_j:>8.4f} {fixed_name:>14s} "
+              f"{cost_f:>8.4f} {str(thin):>6s}")
+    # Adding the nodes dimension should never lose by much and usually win.
+    assert wins >= 2

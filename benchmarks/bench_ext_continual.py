@@ -1,0 +1,40 @@
+"""Extension bench: continual knowledge updating (Section 4.2).
+
+The paper sketches continually updating the model with onboarded targets.
+This bench measures the effect of naive absorption in our substrate and
+records the observed *knowledge pollution*: model-filled response rows
+carry their own error, so later targets that match them inherit it.
+"""
+
+import numpy as np
+
+from repro.core.continual import ContinualVesta
+from repro.core.vesta import VestaSelector
+from repro.experiments.common import DEFAULT_SEED, mape_vs_best
+from repro.workloads.catalog import target_set
+
+
+def _sequential_onboarding(absorb: bool) -> list[float]:
+    cont = ContinualVesta(VestaSelector(seed=DEFAULT_SEED).fit(), min_observations=4)
+    errors = []
+    for spec in target_set():
+        session = cont.selector.online(spec)
+        errors.append(mape_vs_best(spec, session.predict_runtimes()))
+        if absorb:
+            cont.absorb(session)
+    return errors
+
+
+def test_ext_continual(once):
+    frozen = _sequential_onboarding(absorb=False)
+    absorbed = once(_sequential_onboarding, True)
+    print()
+    print("-- extension: continual knowledge updating --")
+    print(f"{'workload':18s} {'frozen MAPE %':>14s} {'absorbed MAPE %':>16s}")
+    for spec, f, a in zip(target_set(), frozen, absorbed):
+        print(f"{spec.name:18s} {f:>14.1f} {a:>16.1f}")
+    print(f"{'MEAN':18s} {np.mean(frozen):>14.1f} {np.mean(absorbed):>16.1f}")
+    print("observed: naive absorption does NOT beat frozen knowledge in this")
+    print("substrate (model-filled rows pollute the pool); see continual.py.")
+    # The honest assertion: absorption is not catastrophic but not a win.
+    assert np.mean(absorbed) < 3 * np.mean(frozen)

@@ -1,0 +1,17 @@
+"""Extension bench: onboarding a fourth framework (Section 7's claim).
+
+Vesta's Hadoop/Hive knowledge should transfer to a pipelined Flink-style
+engine it never profiled, the way it transferred to Spark — while the
+transferred PARIS model degrades even further.
+"""
+
+from repro.experiments import ext_flink
+
+
+def test_ext_flink(once):
+    result = once(ext_flink.run)
+    print()
+    print(ext_flink.format_table(result))
+    m = result.means()
+    assert m["vesta"] < m["paris"]
+    assert m["vesta"] < 2.0 * m["ernest"]

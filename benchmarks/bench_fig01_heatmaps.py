@@ -1,0 +1,13 @@
+"""Figure 1 bench: regenerate the budget heat maps."""
+
+from repro.experiments import fig01_heatmaps
+
+
+def test_fig01_heatmaps(once):
+    result = once(fig01_heatmaps.run)
+    print()
+    print(fig01_heatmaps.format_table(result))
+    # Paper shape: cheap cells at moderate CPU-to-memory ratios, dark
+    # extremes, similar ratios across frameworks.
+    for name in result.workloads:
+        assert 0.5 <= result.best_ratio(name) <= 8.0

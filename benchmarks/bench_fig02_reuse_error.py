@@ -1,0 +1,11 @@
+"""Figure 2 bench: reusing a low-level-metrics model across frameworks."""
+
+from repro.experiments import fig02_reuse_error
+
+
+def test_fig02_reuse_error(once):
+    result = once(fig02_reuse_error.run)
+    print()
+    print(fig02_reuse_error.format_table(result))
+    # Paper: ~80 % of Spark workloads suffer high prediction error.
+    assert result.high_error_fraction >= 0.5

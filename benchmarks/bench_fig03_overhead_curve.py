@@ -1,0 +1,10 @@
+"""Figure 3 bench: from-scratch training overhead vs prediction error."""
+
+from repro.experiments import fig03_overhead_curve
+
+
+def test_fig03_overhead_curve(once):
+    result = once(fig03_overhead_curve.run, loo_targets=4)
+    print()
+    print(fig03_overhead_curve.format_table(result))
+    assert result.mean_mape[0] > result.mean_mape[-1]

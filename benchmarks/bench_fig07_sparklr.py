@@ -1,0 +1,10 @@
+"""Figure 7 bench: Spark-lr runtime prediction on 10 typical VM types."""
+
+from repro.experiments import fig07_sparklr
+
+
+def test_fig07_sparklr(once):
+    result = once(fig07_sparklr.run)
+    print()
+    print(fig07_sparklr.format_table(result))
+    assert result.abs_error("vesta").mean() < 40.0

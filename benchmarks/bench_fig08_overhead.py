@@ -1,0 +1,10 @@
+"""Figure 8 bench: training overhead in reference VM types."""
+
+from repro.experiments import fig08_overhead
+
+
+def test_fig08_overhead(once):
+    result = once(fig08_overhead.run)
+    print()
+    print(fig08_overhead.format_table(result))
+    assert result.reduction_vs_paris >= 80.0  # paper: 85 %

@@ -1,0 +1,11 @@
+"""Figure 9 bench: PCA importance of the correlations per framework."""
+
+from repro.experiments import fig09_pca
+
+
+def test_fig09_pca(once):
+    result = once(fig09_pca.run)
+    print()
+    print(fig09_pca.format_table(result))
+    for fw in ("hadoop", "hive", "spark"):
+        assert abs(result.importance[fw].sum() - 1.0) < 1e-9

@@ -1,0 +1,10 @@
+"""Figure 10 bench: label popularity vs VM-type consistency."""
+
+from repro.experiments import fig10_consistency
+
+
+def test_fig10_consistency(once):
+    result = once(fig10_consistency.run)
+    print()
+    print(fig10_consistency.format_table(result))
+    assert result.central_mass() > 0.6  # paper: ~90 % central mass

@@ -1,0 +1,10 @@
+"""Figure 11 bench: tuning the K-Means k (paper lands on k = 9)."""
+
+from repro.experiments import fig11_ksweep
+
+
+def test_fig11_ksweep(once):
+    result = once(fig11_ksweep.run, folds=2)
+    print()
+    print(fig11_ksweep.format_table(result))
+    assert result.best_k in result.ks

@@ -1,0 +1,16 @@
+"""Figure 12 bench: execution-time optimization progression."""
+
+from repro.experiments import fig12_progression
+
+
+def test_fig12_progression(once):
+    result = once(fig12_progression.run)
+    print()
+    print(fig12_progression.format_table(result))
+    winners = result.winners()
+    near_best = sum(
+        1
+        for w in result.workloads
+        if result.final_best(w, "vesta") <= 1.1 * result.final_best(w, winners[w])
+    )
+    assert near_best >= 4  # paper: Vesta fastest on 5 of 6

@@ -1,0 +1,11 @@
+"""Figure 13 bench: budget optimization against the alternatives."""
+
+from repro.experiments import fig13_budget
+
+
+def test_fig13_budget(once):
+    result = once(fig13_budget.run)
+    print()
+    print(fig13_budget.format_table(result))
+    assert result.win_rate("paris") >= 0.5
+    assert result.win_rate("ernest") >= 0.5

@@ -1,0 +1,38 @@
+"""Performance benches: the substrate's own speed.
+
+These are true pytest-benchmark timings (multiple rounds): the analytic
+simulator must stay fast enough that a full profiling campaign
+(30 workloads x 100 VM types x 10 repetitions) regenerates in minutes —
+the property that makes the reproduction tractable at all.
+"""
+
+import numpy as np
+
+from repro.frameworks.registry import simulate_run
+from repro.telemetry.collector import DataCollector
+from repro.workloads.catalog import get_workload
+
+
+def test_perf_runtime_only(benchmark):
+    """A runtime-only simulated run (the ground-truth sweep hot path)."""
+    spec = get_workload("spark-lr")
+    result = benchmark(
+        lambda: simulate_run(spec, "m5.xlarge", with_timeseries=False)
+    )
+    assert result.runtime_s > 0
+
+
+def test_perf_run_with_telemetry(benchmark):
+    """A full run including the 20-metric time series."""
+    spec = get_workload("hadoop-kmeans")
+    rng = np.random.default_rng(0)
+    result = benchmark(lambda: simulate_run(spec, "m5.xlarge", rng=rng))
+    assert result.timeseries.shape[1] == 20
+
+
+def test_perf_collector_p90(benchmark):
+    """The Data Collector's 10-repetition P90 protocol."""
+    spec = get_workload("hive-join")
+    collector = DataCollector(repetitions=10, seed=0)
+    runtime = benchmark(lambda: collector.runtime_only(spec, "c5.xlarge"))
+    assert runtime > 0

@@ -1,0 +1,10 @@
+"""Robustness bench: the Figure-6 headline across master seeds."""
+
+from repro.experiments import seed_sensitivity
+
+
+def test_seed_sensitivity(once):
+    result = once(seed_sensitivity.run, seeds=(7, 11))
+    print()
+    print(seed_sensitivity.format_table(result))
+    assert result.ordering_holds()

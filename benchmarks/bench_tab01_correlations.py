@@ -1,0 +1,10 @@
+"""Table 1 bench: measured correlation similarities for all 30 workloads."""
+
+from repro.experiments import tab01_correlations
+
+
+def test_tab01_correlations(once):
+    result = once(tab01_correlations.run)
+    print()
+    print(tab01_correlations.format_table(result))
+    assert result.values.shape == (30, 10)

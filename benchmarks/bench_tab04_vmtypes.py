@@ -1,0 +1,10 @@
+"""Table 4 bench: the VM-type catalog."""
+
+from repro.experiments import tab04_vmtypes
+
+
+def test_tab04_vmtypes(once):
+    result = once(tab04_vmtypes.run)
+    print()
+    print(tab04_vmtypes.format_table(result))
+    assert result.total_types == 100

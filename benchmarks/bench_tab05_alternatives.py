@@ -1,0 +1,10 @@
+"""Table 5 bench: alternative-solution configurations."""
+
+from repro.experiments import tab05_alternatives
+
+
+def test_tab05_alternatives(once):
+    result = once(tab05_alternatives.run)
+    print()
+    print(tab05_alternatives.format_table(result))
+    assert result.paris_training_frameworks == ("hadoop", "hive")

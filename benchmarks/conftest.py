@@ -1,0 +1,24 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one paper artifact (table or figure)
+through :mod:`repro.experiments` and prints the rows/series the paper
+reports.  pytest-benchmark tracks the wall time of the regeneration; every
+bench runs its experiment exactly once (``pedantic`` with one round) since
+the experiments are deterministic and some take tens of seconds.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run ``fn`` once under the benchmark clock and return its result."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

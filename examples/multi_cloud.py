@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Multi-cloud selection: EC2 + Azure in one candidate space.
+
+PARIS — the paper's ML baseline — originally targets selection *across
+multiple public clouds*; the paper's intro counts 100+ types per provider.
+Every selector here takes an explicit VM tuple, so multi-cloud selection
+is just a bigger catalog: this example fits Vesta over the combined
+EC2 + Azure space and shows when the cheaper provider wins.
+
+Run:  python examples/multi_cloud.py
+"""
+
+import numpy as np
+
+from repro.baselines.ground_truth import GroundTruth
+from repro.cloud.azure import multi_cloud_catalog
+from repro.core.vesta import VestaSelector
+from repro.workloads.catalog import get_workload
+
+
+def main() -> None:
+    vms = multi_cloud_catalog()
+    print(f"candidate space: {len(vms)} VM types "
+          f"({sum(1 for v in vms if not v.name.startswith('az-'))} EC2 + "
+          f"{sum(1 for v in vms if v.name.startswith('az-'))} Azure)\n")
+
+    vesta = VestaSelector(vms=vms, seed=7)
+    vesta.fit()
+    gt = GroundTruth(vms=vms, seed=7)
+
+    for name in ("spark-lr", "spark-sort", "spark-page-rank", "spark-pca"):
+        spec = get_workload(name)
+        session = vesta.online(spec)
+        rec_t = session.recommend("time")
+        rec_b = session.recommend("budget")
+        best_t = gt.best_vm(spec, "time").name
+        best_b = gt.best_vm(spec, "budget").name
+        rt = gt.value_of(spec, rec_t.vm_name)
+        regret = (rt - gt.best_value(spec)) / gt.best_value(spec) * 100
+        print(f"{name}")
+        print(f"   fastest : picked {rec_t.vm_name:14s} (true best {best_t}, "
+              f"regret {regret:.1f} %)")
+        print(f"   cheapest: picked {rec_b.vm_name:14s} (true best {best_b})")
+
+    # How often does each provider hold the true optimum?
+    wins = {"ec2": 0, "azure": 0}
+    from repro.workloads.catalog import target_set
+
+    for spec in target_set():
+        winner = gt.best_vm(spec, "budget").name
+        wins["azure" if winner.startswith("az-") else "ec2"] += 1
+    print(f"\nbudget-optimal provider across the 12 Spark targets: "
+          f"EC2 {wins['ec2']}, Azure {wins['azure']} — a single-provider "
+          f"habit leaves money on the table whenever the other column wins.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: pick the best VM type for a Spark workload with Vesta.
+
+This walks the paper's full loop on the simulated cloud:
+
+1. offline — profile the Hadoop/Hive source workloads and abstract
+   knowledge (correlation labels, K-Means VM categories);
+2. online — run the new Spark workload on a sandbox VM plus 3 random
+   probes, complete its knowledge row with CMF, and predict the whole
+   100-type response curve;
+3. compare the recommendation against the brute-force ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.baselines.ground_truth import GroundTruth
+from repro.core.vesta import VestaSelector
+from repro.workloads.catalog import get_workload
+
+
+def main() -> None:
+    print("== offline: abstracting knowledge from Hadoop + Hive sources ==")
+    vesta = VestaSelector(seed=7)
+    vesta.fit()
+    kept = [str(i) for i in vesta.kept_features]
+    print(f"   profiled {len(vesta.sources)} source workloads on "
+          f"{len(vesta.vms)} VM types; kept correlation features {', '.join(kept)}")
+
+    workload = get_workload("spark-lr")
+    print(f"\n== online: selecting the best VM type for {workload.name} ==")
+    session = vesta.online(workload)
+    print(f"   sandbox run on {session.sandbox_vm.name}, probes on "
+          f"{', '.join(vm.name for vm in session.probe_vms)}")
+    print(f"   CMF converged: {session.converged} "
+          f"(knowledge match {session.knowledge_match:.2f})")
+
+    rec = session.recommend("time")
+    print(f"\n   recommendation: {rec.vm_name}")
+    print(f"   predicted runtime: {rec.predicted_runtime_s:.1f} s "
+          f"(${rec.predicted_budget_usd:.4f})")
+    print(f"   reference VMs used: {rec.reference_vm_count}")
+
+    print("\n== checking against exhaustive ground truth (120-type sweep) ==")
+    gt = GroundTruth(seed=7)
+    best = gt.best_vm(workload)
+    regret = gt.selection_error(workload, rec.vm_name) * 100
+    print(f"   true best: {best.name} at {gt.best_value(workload):.1f} s")
+    print(f"   Vesta's pick runs at {gt.value_of(workload, rec.vm_name):.1f} s "
+          f"-> {regret:.1f} % from optimal, found with "
+          f"{rec.reference_vm_count} runs instead of {len(gt.vms)}")
+
+
+if __name__ == "__main__":
+    main()

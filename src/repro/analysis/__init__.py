@@ -1,0 +1,51 @@
+"""Learning primitives implemented from scratch on NumPy.
+
+The paper's Correlation Analyzer pipeline: pairwise Pearson correlation of
+the low-level metric streams (:mod:`~repro.analysis.correlation`), PCA
+importance ranking (:mod:`~repro.analysis.pca`), 0.05-interval label
+discretization (:mod:`~repro.analysis.intervals`), feature filtering and
+exhaustive search (:mod:`~repro.analysis.feature_selection`), and the
+K-Means model that groups VM types (:mod:`~repro.analysis.kmeans`).
+
+scikit-learn is deliberately not used: the implementations are small,
+vectorized, and assert the algorithmic invariants the tests rely on.
+"""
+
+from repro.analysis.correlation import (
+    CORRELATION_NAMES,
+    NUM_CORRELATIONS,
+    correlation_matrix,
+    correlation_vector,
+    pearson,
+)
+from repro.analysis.intervals import (
+    INTERVAL_WIDTH,
+    interval_of,
+    label_matrix,
+    labels_for_vector,
+    num_intervals,
+)
+from repro.analysis.kmeans import KMeans
+from repro.analysis.pca import PCA
+from repro.analysis.feature_selection import exhaustive_search, select_by_importance
+from repro.analysis.stats import bootstrap_mean_ci, mape, percentile_band
+
+__all__ = [
+    "bootstrap_mean_ci",
+    "mape",
+    "percentile_band",
+    "CORRELATION_NAMES",
+    "INTERVAL_WIDTH",
+    "KMeans",
+    "NUM_CORRELATIONS",
+    "PCA",
+    "correlation_matrix",
+    "correlation_vector",
+    "exhaustive_search",
+    "interval_of",
+    "label_matrix",
+    "labels_for_vector",
+    "num_intervals",
+    "pearson",
+    "select_by_importance",
+]

@@ -1,0 +1,159 @@
+"""Correlation similarities — the paper's Table 1 features.
+
+After each profiled run the paper computes Pearson correlations between
+pairs of low-level metric streams (e.g. a 0.85 CPU-to-memory correlation)
+and uses ten named pairs as the *high-level similarity* features that
+transfer across frameworks.
+
+Each Table-1 correlation is defined here as a pair of *derived series*
+built from the 20-metric telemetry array (e.g. "CPU" is user+system busy,
+"disk" is read+write traffic).  :func:`correlation_vector` maps a run's
+``(samples, 20)`` series to the 10-dimensional correlation feature vector
+in [-1, 1].
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import Final
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.telemetry.metrics import METRIC_INDEX, NUM_METRICS
+
+__all__ = [
+    "CORRELATION_NAMES",
+    "NUM_CORRELATIONS",
+    "pearson",
+    "correlation_matrix",
+    "correlation_vector",
+    "aggregate_correlation_vectors",
+]
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation of two 1-D series, 0.0 for degenerate inputs.
+
+    A constant series has undefined correlation; returning 0 ("no
+    relationship") keeps downstream feature vectors total and bounded,
+    matching how the paper's normalized values behave.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValidationError(f"series shapes differ: {x.shape} vs {y.shape}")
+    if x.size < 2:
+        return 0.0
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = float(np.sqrt((xc @ xc) * (yc @ yc)))
+    if denom <= 1e-12:
+        return 0.0
+    return float(np.clip((xc @ yc) / denom, -1.0, 1.0))
+
+
+def correlation_matrix(series: np.ndarray) -> np.ndarray:
+    """Full 20×20 Pearson matrix of a telemetry array (degenerate cols → 0)."""
+    series = _check_series(series)
+    t, m = series.shape
+    centered = series - series.mean(axis=0, keepdims=True)
+    norms = np.sqrt((centered**2).sum(axis=0))
+    safe = np.where(norms > 1e-12, norms, 1.0)
+    unit = centered / safe
+    corr = unit.T @ unit
+    degenerate = norms <= 1e-12
+    corr[degenerate, :] = 0.0
+    corr[:, degenerate] = 0.0
+    np.fill_diagonal(corr, np.where(degenerate, 0.0, 1.0))
+    return np.clip(corr, -1.0, 1.0)
+
+
+def _cols(*names: str) -> list[int]:
+    return [METRIC_INDEX[n] for n in names]
+
+
+def _sum(series: np.ndarray, names: Sequence[str]) -> np.ndarray:
+    return series[:, _cols(*names)].sum(axis=1)
+
+
+# Derived series used by the Table-1 pairs.  Byte-rate metrics are summed
+# raw; Pearson is scale-invariant so mixed units are harmless.
+_DERIVED: Final[dict[str, Callable[[np.ndarray], np.ndarray]]] = {
+    "cpu": lambda s: _sum(s, ("cpu_user", "cpu_system")),
+    "memory": lambda s: _sum(s, ("mem_used",)),
+    "disk": lambda s: _sum(s, ("disk_read", "disk_write")),
+    "network": lambda s: _sum(s, ("net_send", "net_recv")),
+    "buffer": lambda s: _sum(s, ("mem_buffer",)),
+    "cache": lambda s: _sum(s, ("mem_cache",)),
+    "iteration": lambda s: _sum(s, ("data_per_iteration",)),
+    "parallelism": lambda s: _sum(
+        s, ("tasks_compute", "tasks_communication", "tasks_synchronization")
+    ),
+    "data": lambda s: _sum(s, ("data_per_cycle",)),
+    "computation": lambda s: _sum(s, ("tasks_compute",)),
+    "cycle": lambda s: _sum(s, ("cpu_user", "cpu_system")),
+    "synchronization": lambda s: _sum(s, ("tasks_synchronization",)),
+}
+
+#: The ten Table-1 correlation similarities, in table order.  The first
+#: five are resource correlations, the last five execution correlations.
+CORRELATION_NAMES: Final[tuple[str, ...]] = (
+    "cpu-to-memory",
+    "memory-to-disk",
+    "disk-to-network",
+    "buffer-to-cache",
+    "cpu-to-network",
+    "iteration-to-parallelism",
+    "data-to-computation",
+    "data-to-cycle",
+    "disk-to-synchronization",
+    "network-to-synchronization",
+)
+
+NUM_CORRELATIONS: Final[int] = len(CORRELATION_NAMES)
+
+
+def _split_pair(name: str) -> tuple[str, str]:
+    left, _, right = name.partition("-to-")
+    return left, right
+
+
+def _check_series(series: np.ndarray) -> np.ndarray:
+    series = np.asarray(series, dtype=float)
+    if series.ndim != 2 or series.shape[1] != NUM_METRICS:
+        raise ValidationError(
+            f"telemetry must be (samples, {NUM_METRICS}), got {series.shape}"
+        )
+    return series
+
+
+def correlation_vector(series: np.ndarray) -> np.ndarray:
+    """Map one run's telemetry to the 10 Table-1 correlation values.
+
+    Returns a vector aligned with :data:`CORRELATION_NAMES`, each entry in
+    [-1, 1] (0 for degenerate series).
+    """
+    series = _check_series(series)
+    out = np.empty(NUM_CORRELATIONS)
+    for i, name in enumerate(CORRELATION_NAMES):
+        left, right = _split_pair(name)
+        out[i] = pearson(_DERIVED[left](series), _DERIVED[right](series))
+    return out
+
+
+def aggregate_correlation_vectors(vectors: np.ndarray) -> np.ndarray:
+    """Aggregate per-run correlation vectors into one workload signature.
+
+    The paper records correlation values per run and treats the workload's
+    characteristic correlations as knowledge; we use the elementwise
+    median, which is robust to the occasional straggler-distorted run.
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.ndim != 2 or vectors.shape[1] != NUM_CORRELATIONS:
+        raise ValidationError(
+            f"expected (runs, {NUM_CORRELATIONS}) vectors, got {vectors.shape}"
+        )
+    if vectors.shape[0] == 0:
+        raise ValidationError("need at least one correlation vector")
+    return np.median(vectors, axis=0)

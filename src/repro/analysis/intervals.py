@@ -1,0 +1,99 @@
+"""0.05-wide correlation-interval labels (Section 5.3 / Figure 10).
+
+The paper discretizes correlation values into 0.05-wide intervals ("such
+as [0.1, 0.15] and [0.8, 0.85]") and treats each *(correlation feature,
+interval)* pair as a **label** — the middle layer of the bipartite graph.
+A workload carries the label whose interval its correlation value falls
+into, one label per retained feature.
+
+With values in [-1, 1] and width 0.05 there are 40 intervals per feature;
+indices are half-open ``[lo, lo + width)`` with the top interval closed so
+that 1.0 is representable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = [
+    "INTERVAL_WIDTH",
+    "num_intervals",
+    "interval_of",
+    "interval_bounds",
+    "labels_for_vector",
+    "label_matrix",
+]
+
+#: The paper's interval width.
+INTERVAL_WIDTH = 0.05
+
+
+def num_intervals(width: float = INTERVAL_WIDTH) -> int:
+    """Number of intervals covering [-1, 1] at ``width``."""
+    if width <= 0 or width > 2:
+        raise ValidationError(f"width must be in (0, 2], got {width}")
+    return math.ceil(2.0 / width - 1e-9)
+
+
+def interval_of(value: float, width: float = INTERVAL_WIDTH) -> int:
+    """Interval index of a correlation ``value`` in [-1, 1].
+
+    The top edge maps into the last interval so the index range is exactly
+    ``[0, num_intervals)``.
+    """
+    if not -1.0 - 1e-9 <= value <= 1.0 + 1e-9:
+        raise ValidationError(f"correlation value out of [-1, 1]: {value}")
+    n = num_intervals(width)
+    idx = int((value + 1.0) / width)
+    return min(max(idx, 0), n - 1)
+
+
+def interval_bounds(index: int, width: float = INTERVAL_WIDTH) -> tuple[float, float]:
+    """``[lo, hi)`` bounds of interval ``index``."""
+    n = num_intervals(width)
+    if not 0 <= index < n:
+        raise ValidationError(f"interval index out of [0, {n}): {index}")
+    lo = -1.0 + index * width
+    return lo, min(lo + width, 1.0)
+
+
+def labels_for_vector(
+    vector: np.ndarray, width: float = INTERVAL_WIDTH
+) -> np.ndarray:
+    """Flat label ids for one correlation vector.
+
+    Feature ``f`` at interval ``i`` gets label id ``f * num_intervals + i``,
+    giving a fixed universe of ``n_features × num_intervals`` labels.
+    """
+    vector = np.asarray(vector, dtype=float)
+    if vector.ndim != 1:
+        raise ValidationError(f"vector must be 1-D, got shape {vector.shape}")
+    n = num_intervals(width)
+    ids = np.empty(vector.size, dtype=int)
+    for f, value in enumerate(vector):
+        ids[f] = f * n + interval_of(float(value), width)
+    return ids
+
+
+def label_matrix(
+    vectors: np.ndarray, width: float = INTERVAL_WIDTH
+) -> np.ndarray:
+    """Binary workload-label matrix ``G^(XL)`` (Equation 3).
+
+    ``vectors`` is ``(workloads, features)``; the result is
+    ``(workloads, features × num_intervals)`` with exactly one 1 per
+    (workload, feature) block — workload *i* conforms to label *j*.
+    """
+    vectors = np.asarray(vectors, dtype=float)
+    if vectors.ndim != 2:
+        raise ValidationError(f"vectors must be 2-D, got shape {vectors.shape}")
+    n_work, n_feat = vectors.shape
+    n = num_intervals(width)
+    out = np.zeros((n_work, n_feat * n))
+    for i in range(n_work):
+        out[i, labels_for_vector(vectors[i], width)] = 1.0
+    return out

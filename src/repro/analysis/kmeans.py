@@ -1,0 +1,160 @@
+"""K-Means clustering (k-means++ init, Lloyd iterations), vectorized.
+
+The paper's offline model groups VM types into *k* categories with K-Means
+(Section 3.1), chosen for "high accuracy and low overhead with a simple
+hyperparameter k"; Figure 11 tunes k by 10-fold cross validation and lands
+on k = 9.  This implementation is seeded and restartable (``n_init``),
+with all distance math done as one ``(n, k)`` broadcasted computation per
+Lloyd step — no Python-level per-point loops, per the HPC guide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["KMeans"]
+
+
+def _sq_dists(X: np.ndarray, C: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distances ``(n, k)`` via the expanded norm trick."""
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2 ; clip tiny negatives from fp error.
+    d = (
+        (X**2).sum(axis=1)[:, None]
+        - 2.0 * X @ C.T
+        + (C**2).sum(axis=1)[None, :]
+    )
+    return np.maximum(d, 0.0)
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Parameters
+    ----------
+    k:
+        Number of clusters.
+    n_init:
+        Independent restarts; the lowest-inertia run wins.
+    max_iter:
+        Lloyd iterations per restart.
+    tol:
+        Relative centroid-shift convergence tolerance.
+    seed:
+        RNG seed.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    centers_:
+        ``(k, d)`` cluster centroids.
+    labels_:
+        Training-point assignments.
+    inertia_:
+        Sum of squared distances to assigned centroids.
+    n_iter_:
+        Lloyd iterations used by the winning restart.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        *,
+        n_init: int = 4,
+        max_iter: int = 100,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ) -> None:
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        if n_init < 1 or max_iter < 1:
+            raise ValidationError("n_init and max_iter must be >= 1")
+        self.k = k
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centers_: np.ndarray | None = None
+        self.labels_: np.ndarray | None = None
+        self.inertia_: float = float("inf")
+        self.n_iter_: int = 0
+
+    # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _plus_plus_init(X: np.ndarray, k: int, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding: sample proportional to squared distance."""
+        n = X.shape[0]
+        centers = np.empty((k, X.shape[1]))
+        centers[0] = X[rng.integers(n)]
+        closest = _sq_dists(X, centers[:1]).ravel()
+        for j in range(1, k):
+            total = closest.sum()
+            if total <= 0:
+                # All points coincide with chosen centers; duplicate one.
+                centers[j] = X[rng.integers(n)]
+                continue
+            probs = closest / total
+            centers[j] = X[rng.choice(n, p=probs)]
+            closest = np.minimum(closest, _sq_dists(X, centers[j : j + 1]).ravel())
+        return centers
+
+    def _lloyd(
+        self, X: np.ndarray, centers: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, float, int]:
+        scale = float(np.abs(X).max()) or 1.0
+        idx = np.arange(X.shape[0])
+        for it in range(1, self.max_iter + 1):
+            dists = _sq_dists(X, centers)
+            labels = np.argmin(dists, axis=1)
+            new_centers = centers.copy()
+            for j in range(self.k):  # k is small (<= ~20); loop is cheap
+                members = labels == j
+                if members.any():
+                    new_centers[j] = X[members].mean(axis=0)
+                else:
+                    # Re-seed an empty cluster at the point farthest from
+                    # its centroid — the standard fix for dead centroids.
+                    far = int(np.argmax(dists[idx, labels]))
+                    new_centers[j] = X[far]
+            shift = float(np.abs(new_centers - centers).max())
+            centers = new_centers
+            if shift <= self.tol * scale:
+                break
+        labels = np.argmin(_sq_dists(X, centers), axis=1)
+        inertia = float(_sq_dists(X, centers)[np.arange(X.shape[0]), labels].sum())
+        return centers, labels, inertia, it
+
+    # -- public API ---------------------------------------------------------------
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        """Cluster ``(n, d)`` data; requires ``n >= k``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2:
+            raise ValidationError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] < self.k:
+            raise ValidationError(
+                f"need at least k={self.k} samples, got {X.shape[0]}"
+            )
+        rng = np.random.default_rng(self.seed)
+        best: tuple[np.ndarray, np.ndarray, float, int] | None = None
+        for _ in range(self.n_init):
+            centers = self._plus_plus_init(X, self.k, rng)
+            result = self._lloyd(X, centers)
+            if best is None or result[2] < best[2]:
+                best = result
+        assert best is not None
+        self.centers_, self.labels_, self.inertia_, self.n_iter_ = best
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Assign each row of ``X`` to its nearest fitted centroid."""
+        if self.centers_ is None:
+            raise ValidationError("KMeans is not fitted; call fit() first")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X[None, :]
+        return np.argmin(_sq_dists(X, self.centers_), axis=1)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).labels_

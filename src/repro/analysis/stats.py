@@ -1,0 +1,72 @@
+"""Evaluation statistics: the paper's Equation 7 and companions.
+
+Small, dependency-free helpers shared by the experiments and available to
+library users evaluating their own selectors:
+
+- :func:`mape` — Mean Absolute Percentage Error (Equation 7);
+- :func:`percentile_band` — the 10th/90th percentile bars the paper draws
+  on Figures 7, 11 and 13;
+- :func:`bootstrap_mean_ci` — seeded bootstrap confidence interval for a
+  mean, for comparing selectors beyond point estimates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["mape", "percentile_band", "bootstrap_mean_ci"]
+
+
+def mape(predicted: np.ndarray, ground_truth: np.ndarray) -> float:
+    """Equation 7: ``100/m * Σ |predicted − truth| / truth`` (percent).
+
+    ``MAPE = 0`` denotes a perfect model; values above 100 a very bad one.
+    """
+    predicted = np.asarray(predicted, dtype=float)
+    ground_truth = np.asarray(ground_truth, dtype=float)
+    if predicted.shape != ground_truth.shape or predicted.ndim != 1:
+        raise ValidationError("predicted and ground_truth must be matching 1-D arrays")
+    if predicted.size == 0:
+        raise ValidationError("need at least one observation")
+    if (ground_truth <= 0).any():
+        raise ValidationError("ground truth values must be positive")
+    return float(100.0 * np.mean(np.abs(predicted - ground_truth) / ground_truth))
+
+
+def percentile_band(
+    values: np.ndarray, lo: float = 10.0, hi: float = 90.0
+) -> tuple[float, float]:
+    """The paper's deviation bars: (P``lo``, P``hi``) of ``values``."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValidationError("need at least one value")
+    if not 0.0 <= lo <= hi <= 100.0:
+        raise ValidationError("need 0 <= lo <= hi <= 100")
+    return float(np.percentile(values, lo)), float(np.percentile(values, hi))
+
+
+def bootstrap_mean_ci(
+    values: np.ndarray,
+    *,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Seeded bootstrap CI for the mean of ``values``."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        raise ValidationError("need at least one value")
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError("confidence must be in (0, 1)")
+    if resamples < 1:
+        raise ValidationError("resamples must be >= 1")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, values.size, size=(resamples, values.size))
+    means = values[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return (
+        float(np.percentile(means, 100 * alpha)),
+        float(np.percentile(means, 100 * (1 - alpha))),
+    )

@@ -1,0 +1,32 @@
+"""Baselines the paper compares Vesta against (Table 5).
+
+- :mod:`repro.baselines.ground_truth` — the brute-force exhaustive search
+  that defines the paper's "ground-truth best" VM type;
+- :mod:`repro.baselines.paris` — PARIS (Yadwadkar et al., SoCC '17): a
+  Random Forest over workload fingerprints + VM specs;
+- :mod:`repro.baselines.ernest` — Ernest (Venkataraman et al., NSDI '16):
+  an NNLS performance model over a Spark-shaped basis;
+- :mod:`repro.baselines.cherrypick` — a CherryPick-style Bayesian
+  optimizer (related-work extension, Section 6);
+- :mod:`repro.baselines.arrow` — Arrow: CherryPick augmented with
+  low-level metrics (related-work extension, Section 6);
+- :mod:`repro.baselines.random_forest` — the from-scratch CART/forest
+  regressor PARIS builds on.
+"""
+
+from repro.baselines.arrow import Arrow
+from repro.baselines.cherrypick import CherryPick
+from repro.baselines.ernest import Ernest
+from repro.baselines.ground_truth import GroundTruth
+from repro.baselines.paris import Paris
+from repro.baselines.random_forest import DecisionTreeRegressor, RandomForestRegressor
+
+__all__ = [
+    "Arrow",
+    "CherryPick",
+    "DecisionTreeRegressor",
+    "Ernest",
+    "GroundTruth",
+    "Paris",
+    "RandomForestRegressor",
+]

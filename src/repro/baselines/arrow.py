@@ -1,0 +1,154 @@
+"""Arrow baseline (Hsu et al., ICDCS '18) — related work, Section 6.
+
+Arrow addresses CherryPick's limitations by **augmenting Bayesian
+optimization with low-level performance metrics**: after each evaluated
+configuration, the measured resource utilizations tell the optimizer
+*why* the configuration was slow (CPU-starved? disk-bound?), letting the
+acquisition prefer configurations that relieve the observed bottleneck
+instead of exploring blindly.
+
+Implementation: CherryPick's GP/EI machinery, plus a **bottleneck prior**.
+Each evaluation also collects the run's telemetry; the dominant resource
+pressure (CPU busy vs disk vs network utilization vs memory) becomes a
+preference vector over VM spec dimensions, and the expected improvement
+of each candidate is scaled by how much head-room it offers on the
+bottleneck resource relative to the best configuration seen.
+
+The paper's framing (Figure 2 and Section 6) still applies: the low-level
+augmentation helps *within* a framework but carries no cross-framework
+knowledge — Arrow restarts from scratch for every workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.cherrypick import CherryPick, SearchStep
+from repro.cloud.vmtypes import VMType, catalog
+from repro.errors import ValidationError
+from repro.telemetry.collector import DataCollector
+from repro.telemetry.metrics import METRIC_INDEX
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["Arrow", "BottleneckSignal"]
+
+
+@dataclass(frozen=True)
+class BottleneckSignal:
+    """Mean resource pressures observed during one evaluated run."""
+
+    cpu: float
+    memory: float
+    disk: float
+    network: float
+
+    def dominant(self) -> str:
+        """The resource the run was most constrained by."""
+        values = {
+            "cpu": self.cpu,
+            "memory": self.memory,
+            "disk": self.disk,
+            "network": self.network,
+        }
+        return max(values, key=values.get)
+
+
+def _signal_from_series(series: np.ndarray) -> BottleneckSignal:
+    """Reduce a telemetry array to the four resource pressures."""
+    def mean(name: str) -> float:
+        return float(series[:, METRIC_INDEX[name]].mean())
+
+    return BottleneckSignal(
+        cpu=mean("cpu_user") + mean("cpu_system"),
+        memory=mean("mem_used"),
+        disk=mean("disk_util"),
+        network=mean("net_drop") * 4.0 + mean("cpu_wait") * 0.5,
+    )
+
+
+#: Spec-vector head-room feature per bottleneck: (index into
+#: VMType.spec_vector(), i.e. [vcpus, mem, mem/vcpu, speed, disk, net, price]).
+_RELIEF_FEATURE = {"cpu": 3, "memory": 1, "disk": 4, "network": 5}
+
+
+class Arrow(CherryPick):
+    """Low-level-metrics-augmented Bayesian optimization.
+
+    Parameters are CherryPick's, plus:
+
+    relief_strength:
+        How strongly the bottleneck prior scales the acquisition (0 =
+        plain CherryPick).
+    repetitions:
+        Data Collector repetitions per evaluation (telemetry source).
+    """
+
+    def __init__(
+        self,
+        vms: tuple[VMType, ...] | None = None,
+        *,
+        relief_strength: float = 0.6,
+        repetitions: int = 3,
+        collector_seed: int = 0,
+        **kwargs,
+    ) -> None:
+        super().__init__(vms, **kwargs)
+        if relief_strength < 0:
+            raise ValidationError("relief_strength must be >= 0")
+        self.relief_strength = relief_strength
+        self.collector = DataCollector(repetitions=repetitions, seed=collector_seed)
+
+    # -- search with low-level augmentation ------------------------------------
+
+    def optimize_workload(self, spec: WorkloadSpec) -> list[SearchStep]:
+        """Search for the fastest VM type for ``spec``.
+
+        Unlike :meth:`CherryPick.optimize`, the evaluator is internal:
+        each evaluation profiles the workload (runtime **and** telemetry),
+        and the bottleneck prior steers subsequent picks.
+        """
+        rng = np.random.default_rng(self.seed)
+        n = len(self.vms)
+        init = rng.choice(n, size=min(self.n_init, n), replace=False)
+        obs_idx: list[int] = []
+        obs_y: list[float] = []
+        signals: list[BottleneckSignal] = []
+        trace: list[SearchStep] = []
+
+        def evaluate(i: int) -> None:
+            profile = self.collector.collect(spec, self.vms[i])
+            obs_idx.append(i)
+            obs_y.append(float(np.log(profile.runtime_p90)))
+            signals.append(_signal_from_series(profile.timeseries))
+            best = float(np.exp(min(obs_y)))
+            trace.append(SearchStep(self.vms[i].name, profile.runtime_p90, best))
+
+        for i in init:
+            evaluate(int(i))
+
+        specs = np.vstack([vm.spec_vector() for vm in self.vms])
+        while len(obs_idx) < min(self.max_iters, n):
+            mean, std = self._posterior(np.array(obs_idx), np.array(obs_y))
+            best = min(obs_y)
+            ei = self._expected_improvement(mean, std, best)
+
+            # Bottleneck prior: scale EI by relative head-room on the
+            # resource that throttled the best run so far.
+            best_i = obs_idx[int(np.argmin(obs_y))]
+            feature = _RELIEF_FEATURE[signals[obs_idx.index(best_i)].dominant()]
+            head = specs[:, feature] / max(specs[best_i, feature], 1e-9)
+            ei = ei * (1.0 + self.relief_strength * np.log1p(np.maximum(head - 1, 0)))
+
+            ei[np.array(obs_idx)] = -np.inf
+            pick = int(np.argmax(ei))
+            if ei[pick] < self.ei_threshold * abs(best):
+                break
+            evaluate(pick)
+        return trace
+
+    @property
+    def reference_vm_count(self) -> int:
+        """Worst-case evaluations per workload (the Figure-8 currency)."""
+        return self.max_iters

@@ -1,0 +1,170 @@
+"""CherryPick-style Bayesian-optimization selector (related work, Section 6).
+
+CherryPick (Alipourfard et al., NSDI '17) searches cloud configurations
+with Bayesian optimization: a Gaussian-process surrogate over the
+configuration space and an expected-improvement acquisition, stopping when
+the expected improvement falls under a threshold.  The paper discusses it
+as a black-box search alternative that "may suffer a low prediction
+accuracy if the search space is too large"; we include it as an extension
+baseline for the search-progression experiments (Figures 12/13 style).
+
+The GP is implemented directly: RBF kernel over standardized log VM spec
+vectors, Cholesky solves, log objective values.  Deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import erf, pi, sqrt
+
+import numpy as np
+
+from repro.cloud.vmtypes import VMType, catalog
+from repro.errors import ValidationError
+
+__all__ = ["CherryPick", "SearchStep"]
+
+
+def _norm_pdf(z: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * z**2) / sqrt(2.0 * pi)
+
+
+def _norm_cdf(z: np.ndarray) -> np.ndarray:
+    return 0.5 * (1.0 + np.vectorize(erf)(z / sqrt(2.0)))
+
+
+@dataclass(frozen=True)
+class SearchStep:
+    """One BO iteration: the VM tried and the objective value observed."""
+
+    vm_name: str
+    observed: float
+    best_so_far: float
+
+
+class CherryPick:
+    """GP + expected-improvement search over the VM catalog.
+
+    Parameters
+    ----------
+    vms:
+        Candidate VM types.
+    n_init:
+        Random initial probes before the GP drives the search.
+    max_iters:
+        Total evaluation budget (including the initial probes).
+    ei_threshold:
+        Stop when max expected improvement / best-so-far falls below this
+        (CherryPick's 10 % rule by default).
+    length_scale, signal_var, noise_var:
+        RBF kernel hyperparameters over standardized features.
+    seed:
+        RNG seed for the initial design.
+    """
+
+    def __init__(
+        self,
+        vms: tuple[VMType, ...] | None = None,
+        *,
+        n_init: int = 3,
+        max_iters: int = 12,
+        ei_threshold: float = 0.1,
+        length_scale: float = 1.5,
+        signal_var: float = 1.0,
+        noise_var: float = 1e-4,
+        seed: int = 0,
+    ) -> None:
+        self.vms = catalog() if vms is None else tuple(vms)
+        if not self.vms:
+            raise ValidationError("need at least one VM type")
+        if n_init < 1 or max_iters < n_init:
+            raise ValidationError("need max_iters >= n_init >= 1")
+        if length_scale <= 0 or signal_var <= 0 or noise_var <= 0:
+            raise ValidationError("kernel hyperparameters must be > 0")
+        self.n_init = n_init
+        self.max_iters = max_iters
+        self.ei_threshold = ei_threshold
+        self.length_scale = length_scale
+        self.signal_var = signal_var
+        self.noise_var = noise_var
+        self.seed = seed
+
+        feats = np.log1p(np.vstack([vm.spec_vector() for vm in self.vms]))
+        mu = feats.mean(axis=0)
+        sd = feats.std(axis=0)
+        self._X = (feats - mu) / np.where(sd > 0, sd, 1.0)
+
+    # -- GP internals ----------------------------------------------------------
+
+    def _kernel(self, A: np.ndarray, B: np.ndarray) -> np.ndarray:
+        d2 = ((A[:, None, :] - B[None, :, :]) ** 2).sum(axis=2)
+        return self.signal_var * np.exp(-0.5 * d2 / self.length_scale**2)
+
+    def _posterior(
+        self, obs_idx: np.ndarray, obs_y: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """GP posterior mean/std over all candidates given observations."""
+        Xo = self._X[obs_idx]
+        K = self._kernel(Xo, Xo) + self.noise_var * np.eye(len(obs_idx))
+        Ks = self._kernel(self._X, Xo)
+        chol = np.linalg.cholesky(K)
+        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, obs_y - obs_y.mean()))
+        mean = Ks @ alpha + obs_y.mean()
+        v = np.linalg.solve(chol, Ks.T)
+        var = np.maximum(self.signal_var - (v**2).sum(axis=0), 1e-12)
+        return mean, np.sqrt(var)
+
+    @staticmethod
+    def _expected_improvement(
+        mean: np.ndarray, std: np.ndarray, best: float
+    ) -> np.ndarray:
+        z = (best - mean) / std
+        return (best - mean) * _norm_cdf(z) + std * _norm_pdf(z)
+
+    # -- search ------------------------------------------------------------------
+
+    def optimize(self, evaluate) -> list[SearchStep]:
+        """Search for the minimum of ``evaluate(vm) -> float``.
+
+        ``evaluate`` is the black box (runtime or budget of the target
+        workload on the VM) — the caller supplies the simulator/collector
+        hookup.  Returns the full search trace; the recommendation is the
+        best-so-far of the last step.
+        """
+        rng = np.random.default_rng(self.seed)
+        n = len(self.vms)
+        init = rng.choice(n, size=min(self.n_init, n), replace=False)
+        obs_idx: list[int] = []
+        obs_y: list[float] = []
+        trace: list[SearchStep] = []
+
+        def record(i: int) -> None:
+            value = float(evaluate(self.vms[i]))
+            if value <= 0:
+                raise ValidationError("evaluate() must return positive values")
+            obs_idx.append(i)
+            obs_y.append(np.log(value))
+            best = float(np.exp(min(obs_y)))
+            trace.append(SearchStep(self.vms[i].name, value, best))
+
+        for i in init:
+            record(int(i))
+
+        while len(obs_idx) < min(self.max_iters, n):
+            mean, std = self._posterior(np.array(obs_idx), np.array(obs_y))
+            best = min(obs_y)
+            ei = self._expected_improvement(mean, std, best)
+            ei[np.array(obs_idx)] = -np.inf
+            pick = int(np.argmax(ei))
+            # CherryPick's stop rule: expected improvement too small.
+            if ei[pick] < self.ei_threshold * abs(best):
+                break
+            record(pick)
+        return trace
+
+    def best_vm(self, trace: list[SearchStep]) -> str:
+        """Name of the best VM found in a search trace."""
+        if not trace:
+            raise ValidationError("empty search trace")
+        values = {s.vm_name: s.observed for s in trace}
+        return min(values, key=values.get)

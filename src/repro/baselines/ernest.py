@@ -1,0 +1,149 @@
+"""Ernest baseline (Venkataraman et al., NSDI '16), per the paper's Table 5.
+
+Ernest predicts the runtime of advanced-analytics (Spark-shaped) jobs from
+a handful of *scaled-down* training runs using a non-negative least
+squares fit over a communication-pattern basis.  The original basis over
+data scale *s* and machine count *n* is
+
+    t(s, n) = θ₀ + θ₁·(s/n) + θ₂·log(n) + θ₃·n .
+
+To use Ernest as a VM-*type* selector (the paper's setup) we interpret
+*n* as the cluster's effective parallelism (vCPUs × per-core speed) so
+one fitted model extrapolates across the catalog:
+
+    t(s, vm) = θ₀ + θ₁·(s·D / c_eff(vm)) + θ₂·log(c(vm)) + θ₃·√(s·D / c(vm))
+
+with all θ ≥ 0 (scipy's NNLS), trained on probe runs at reduced input
+scales on a few cheap general-purpose VM types.
+
+This is accurate exactly where the paper says: Spark jobs whose cost is
+compute + aggregation over the sampled data ("Ernest only works well on
+Spark").  It is structurally blind to disk and network bandwidth, so
+Hadoop's HDFS-materialising jobs and storage-bound workloads extrapolate
+poorly — the paper's 4× error gap on Hadoop/Hive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import nnls
+
+from repro.cloud.vmtypes import VMType, catalog, get_vm_type
+from repro.errors import ValidationError
+from repro.telemetry.collector import DataCollector
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["Ernest", "DEFAULT_PROBE_VMS", "DEFAULT_PROBE_SCALES"]
+
+#: Cheap general-purpose probes (Ernest trains on small/cheap configs).
+DEFAULT_PROBE_VMS: tuple[str, ...] = (
+    "m5.large",
+    "m5.xlarge",
+    "c5.xlarge",
+    "r5.large",
+)
+
+#: Input-scale fractions of the probe runs (Ernest's "small samples").
+DEFAULT_PROBE_SCALES: tuple[float, ...] = (0.1, 0.25, 0.5)
+
+
+class Ernest:
+    """NNLS performance model over the Ernest basis, per workload.
+
+    Parameters
+    ----------
+    vms:
+        Candidate VM types to rank.
+    probe_vms:
+        VM types used for the scaled-down training runs.
+    probe_scales:
+        Input-scale fractions of the training runs.
+    repetitions:
+        Data Collector repetitions per probe run.
+    seed:
+        Master seed.
+    """
+
+    def __init__(
+        self,
+        vms: tuple[VMType, ...] | None = None,
+        *,
+        probe_vms: tuple[str, ...] = DEFAULT_PROBE_VMS,
+        probe_scales: tuple[float, ...] = DEFAULT_PROBE_SCALES,
+        repetitions: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self.vms = catalog() if vms is None else tuple(vms)
+        if not self.vms:
+            raise ValidationError("need at least one VM type")
+        if not probe_vms or not probe_scales:
+            raise ValidationError("need probe VMs and probe scales")
+        if any(not 0 < s <= 1 for s in probe_scales):
+            raise ValidationError("probe scales must be in (0, 1]")
+        self.probe_vms = tuple(get_vm_type(n) for n in probe_vms)
+        self.probe_scales = tuple(probe_scales)
+        self.collector = DataCollector(repetitions=repetitions, seed=seed)
+        self._theta: dict[str, np.ndarray] = {}
+
+    @property
+    def reference_vm_count(self) -> int:
+        """Distinct VM types run before prediction (Figure 8's overhead)."""
+        return len(self.probe_vms)
+
+    # -- basis ---------------------------------------------------------------------
+
+    @staticmethod
+    def _features(spec: WorkloadSpec, vm: VMType, scale: float) -> np.ndarray:
+        """Ernest basis row for running ``scale`` of the input on ``vm``."""
+        data = scale * spec.input_gb
+        cores = vm.vcpus * spec.nodes
+        c_eff = cores * vm.cpu_speed
+        return np.array(
+            [1.0, data / c_eff, np.log(cores), np.sqrt(data / cores)]
+        )
+
+    # -- training -----------------------------------------------------------------------
+
+    def fit_workload(self, spec: WorkloadSpec) -> np.ndarray:
+        """Probe ``spec`` at reduced scales and NNLS-fit its θ (cached)."""
+        if spec.name in self._theta:
+            return self._theta[spec.name]
+        rows: list[np.ndarray] = []
+        obs: list[float] = []
+        for vm in self.probe_vms:
+            for scale in self.probe_scales:
+                scaled = spec.with_input(scale * spec.input_gb)
+                rows.append(self._features(spec, vm, scale))
+                obs.append(self.collector.runtime_only(scaled, vm))
+        theta, _residual = nnls(np.vstack(rows), np.asarray(obs))
+        self._theta[spec.name] = theta
+        return theta
+
+    # -- prediction ----------------------------------------------------------------------
+
+    def predict_runtime(self, spec: WorkloadSpec, vm: VMType | str) -> float:
+        """Predicted full-scale runtime of ``spec`` on ``vm``."""
+        if isinstance(vm, str):
+            vm = get_vm_type(vm)
+        theta = self.fit_workload(spec)
+        return float(self._features(spec, vm, 1.0) @ theta)
+
+    def predict_runtimes(self, spec: WorkloadSpec) -> np.ndarray:
+        """Predicted full-scale runtime on every candidate VM."""
+        theta = self.fit_workload(spec)
+        rows = np.vstack([self._features(spec, vm, 1.0) for vm in self.vms])
+        return rows @ theta
+
+    def select(self, spec: WorkloadSpec, objective: str = "time") -> str:
+        """Best VM-type name under ``objective``."""
+        runtimes = self.predict_runtimes(spec)
+        if objective == "time":
+            scores = runtimes
+        elif objective == "budget":
+            prices = np.array([vm.price_per_hour for vm in self.vms])
+            scores = runtimes * prices * spec.nodes
+        else:
+            raise ValidationError(
+                f"objective must be 'time' or 'budget', got {objective!r}"
+            )
+        return self.vms[int(np.argmin(scores))].name

@@ -1,0 +1,101 @@
+"""Brute-force exhaustive search — the paper's ground-truth oracle.
+
+Section 5.2: *"we first observe ground truth 'best' results by
+exhaustively running workloads on 120 VM types"*.  :class:`GroundTruth`
+runs every candidate VM type through the Data Collector's P90 protocol and
+caches the response surfaces, providing the reference against which every
+selector's MAPE is computed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.vmtypes import VMType, catalog
+from repro.errors import ValidationError
+from repro.telemetry.collector import DataCollector
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["GroundTruth"]
+
+
+class GroundTruth:
+    """Exhaustive (workload × VM type) P90 runtime/budget surfaces.
+
+    Surfaces are computed lazily per workload and cached; with the
+    analytic simulator a full 100-type sweep costs tens of milliseconds,
+    where the paper spent real EC2 hours — the one place the substitution
+    buys tractability without changing semantics.
+    """
+
+    def __init__(
+        self,
+        vms: tuple[VMType, ...] | None = None,
+        *,
+        repetitions: int = 10,
+        seed: int = 0,
+    ) -> None:
+        self.vms = catalog() if vms is None else tuple(vms)
+        if not self.vms:
+            raise ValidationError("need at least one VM type")
+        self.collector = DataCollector(repetitions=repetitions, seed=seed)
+        self._runtime_cache: dict[str, np.ndarray] = {}
+        self._vm_index = {vm.name: i for i, vm in enumerate(self.vms)}
+
+    def runtimes(self, spec: WorkloadSpec) -> np.ndarray:
+        """P90 runtime of ``spec`` on every VM type (cached)."""
+        if spec.name not in self._runtime_cache:
+            self._runtime_cache[spec.name] = np.array(
+                [self.collector.runtime_only(spec, vm) for vm in self.vms]
+            )
+        return self._runtime_cache[spec.name]
+
+    def budgets(self, spec: WorkloadSpec) -> np.ndarray:
+        """P90 budget (USD) of ``spec`` on every VM type."""
+        runtimes = self.runtimes(spec)
+        return np.array(
+            [
+                Cluster(vm=vm, nodes=spec.nodes).budget(rt)
+                for vm, rt in zip(self.vms, runtimes)
+            ]
+        )
+
+    def surface(self, spec: WorkloadSpec, objective: str = "time") -> np.ndarray:
+        """Runtime or budget surface, by objective name."""
+        if objective == "time":
+            return self.runtimes(spec)
+        if objective == "budget":
+            return self.budgets(spec)
+        raise ValidationError(f"objective must be 'time' or 'budget', got {objective!r}")
+
+    def best_vm(self, spec: WorkloadSpec, objective: str = "time") -> VMType:
+        """The ground-truth best VM type under ``objective``."""
+        return self.vms[int(np.argmin(self.surface(spec, objective)))]
+
+    def best_value(self, spec: WorkloadSpec, objective: str = "time") -> float:
+        """The ground-truth optimal runtime/budget."""
+        return float(self.surface(spec, objective).min())
+
+    def value_of(
+        self, spec: WorkloadSpec, vm_name: str, objective: str = "time"
+    ) -> float:
+        """Ground-truth runtime/budget of a specific VM type."""
+        try:
+            idx = self._vm_index[vm_name]
+        except KeyError:
+            raise ValidationError(f"unknown VM type {vm_name!r}") from None
+        return float(self.surface(spec, objective)[idx])
+
+    def selection_error(
+        self, spec: WorkloadSpec, vm_name: str, objective: str = "time"
+    ) -> float:
+        """Relative regret of picking ``vm_name``: (chosen − best) / best.
+
+        This is the per-run quantity inside the paper's Equation 7 MAPE:
+        the performance difference between the predicted and ground-truth
+        best VM types, as a fraction of the ground truth.
+        """
+        best = self.best_value(spec, objective)
+        chosen = self.value_of(spec, vm_name, objective)
+        return (chosen - best) / best

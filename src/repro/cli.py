@@ -1,0 +1,203 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``catalog``       list the Table-4 VM types (optionally one family)
+``workloads``     list the Table-3 workload suite and its splits
+``simulate``      run one workload on one VM type and print the profile
+``select``        fit Vesta and recommend a VM type for a workload
+``experiment``    regenerate one paper artifact (``fig06``, ``tab01``, ...)
+``latency``       batch-latency/throughput report for a workload on VM types
+
+The CLI is a thin shell over the library — every command maps to public
+API calls documented in the README.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+#: Experiment ids accepted by ``experiment`` → module name.
+EXPERIMENT_IDS = {
+    "fig01": "fig01_heatmaps",
+    "fig02": "fig02_reuse_error",
+    "fig03": "fig03_overhead_curve",
+    "fig06": "fig06_mape",
+    "fig07": "fig07_sparklr",
+    "fig08": "fig08_overhead",
+    "fig09": "fig09_pca",
+    "fig10": "fig10_consistency",
+    "fig11": "fig11_ksweep",
+    "fig12": "fig12_progression",
+    "fig13": "fig13_budget",
+    "tab01": "tab01_correlations",
+    "tab04": "tab04_vmtypes",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Vesta reproduction: VM-type selection across big-data frameworks",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_cat = sub.add_parser("catalog", help="list the Table-4 VM types")
+    p_cat.add_argument("--family", help="restrict to one family (e.g. M5)")
+
+    sub.add_parser("workloads", help="list the Table-3 workload suite")
+
+    p_sim = sub.add_parser("simulate", help="profile one workload on one VM type")
+    p_sim.add_argument("workload", help="Table-3 name, e.g. spark-lr")
+    p_sim.add_argument("vm", help="VM type name, e.g. m5.xlarge")
+    p_sim.add_argument("--nodes", type=int, default=None, help="cluster size")
+    p_sim.add_argument("--reps", type=int, default=10, help="repetitions (P90)")
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_sel = sub.add_parser("select", help="recommend a VM type with Vesta")
+    p_sel.add_argument("workload", help="Table-3 name, e.g. spark-lr")
+    p_sel.add_argument(
+        "--objective", choices=("time", "budget"), default="time"
+    )
+    p_sel.add_argument("--seed", type=int, default=7)
+    p_sel.add_argument(
+        "--top", type=int, default=5, help="also show the top-N predictions"
+    )
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p_exp.add_argument("id", choices=sorted(EXPERIMENT_IDS), help="artifact id")
+
+    p_lat = sub.add_parser(
+        "latency", help="batch-latency/throughput report (Section 7 extension)"
+    )
+    p_lat.add_argument("workload", help="Table-3 name, e.g. hadoop-twitter")
+    p_lat.add_argument("vms", nargs="+", help="VM type names to compare")
+    return parser
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    from repro.cloud.vmtypes import catalog
+
+    vms = catalog()
+    if args.family:
+        vms = tuple(vm for vm in vms if vm.family.lower() == args.family.lower())
+        if not vms:
+            print(f"unknown family {args.family!r}", file=sys.stderr)
+            return 2
+    print(f"{'name':16s} {'vCPU':>5s} {'mem GB':>8s} {'disk MB/s':>10s} "
+          f"{'net Gb/s':>9s} {'$/h':>8s}")
+    for vm in vms:
+        print(f"{vm.name:16s} {vm.vcpus:>5d} {vm.mem_gb:>8.1f} "
+              f"{vm.disk_mbps:>10.0f} {vm.net_gbps:>9.2f} {vm.price_per_hour:>8.4f}")
+    print(f"{len(vms)} VM types")
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    from repro.workloads.catalog import target_set, testing_set, training_set
+
+    for title, specs in (
+        ("source / training", training_set()),
+        ("source / testing", testing_set()),
+        ("target (new framework)", target_set()),
+    ):
+        print(f"-- {title} --")
+        for w in specs:
+            print(f"   {w.name:20s} {w.framework:7s} {w.use_case.value:20s} "
+                  f"{w.input_gb:6.1f} GB x{w.nodes}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.telemetry.collector import DataCollector
+    from repro.workloads.catalog import get_workload
+
+    spec = get_workload(args.workload)
+    collector = DataCollector(repetitions=args.reps, seed=args.seed)
+    profile = collector.collect(spec, args.vm, nodes=args.nodes)
+    print(f"{spec.name} on {args.reps} x {profile.vm_name} (nodes={profile.nodes})")
+    print(f"   runtime P90: {profile.runtime_p90:10.1f} s   "
+          f"mean: {profile.runtime_mean:.1f} s   CV: {profile.runtime_cv:.3f}")
+    print(f"   budget  P90: {profile.budget_p90:10.4f} $")
+    print(f"   telemetry:   {profile.timeseries.shape[0]} samples x 20 metrics"
+          f"   spilled: {profile.spilled}")
+    return 0
+
+
+def _cmd_select(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.vesta import VestaSelector
+    from repro.workloads.catalog import get_workload
+
+    spec = get_workload(args.workload)
+    print("fitting offline knowledge (source workloads x full catalog)...")
+    vesta = VestaSelector(seed=args.seed).fit()
+    session = vesta.online(spec)
+    rec = session.recommend(args.objective)
+    print(f"\nrecommended VM type for {spec.name} ({args.objective}): {rec.vm_name}")
+    print(f"   predicted runtime: {rec.predicted_runtime_s:.1f} s")
+    print(f"   predicted budget:  ${rec.predicted_budget_usd:.4f}")
+    print(f"   reference VMs:     {rec.reference_vm_count} "
+          f"(sandbox {session.sandbox_vm.name} + probes)")
+    print(f"   converged:         {rec.converged}")
+    scores = (
+        session.predict_runtimes()
+        if args.objective == "time"
+        else session.predict_budgets()
+    )
+    order = np.argsort(scores)[: args.top]
+    print(f"\ntop {args.top} predictions:")
+    for i in order:
+        unit = "s" if args.objective == "time" else "$"
+        print(f"   {vesta.vms[i].name:16s} {scores[i]:10.3f} {unit}")
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.frameworks.registry import simulate_run
+    from repro.telemetry.latency import latency_report
+    from repro.workloads.catalog import get_workload
+
+    spec = get_workload(args.workload)
+    print(f"{'VM type':16s} {'batches':>8s} {'mean lat s':>11s} {'P99 lat s':>10s} "
+          f"{'GB/s':>8s}")
+    for vm_name in args.vms:
+        report = latency_report(simulate_run(spec, vm_name))
+        print(f"{report.vm_name:16s} {report.batches:>8d} "
+              f"{report.mean_latency_s:>11.2f} {report.p99_latency_s:>10.2f} "
+              f"{report.throughput_gb_s:>8.3f}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(
+        f"repro.experiments.{EXPERIMENT_IDS[args.id]}"
+    )
+    result = module.run()
+    print(module.format_table(result))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "catalog": _cmd_catalog,
+        "workloads": _cmd_workloads,
+        "simulate": _cmd_simulate,
+        "select": _cmd_select,
+        "experiment": _cmd_experiment,
+        "latency": _cmd_latency,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Simulated public-cloud substrate (EC2 stand-in).
+
+The paper profiles workloads on Amazon EC2 across the 120 VM types of its
+Table 4.  This package provides the equivalent substrate offline:
+
+- :mod:`repro.cloud.vmtypes` — the VM-type catalog (families, sizes,
+  resource vectors) reproducing Table 4;
+- :mod:`repro.cloud.pricing` — on-demand hourly prices and budget math;
+- :mod:`repro.cloud.noise` — the cloud performance-variability model that
+  motivates the paper's P90-of-10-runs estimator;
+- :mod:`repro.cloud.cluster` — homogeneous clusters of a VM type, the unit
+  on which framework engines schedule work;
+- :mod:`repro.cloud.azure` — a second provider catalog for multi-cloud
+  selection (the setting PARIS originally targets).
+"""
+
+from repro.cloud.azure import azure_catalog, get_azure_vm_type, multi_cloud_catalog
+from repro.cloud.cluster import Cluster
+from repro.cloud.noise import CloudNoiseModel, NoiseSample
+from repro.cloud.pricing import budget_for_runtime, hourly_price
+from repro.cloud.vmtypes import (
+    VMCategory,
+    VMFamily,
+    VMType,
+    catalog,
+    families,
+    get_vm_type,
+    ten_typical_vm_types,
+    vm_names,
+)
+
+__all__ = [
+    "Cluster",
+    "azure_catalog",
+    "get_azure_vm_type",
+    "multi_cloud_catalog",
+    "CloudNoiseModel",
+    "NoiseSample",
+    "VMCategory",
+    "VMFamily",
+    "VMType",
+    "budget_for_runtime",
+    "catalog",
+    "families",
+    "get_vm_type",
+    "hourly_price",
+    "ten_typical_vm_types",
+    "vm_names",
+]

@@ -1,0 +1,122 @@
+"""A second provider catalog: Azure-like VM types (multi-cloud extension).
+
+PARIS — the paper's machine-learning baseline — was originally built to
+select VMs *across multiple public clouds*; the paper itself notes that
+Amazon, Azure and Aliyun each offer 100+ types.  Every selector in this
+repository takes an explicit VM tuple, so supporting a second provider
+only needs a second catalog.  This module models the common Azure
+general/compute/memory/storage series from their public specifications,
+mirroring :mod:`repro.cloud.vmtypes` (which holds the paper's Table-4 EC2
+catalog):
+
+========  =====================  ===============================
+series    Azure family           closest EC2 analogue
+========  =====================  ===============================
+B         burstable              T3
+D2–D64    Dsv3 general purpose   M5
+F2–F64    Fsv2 compute           C5
+E2–E64    Esv3 memory            R5
+L4–L64    Lsv2 storage (NVMe)    I3
+========  =====================  ===============================
+
+Names are prefixed ``az-`` so mixed catalogs stay unambiguous.  Use
+:func:`multi_cloud_catalog` to get the combined EC2 + Azure selection
+space (the setting of ``examples/multi_cloud.py``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.cloud.vmtypes import VMCategory, VMType, catalog as ec2_catalog
+from repro.errors import CatalogError
+
+__all__ = ["azure_catalog", "get_azure_vm_type", "multi_cloud_catalog"]
+
+#: (series, size-suffix, vcpus, mem GB, clock, disk MB/s, net Gb/s, $/h)
+#: Values follow the public Azure VM size sheets (East US, Linux,
+#: pay-as-you-go), with the same sustained-throttle treatment for the
+#: burstable B series as the EC2 catalog applies to T3.
+_AZURE_SPECS: tuple[tuple[str, str, int, float, float, float, float, float], ...] = (
+    # B series (burstable; sustained speed already discounted)
+    ("b", "2s", 2, 4.0, 0.24, 90.0, 0.7, 0.0416),
+    ("b", "4ms", 4, 16.0, 0.27, 120.0, 1.0, 0.1660),
+    ("b", "8ms", 8, 32.0, 0.30, 160.0, 1.5, 0.3330),
+    # Dsv3 general purpose
+    ("d", "2sv3", 2, 8.0, 0.97, 150.0, 1.0, 0.0960),
+    ("d", "4sv3", 4, 16.0, 0.97, 270.0, 2.0, 0.1920),
+    ("d", "8sv3", 8, 32.0, 0.97, 490.0, 4.0, 0.3840),
+    ("d", "16sv3", 16, 64.0, 0.97, 880.0, 8.0, 0.7680),
+    ("d", "32sv3", 32, 128.0, 0.97, 1600.0, 16.0, 1.5360),
+    ("d", "64sv3", 64, 256.0, 0.97, 2900.0, 30.0, 3.0720),
+    # Fsv2 compute optimized (high clock)
+    ("f", "2sv2", 2, 4.0, 1.18, 145.0, 0.9, 0.0846),
+    ("f", "4sv2", 4, 8.0, 1.18, 260.0, 1.8, 0.1690),
+    ("f", "8sv2", 8, 16.0, 1.18, 470.0, 3.5, 0.3380),
+    ("f", "16sv2", 16, 32.0, 1.18, 850.0, 7.0, 0.6770),
+    ("f", "32sv2", 32, 64.0, 1.18, 1550.0, 14.0, 1.3530),
+    ("f", "64sv2", 64, 128.0, 1.18, 2800.0, 28.0, 2.7060),
+    # Esv3 memory optimized
+    ("e", "2sv3", 2, 16.0, 1.00, 150.0, 1.0, 0.1260),
+    ("e", "4sv3", 4, 32.0, 1.00, 270.0, 2.0, 0.2520),
+    ("e", "8sv3", 8, 64.0, 1.00, 490.0, 4.0, 0.5040),
+    ("e", "16sv3", 16, 128.0, 1.00, 880.0, 8.0, 1.0080),
+    ("e", "32sv3", 32, 256.0, 1.00, 1600.0, 16.0, 2.0160),
+    ("e", "64sv3", 64, 432.0, 1.00, 2900.0, 30.0, 3.6290),
+    # Lsv2 storage optimized (local NVMe)
+    ("l", "8sv2", 8, 64.0, 0.96, 3200.0, 3.2, 0.6240),
+    ("l", "16sv2", 16, 128.0, 0.96, 6000.0, 6.4, 1.2480),
+    ("l", "32sv2", 32, 256.0, 0.96, 11000.0, 12.8, 2.4960),
+    ("l", "64sv2", 64, 512.0, 0.96, 20000.0, 25.6, 4.9920),
+)
+
+_CATEGORY = {
+    "b": VMCategory.GENERAL_PURPOSE,
+    "d": VMCategory.GENERAL_PURPOSE,
+    "f": VMCategory.COMPUTE_OPTIMIZED,
+    "e": VMCategory.MEMORY_OPTIMIZED,
+    "l": VMCategory.STORAGE_OPTIMIZED,
+}
+
+_FAMILY = {"b": "AzB", "d": "AzDsv3", "f": "AzFsv2", "e": "AzEsv3", "l": "AzLsv2"}
+
+
+@lru_cache(maxsize=1)
+def azure_catalog() -> tuple[VMType, ...]:
+    """The 25 Azure-like VM types, in series order."""
+    vms = []
+    for series, size, vcpus, mem, clock, disk, net, price in _AZURE_SPECS:
+        vms.append(
+            VMType(
+                name=f"az-{series}{size}",
+                family=_FAMILY[series],
+                category=_CATEGORY[series],
+                size=size,
+                vcpus=vcpus,
+                mem_gb=mem,
+                cpu_speed=clock,
+                disk_mbps=disk,
+                net_gbps=net,
+                price_per_hour=price,
+            )
+        )
+    return tuple(vms)
+
+
+@lru_cache(maxsize=1)
+def _by_name() -> dict[str, VMType]:
+    return {vm.name: vm for vm in azure_catalog()}
+
+
+def get_azure_vm_type(name: str) -> VMType:
+    """Look up an Azure VM type by name (e.g. ``"az-f8sv2"``)."""
+    try:
+        return _by_name()[name]
+    except KeyError:
+        raise CatalogError(f"unknown Azure VM type {name!r}") from None
+
+
+@lru_cache(maxsize=1)
+def multi_cloud_catalog() -> tuple[VMType, ...]:
+    """The combined EC2 (Table 4) + Azure selection space, 125 types."""
+    return ec2_catalog() + azure_catalog()

@@ -1,0 +1,37 @@
+"""On-demand pricing and budget arithmetic.
+
+The paper's second practical metric (Section 5.2) is *budget*: the cost of
+running a workload on a VM type.  EC2 bills per-second with a one-minute
+minimum for Linux on-demand instances; we reproduce that billing rule so
+budget comparisons between short and long runs behave like the real cloud.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.vmtypes import VMType
+from repro.errors import ValidationError
+
+__all__ = ["MIN_BILLED_SECONDS", "hourly_price", "budget_for_runtime"]
+
+#: EC2 Linux on-demand minimum billing increment, in seconds.
+MIN_BILLED_SECONDS = 60.0
+
+
+def hourly_price(vm: VMType, nodes: int = 1) -> float:
+    """USD/hour for ``nodes`` instances of ``vm``."""
+    if nodes < 1:
+        raise ValidationError(f"nodes must be >= 1, got {nodes}")
+    return vm.price_per_hour * nodes
+
+
+def budget_for_runtime(vm: VMType, runtime_s: float, nodes: int = 1) -> float:
+    """Cost (USD) of running for ``runtime_s`` seconds on ``nodes`` x ``vm``.
+
+    Per-second billing with the :data:`MIN_BILLED_SECONDS` minimum, matching
+    EC2's Linux on-demand rule.  This is the quantity plotted on the paper's
+    Figure 1 heat maps and Figure 13 budget comparison.
+    """
+    if runtime_s < 0:
+        raise ValidationError(f"runtime_s must be >= 0, got {runtime_s}")
+    billed = max(runtime_s, MIN_BILLED_SECONDS)
+    return hourly_price(vm, nodes) * billed / 3600.0

@@ -1,0 +1,279 @@
+"""Collective Matrix Factorization with alternating SGD (Section 3.3).
+
+The paper completes the sparse target workload-label matrix U* by
+factorizing three matrices over a **shared label-factor matrix** L
+(Singh & Gordon's CMF):
+
+    U  ≈ A  Lᵀ   (source workload-label knowledge)
+    V  ≈ B  Lᵀ   (VM-label knowledge)
+    U* ≈ A* Lᵀ   (target workload-label, observed entries only)
+
+minimising (Equation 6)
+
+    λ‖U − A Lᵀ‖²_F + (1 − λ)‖V − B Lᵀ‖²_F + μ‖M ⊙ (U* − A* Lᵀ)‖²_F + R(·)
+
+where M masks the entries actually observed from the sandbox/probe runs
+and R is an L2 ridge.  λ (the paper uses 0.75) trades source-knowledge
+fidelity against VM-knowledge fidelity; because L is shared, the completed
+row ``A* Lᵀ`` inherits structure from both.
+
+Optimisation follows Algorithm 1 lines 7–11: iterate, fixing all factor
+matrices but one and taking SGD steps on the remaining one, until the
+objective converges.  Updates are row-wise vectorized minibatch SGD; the
+paper cites an O(n log n) worst-case cost for convergence, and
+non-convergence (its Spark-CF case) is surfaced as
+:class:`~repro.errors.ConvergenceError` unless ``raise_on_divergence``
+is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ValidationError
+
+__all__ = ["CMF", "CMFResult"]
+
+
+@dataclass(frozen=True)
+class CMFResult:
+    """Fitted factors and diagnostics.
+
+    ``completed_ustar`` is the dense reconstruction ``A* Lᵀ`` — the "full
+    representation of U* in matrix space" of Algorithm 1 line 12.
+    """
+
+    A: np.ndarray
+    B: np.ndarray
+    Astar: np.ndarray
+    L: np.ndarray
+    objective_history: np.ndarray
+    converged: bool
+
+    @property
+    def completed_ustar(self) -> np.ndarray:
+        return self.Astar @ self.L.T
+
+    @property
+    def reconstructed_u(self) -> np.ndarray:
+        return self.A @ self.L.T
+
+    @property
+    def reconstructed_v(self) -> np.ndarray:
+        return self.B @ self.L.T
+
+
+class CMF:
+    """Collective matrix factorizer.
+
+    Parameters
+    ----------
+    latent_dim:
+        Latent feature count *g* shared by all factors.
+    lam:
+        The paper's λ tradeoff between the U and V reconstruction terms
+        (0.75 per Section 5.3).
+    target_weight:
+        μ weight of the masked U* term.
+    reg:
+        L2 ridge strength R(·).
+    lr:
+        SGD learning rate.
+    max_epochs, tol:
+        Convergence control: stop when the relative objective improvement
+        over a window falls below ``tol``; flag non-convergence otherwise.
+    seed:
+        RNG seed for initialization and minibatch order.
+    raise_on_divergence:
+        Raise :class:`ConvergenceError` when the optimizer fails to
+        converge (the paper's Spark-CF behaviour); when ``False`` the
+        unconverged result is returned with ``converged=False``.
+    """
+
+    def __init__(
+        self,
+        latent_dim: int = 8,
+        *,
+        lam: float = 0.75,
+        target_weight: float = 1.0,
+        reg: float = 0.02,
+        lr: float = 0.08,
+        max_epochs: int = 2000,
+        tol: float = 2e-4,
+        seed: int = 0,
+        raise_on_divergence: bool = False,
+    ) -> None:
+        if latent_dim < 1:
+            raise ValidationError("latent_dim must be >= 1")
+        if not 0.0 <= lam <= 1.0:
+            raise ValidationError(f"lam must be in [0, 1], got {lam}")
+        if target_weight < 0 or reg < 0 or lr <= 0:
+            raise ValidationError("target_weight/reg must be >= 0 and lr > 0")
+        if max_epochs < 1:
+            raise ValidationError("max_epochs must be >= 1")
+        self.latent_dim = latent_dim
+        self.lam = lam
+        self.target_weight = target_weight
+        self.reg = reg
+        self.lr = lr
+        self.max_epochs = max_epochs
+        self.tol = tol
+        self.seed = seed
+        self.raise_on_divergence = raise_on_divergence
+
+    # -- objective ---------------------------------------------------------------
+
+    def _objective(
+        self,
+        U: np.ndarray,
+        V: np.ndarray,
+        Ustar: np.ndarray,
+        mask: np.ndarray,
+        A: np.ndarray,
+        B: np.ndarray,
+        Astar: np.ndarray,
+        L: np.ndarray,
+    ) -> float:
+        ru = U - A @ L.T
+        rv = V - B @ L.T
+        rs = mask * (Ustar - Astar @ L.T)
+        reg = self.reg * (
+            (A**2).sum() + (B**2).sum() + (Astar**2).sum() + (L**2).sum()
+        )
+        return float(
+            self.lam * (ru**2).sum()
+            + (1.0 - self.lam) * (rv**2).sum()
+            + self.target_weight * (rs**2).sum()
+            + reg
+        )
+
+    # -- fitting ---------------------------------------------------------------------
+
+    def fit(
+        self,
+        U: np.ndarray,
+        V: np.ndarray,
+        Ustar: np.ndarray,
+        mask: np.ndarray | None = None,
+    ) -> CMFResult:
+        """Factorize ``U`` (i×j), ``V`` (k×j), ``Ustar`` (n×j) over shared L.
+
+        ``mask`` marks the observed entries of ``Ustar`` (1 = observed);
+        ``None`` treats every entry as observed.
+        """
+        U = np.asarray(U, dtype=float)
+        V = np.asarray(V, dtype=float)
+        Ustar = np.asarray(Ustar, dtype=float)
+        if U.ndim != 2 or V.ndim != 2 or Ustar.ndim != 2:
+            raise ValidationError("U, V and Ustar must all be 2-D")
+        j = U.shape[1]
+        if V.shape[1] != j or Ustar.shape[1] != j:
+            raise ValidationError(
+                f"label dimension mismatch: U has {j}, V has {V.shape[1]}, "
+                f"Ustar has {Ustar.shape[1]}"
+            )
+        if mask is None:
+            mask = np.ones_like(Ustar)
+        mask = np.asarray(mask, dtype=float)
+        if mask.shape != Ustar.shape:
+            raise ValidationError(
+                f"mask shape {mask.shape} != Ustar shape {Ustar.shape}"
+            )
+
+        # Gradient steps can diverge for extreme λ / badly-scaled inputs;
+        # restart with a halved learning rate when the objective blows up.
+        # Overflow during a diverging attempt is expected and detected via
+        # the non-finite objective, so the warnings are suppressed.
+        lr = self.lr
+        for _attempt in range(6):
+            with np.errstate(over="ignore", invalid="ignore"):
+                result = self._fit_once(U, V, Ustar, mask, lr)
+            if result is not None:
+                break
+            lr *= 0.5
+        else:
+            raise ConvergenceError(
+                "CMF diverged even after learning-rate backoff; inputs may be "
+                "badly scaled"
+            )
+
+        history, A, B, Astar, L, converged = result
+        if not converged and self.raise_on_divergence:
+            raise ConvergenceError(
+                f"CMF did not converge in {self.max_epochs} epochs "
+                f"(objective {history[-1]:.4g})"
+            )
+        return CMFResult(
+            A=A,
+            B=B,
+            Astar=Astar,
+            L=L,
+            objective_history=np.asarray(history),
+            converged=converged,
+        )
+
+    def _fit_once(
+        self,
+        U: np.ndarray,
+        V: np.ndarray,
+        Ustar: np.ndarray,
+        mask: np.ndarray,
+        lr: float,
+    ):
+        """One optimization attempt at learning rate ``lr``.
+
+        Returns ``None`` when the objective becomes non-finite (diverged).
+        """
+        j = U.shape[1]
+        g = self.latent_dim
+        rng = np.random.default_rng(self.seed)
+        scale = 1.0 / np.sqrt(g)
+        A = rng.normal(0.0, scale, size=(U.shape[0], g))
+        B = rng.normal(0.0, scale, size=(V.shape[0], g))
+        Astar = rng.normal(0.0, scale, size=(Ustar.shape[0], g))
+        L = rng.normal(0.0, scale, size=(j, g))
+
+        history = [self._objective(U, V, Ustar, mask, A, B, Astar, L)]
+        converged = False
+        window = 8
+        for _epoch in range(self.max_epochs):
+            # Algorithm 1, lines 8-10: fix all factors but one, take an SGD
+            # step on the remaining one.  Row-wise gradients, vectorized.
+
+            # Update Astar (fix L): grad = -2 μ (M⊙R*) L + 2 reg Astar
+            rs = mask * (Ustar - Astar @ L.T)
+            Astar += lr * (self.target_weight * rs @ L - self.reg * Astar)
+
+            # Update A (fix L)
+            ru = U - A @ L.T
+            A += lr * (self.lam * ru @ L - self.reg * A)
+
+            # Update B (fix L)
+            rv = V - B @ L.T
+            B += lr * ((1.0 - self.lam) * rv @ L - self.reg * B)
+
+            # Update L (fix A, B, Astar)
+            ru = U - A @ L.T
+            rv = V - B @ L.T
+            rs = mask * (Ustar - Astar @ L.T)
+            grad_L = (
+                self.lam * ru.T @ A
+                + (1.0 - self.lam) * rv.T @ B
+                + self.target_weight * rs.T @ Astar
+                - self.reg * L
+            )
+            L += lr * grad_L
+
+            obj = self._objective(U, V, Ustar, mask, A, B, Astar, L)
+            if not np.isfinite(obj):
+                return None  # diverged at this learning rate
+            history.append(obj)
+            if len(history) > window:
+                past = history[-window - 1]
+                if past > 0 and (past - obj) / past < self.tol:
+                    converged = True
+                    break
+
+        return history, A, B, Astar, L, converged

@@ -1,0 +1,123 @@
+"""Continual knowledge updating (Section 4.2).
+
+The paper: *"Vesta would continually update the model in the matrix space
+through SGD algorithm until the result converges"* — knowledge is not
+frozen after the offline phase; every onboarded target workload whose CMF
+completion converged becomes usable knowledge for the *next* target.
+
+:class:`ContinualVesta` wraps a fitted :class:`~repro.core.vesta.VestaSelector`
+and absorbs finished online sessions:
+
+- the target's **completed workload-label row** joins U (a new blue row in
+  the bipartite graph);
+- its **predicted VM-response curve**, anchored on the actual probe
+  observations, joins the performance matrix P (observed entries exact,
+  unobserved entries model-filled — the paper's "full representation of
+  U* in matrix space" carried one level further);
+- the label-VM matrix V and the similarity predictor are refreshed.
+
+**Measured caveat** (``benchmarks/bench_ext_continual.py``): in our
+substrate, naive absorption *degrades* later predictions rather than
+improving them — the model-filled response rows carry their own
+prediction error, later targets match these same-framework rows strongly,
+and the errors compound ("knowledge pollution").  The bench records the
+effect; production use should absorb only heavily-observed sessions (the
+``min_observations`` guard) or keep absorption off.  This is an honest
+divergence from the paper's sketch of continual updating, documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.predictor import SimilarityPredictor
+from repro.core.vesta import OnlineSession, Recommendation, VestaSelector
+from repro.errors import ValidationError
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["ContinualVesta"]
+
+
+class ContinualVesta:
+    """Sequential onboarding with knowledge absorption.
+
+    Parameters
+    ----------
+    selector:
+        A fitted :class:`VestaSelector`; it is **mutated** by absorption
+        (U, perf, near_best, V and the predictor grow).
+    min_observations:
+        Minimum probe observations a session needs before its
+        model-filled response row is trusted into the knowledge pool.
+    """
+
+    def __init__(self, selector: VestaSelector, *, min_observations: int = 3) -> None:
+        if not getattr(selector, "_fitted", False):
+            raise ValidationError("selector must be fitted before continual use")
+        if min_observations < 1:
+            raise ValidationError("min_observations must be >= 1")
+        self.selector = selector
+        self.min_observations = min_observations
+        self.absorbed: list[str] = []
+
+    # -- onboarding ---------------------------------------------------------------
+
+    def onboard(
+        self, spec: WorkloadSpec, objective: str = "time"
+    ) -> Recommendation:
+        """Select for ``spec`` and absorb the session's knowledge."""
+        session = self.selector.online(spec)
+        rec = session.recommend(objective)
+        self.absorb(session)
+        return rec
+
+    def absorb(self, session: OnlineSession) -> bool:
+        """Fold a finished session into the knowledge pool.
+
+        Returns ``True`` when absorbed; sessions that hit the converge
+        limitation (the paper's Spark-CF case) or lack observations are
+        skipped — bad knowledge is worse than none.
+        """
+        sel = self.selector
+        if session.spec.name in {w.name for w in sel.sources} or (
+            session.spec.name in self.absorbed
+        ):
+            return False
+        if not session.converged:
+            return False
+        if session.reference_vm_count < self.min_observations:
+            return False
+
+        # New knowledge row: completed labels + anchored response curve.
+        new_row = session.completed_row[None, :]
+        new_perf = session.predict_runtimes()[None, :]
+        sel.U = np.vstack([sel.U, new_row])
+        sel.perf = np.vstack([sel.perf, new_perf])
+        sel.sources = tuple(sel.sources) + (session.spec,)
+
+        # Refresh near-best scores, V (cluster-smoothed) and the predictor.
+        from repro.core.vesta import NEAR_BEST_TAU
+
+        best = sel.perf.min(axis=1, keepdims=True)
+        sel.near_best = np.exp(-(sel.perf / best - 1.0) / NEAR_BEST_TAU)
+        label_mass = sel.U.sum(axis=0)
+        v_raw = (sel.near_best.T @ sel.U) / np.where(label_mass > 0, label_mass, 1.0)
+        sel.V = v_raw.copy()
+        for c in range(sel.kmeans.k):
+            members = sel.vm_clusters == c
+            if members.any():
+                sel.V[members] = v_raw[members].mean(axis=0)
+        sel.predictor = SimilarityPredictor(
+            sel.perf, sel.U, top_m=sel.top_m, temperature=sel.temperature
+        )
+        sel.graph.add_source_workload(session.spec.name, session.completed_row)
+        self.absorbed.append(session.spec.name)
+        return True
+
+    # -- bookkeeping ----------------------------------------------------------------
+
+    @property
+    def knowledge_size(self) -> int:
+        """Workload rows currently in the knowledge pool."""
+        return self.selector.U.shape[0]

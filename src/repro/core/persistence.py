@@ -1,0 +1,168 @@
+"""Persistence of fitted Vesta knowledge.
+
+The offline phase is the expensive part of the paper's pipeline (weeks of
+EC2 time); a production deployment fits once and serves online selections
+from the stored knowledge.  This module saves/loads everything
+:meth:`~repro.core.vesta.VestaSelector.fit` produces:
+
+- the performance matrix P, correlation signatures, kept features and
+  importance index;
+- the label-space configuration, U and V matrices, near-best scores;
+- the K-Means centroids and VM cluster assignments;
+- the selector's hyperparameters, source workload names and VM names.
+
+Format: a single ``.npz`` archive (NumPy arrays + a JSON metadata blob),
+no pickling — loadable across Python versions and safe to share.
+
+Loading re-binds the stored workload/VM names against the current
+catalogs and rebuilds the knowledge graph and predictor; a mismatch (e.g.
+a VM type missing from the catalog) fails loudly rather than silently
+degrading.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.kmeans import KMeans
+from repro.cloud.vmtypes import get_vm_type
+from repro.core.graph import KnowledgeGraph
+from repro.core.labels import LabelSpace
+from repro.core.predictor import SimilarityPredictor
+from repro.core.vesta import VestaSelector
+from repro.errors import ValidationError
+from repro.workloads.catalog import get_workload
+
+__all__ = ["save_selector", "load_selector", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+_HYPERPARAMS = (
+    "k",
+    "lam",
+    "latent_dim",
+    "keep_mass",
+    "probes",
+    "correlation_probe_count",
+    "top_m",
+    "temperature",
+    "match_threshold",
+    "affinity_weight",
+    "seed",
+)
+
+
+def save_selector(selector: VestaSelector, path: str | Path) -> Path:
+    """Serialize a fitted selector's knowledge to ``path`` (.npz).
+
+    Raises
+    ------
+    ValidationError
+        If the selector has not been fitted.
+    """
+    if not getattr(selector, "_fitted", False):
+        raise ValidationError("cannot save an unfitted VestaSelector")
+    path = Path(path)
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "hyperparams": {name: getattr(selector, name) for name in _HYPERPARAMS},
+        "repetitions": selector.collector.repetitions,
+        "sources": [w.name for w in selector.sources],
+        "vms": [vm.name for vm in selector.vms],
+        "label_features": list(selector.label_space.feature_names),
+        "label_width": selector.label_space.width,
+        "label_softness": selector.label_space.softness,
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        perf=selector.perf,
+        correlations=selector.correlations,
+        kept_features=np.asarray(selector.kept_features, dtype=np.int64),
+        feature_importance=selector.feature_importance,
+        U=selector.U,
+        V=selector.V,
+        near_best=selector.near_best,
+        kmeans_centers=selector.kmeans.centers_,
+        vm_clusters=np.asarray(selector.vm_clusters, dtype=np.int64),
+    )
+    # np.savez appends .npz when missing; normalise the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_selector(path: str | Path) -> VestaSelector:
+    """Rebuild a fitted :class:`VestaSelector` from a saved archive.
+
+    Raises
+    ------
+    ValidationError
+        On format-version mismatch or when a stored workload/VM name is
+        absent from the current catalogs.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        if meta.get("format_version") != FORMAT_VERSION:
+            raise ValidationError(
+                f"unsupported archive version {meta.get('format_version')!r}; "
+                f"this build reads version {FORMAT_VERSION}"
+            )
+        arrays = {key: data[key] for key in data.files if key != "meta"}
+
+    try:
+        sources = tuple(get_workload(name) for name in meta["sources"])
+        vms = tuple(get_vm_type(name) for name in meta["vms"])
+    except Exception as exc:
+        raise ValidationError(f"archive references unknown catalog entries: {exc}") from exc
+
+    hp = meta["hyperparams"]
+    selector = VestaSelector(
+        vms=vms,
+        sources=sources,
+        repetitions=meta["repetitions"],
+        **{name: hp[name] for name in _HYPERPARAMS},
+    )
+
+    selector.perf = arrays["perf"]
+    selector.correlations = arrays["correlations"]
+    selector.kept_features = arrays["kept_features"]
+    selector.feature_importance = arrays["feature_importance"]
+    selector.U = arrays["U"]
+    selector.V = arrays["V"]
+    selector.near_best = arrays["near_best"]
+    selector.vm_clusters = arrays["vm_clusters"]
+
+    selector.label_space = LabelSpace(
+        tuple(meta["label_features"]),
+        width=meta["label_width"],
+        softness=meta["label_softness"],
+    )
+    if selector.U.shape != (len(sources), selector.label_space.n_labels):
+        raise ValidationError(
+            f"archive U shape {selector.U.shape} inconsistent with "
+            f"{len(sources)} sources x {selector.label_space.n_labels} labels"
+        )
+
+    kmeans = KMeans(arrays["kmeans_centers"].shape[0], seed=hp["seed"])
+    kmeans.centers_ = arrays["kmeans_centers"]
+    kmeans.labels_ = selector.vm_clusters
+    selector.kmeans = kmeans
+
+    selector.graph = KnowledgeGraph(
+        selector.label_space, tuple(vm.name for vm in vms)
+    )
+    for spec, row in zip(selector.sources, selector.U):
+        selector.graph.add_source_workload(spec.name, row)
+    selector.graph.set_label_vm_matrix(selector.V)
+
+    selector.predictor = SimilarityPredictor(
+        selector.perf,
+        selector.U,
+        top_m=selector.top_m,
+        temperature=selector.temperature,
+    )
+    selector._fitted = True
+    return selector

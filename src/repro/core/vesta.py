@@ -1,0 +1,459 @@
+"""Vesta: offline knowledge abstraction + online transfer-learning selection.
+
+:class:`VestaSelector` is Algorithm 1 end to end.
+
+**Offline** (:meth:`VestaSelector.fit`, Section 4.1):
+
+1. run every source workload on every VM type with the Data Collector
+   (P90-of-10 runtimes) → performance matrix P;
+2. profile each source workload's 20-metric time series on a spread of VM
+   types and reduce to its 10 correlation similarities (Table 1);
+3. PCA-rank the correlations and keep the important ones (Figure 9);
+4. discretize into 0.05-interval labels → source workload-label matrix U
+   (Equation 3 / the bipartite graph's blue edges);
+5. compute per-(VM, workload) *near-best* scores from P, aggregate them
+   through U into the raw label-VM affinities, and smooth with a k=9
+   K-Means over VM types (Figure 11) → label-VM matrix V.
+
+**Online** (:meth:`VestaSelector.online` / :meth:`VestaSelector.select`,
+Section 4.2):
+
+1. run the target once on a sandbox VM (correlation vector) and on 3
+   random probe VMs (runtime anchors);
+2. build the sparse target row U* and complete it with CMF (λ = 0.75)
+   against the shared U/V knowledge;
+3. predict the full VM-response curve by similarity + probe scaling and
+   pick the best VM for the requested objective (time or budget).
+
+Non-convergent CMF (the paper's Spark-CF case) falls back to the raw
+sandbox-estimated row, mirroring the paper's converge limitation.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.correlation import (
+    CORRELATION_NAMES,
+    aggregate_correlation_vectors,
+    correlation_vector,
+)
+from repro.analysis.feature_selection import select_by_importance
+from repro.analysis.kmeans import KMeans
+from repro.cloud.cluster import Cluster
+from repro.cloud.vmtypes import VMType, catalog
+from repro.core.cmf import CMF
+from repro.core.graph import KnowledgeGraph
+from repro.core.labels import LabelSpace
+from repro.core.predictor import SimilarityPredictor
+from repro.core.sandbox import choose_probe_vms, choose_sandbox_vm
+from repro.errors import ValidationError
+from repro.telemetry.collector import DataCollector
+from repro.workloads.catalog import training_set
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["VestaSelector", "OnlineSession", "Recommendation"]
+
+#: Softness of the near-best score: nb = exp(-slowdown / NEAR_BEST_TAU).
+NEAR_BEST_TAU = 0.3
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """Outcome of one online selection.
+
+    ``reference_vm_count`` is the training-overhead currency of Figure 8:
+    how many distinct VM types the target workload was actually run on.
+    """
+
+    workload: str
+    objective: str
+    vm_name: str
+    predicted_runtime_s: float
+    predicted_budget_usd: float
+    reference_vm_count: int
+    converged: bool
+    predictions: dict[str, float] = field(repr=False)
+
+
+class OnlineSession:
+    """Online predicting state for one target workload (Section 4.2).
+
+    Created via :meth:`VestaSelector.online`.  Holds the probe
+    observations, the CMF-completed workload-label row, and exposes
+    incremental refinement: :meth:`observe` adds a measured VM,
+    :meth:`step` greedily measures the current predicted-best VM —
+    the search progression plotted in Figures 12/13.
+    """
+
+    def __init__(self, selector: "VestaSelector", spec: WorkloadSpec) -> None:
+        self._sel = selector
+        self.spec = spec
+        self.sandbox_vm = choose_sandbox_vm(spec, selector.vms)
+        # zlib.crc32, not hash(): Python string hashing is randomized per
+        # process and would make probe choices unreproducible.
+        probe_seed = selector.seed ^ zlib.crc32(spec.name.encode())
+        self.probe_vms = choose_probe_vms(
+            spec,
+            count=selector.probes,
+            seed=probe_seed,
+            vms=selector.vms,
+            exclude=(self.sandbox_vm.name,),
+        )
+        self.observations: dict[str, float] = {}
+        self.converged = True
+        self._row: np.ndarray | None = None
+        self._initialize()
+
+    # -- initialization -----------------------------------------------------------
+
+    def _initialize(self) -> None:
+        sel = self._sel
+        profile = sel.collector.collect(self.spec, self.sandbox_vm)
+        corr = sel.signature_from_profile(profile)
+        self.correlation_vector = corr
+        self.observations[self.sandbox_vm.name] = profile.runtime_p90
+        for vm in self.probe_vms:
+            self.observations[vm.name] = sel.collector.runtime_only(self.spec, vm)
+
+        sparse_row = sel.label_space.membership(corr)
+        mask = (sparse_row > 0).astype(float)
+        cmf = CMF(
+            latent_dim=sel.latent_dim,
+            lam=sel.lam,
+            seed=sel.seed,
+        )
+        result = cmf.fit(
+            sel.U, sel.V, sparse_row[None, :], mask[None, :]
+        )
+        # Knowledge-match score: how similar the completed target row is to
+        # its nearest source workload in label space.  An outlier target
+        # (the paper's Spark-CF) has no matching source knowledge — the
+        # paper reports this as SGD non-convergence and stops the online
+        # process at a converge limitation.
+        completed_raw = np.maximum(result.completed_ustar[0], 0.0)
+        query = completed_raw if completed_raw.sum() > 0 else sparse_row
+        sims = sel.predictor.similarities(query)
+        self.knowledge_match = float(sims.max()) if sims.size else 0.0
+        self.converged = result.converged and self.knowledge_match >= sel.match_threshold
+        if self.converged and completed_raw.sum() > 0:
+            # CMF output lives in reconstruction space; the clipped
+            # reconstruction is the completed membership row.
+            self._row = completed_raw
+        else:
+            # The paper's Spark-CF case: stop the online process at the
+            # converge limitation and use the raw sandbox estimate.
+            self._row = sparse_row
+            self.converged = False
+        self.cmf_result = result
+
+    # -- predictions -------------------------------------------------------------------
+
+    @property
+    def completed_row(self) -> np.ndarray:
+        assert self._row is not None
+        return self._row
+
+    @property
+    def reference_vm_count(self) -> int:
+        """Distinct VM types this target has been run on (Figure 8)."""
+        return len(self.observations)
+
+    def predict_runtimes(self) -> np.ndarray:
+        """Predicted P90 runtime on every catalog VM (observed = measured).
+
+        Blends the probe-calibrated source-profile transfer with the
+        bipartite graph's label→VM affinity path (see
+        :meth:`SimilarityPredictor.predict`).
+        """
+        sel = self._sel
+        names = [vm.name for vm in sel.vms]
+        idx = np.array([names.index(n) for n in self.observations], dtype=int)
+        obs = np.array([self.observations[names[i]] for i in idx])
+        affinity = sel.V @ self.completed_row
+        return sel.predictor.predict(
+            self.completed_row,
+            idx,
+            obs,
+            affinity=affinity,
+            affinity_tau=NEAR_BEST_TAU,
+            affinity_weight=sel.affinity_weight,
+        )
+
+    def predict_runtime(self, vm: VMType | str) -> float:
+        """Predicted runtime on one VM type (Figure 7's quantity)."""
+        name = vm if isinstance(vm, str) else vm.name
+        return float(self.predict_runtimes()[self._sel.vm_index(name)])
+
+    def predict_budgets(self) -> np.ndarray:
+        """Predicted budget (USD) on every catalog VM."""
+        runtimes = self.predict_runtimes()
+        return np.array(
+            [
+                Cluster(vm=vm, nodes=self.spec.nodes).budget(rt)
+                for vm, rt in zip(self._sel.vms, runtimes)
+            ]
+        )
+
+    # -- refinement --------------------------------------------------------------------
+
+    def observe(self, vm: VMType | str) -> float:
+        """Measure the target on ``vm`` and fold it into the predictions."""
+        name = vm if isinstance(vm, str) else vm.name
+        self._sel.vm_index(name)  # validates
+        if name not in self.observations:
+            self.observations[name] = self._sel.collector.runtime_only(
+                self.spec, self._sel.vms[self._sel.vm_index(name)]
+            )
+        return self.observations[name]
+
+    def step(self, objective: str = "time") -> tuple[str, float]:
+        """Greedy search step: measure the predicted-best unobserved VM.
+
+        Returns ``(vm_name, observed_runtime)``.  Repeated calls trace the
+        Figure 12/13 optimization progressions.
+        """
+        scores = self._objective_scores(objective)
+        order = np.argsort(scores)
+        for i in order:
+            name = self._sel.vms[i].name
+            if name not in self.observations:
+                return name, self.observe(name)
+        raise ValidationError("all VM types already observed")
+
+    def _objective_scores(self, objective: str) -> np.ndarray:
+        if objective == "time":
+            return self.predict_runtimes()
+        if objective == "budget":
+            return self.predict_budgets()
+        raise ValidationError(f"objective must be 'time' or 'budget', got {objective!r}")
+
+    def recommend(self, objective: str = "time") -> Recommendation:
+        """Current best VM under ``objective``."""
+        runtimes = self.predict_runtimes()
+        scores = self._objective_scores(objective)
+        best = int(np.argmin(scores))
+        vm = self._sel.vms[best]
+        budget = Cluster(vm=vm, nodes=self.spec.nodes).budget(float(runtimes[best]))
+        return Recommendation(
+            workload=self.spec.name,
+            objective=objective,
+            vm_name=vm.name,
+            predicted_runtime_s=float(runtimes[best]),
+            predicted_budget_usd=budget,
+            reference_vm_count=self.reference_vm_count,
+            converged=self.converged,
+            predictions={
+                vm.name: float(rt) for vm, rt in zip(self._sel.vms, runtimes)
+            },
+        )
+
+
+class VestaSelector:
+    """The Vesta system: offline knowledge + online VM-type selection.
+
+    Parameters
+    ----------
+    vms:
+        Candidate VM types (default: the full Table-4 catalog).
+    sources:
+        Source workloads used to abstract knowledge (default: the 13
+        Table-3 training workloads).
+    k:
+        K-Means cluster count over VM types (the paper tunes to 9).
+    lam:
+        CMF λ tradeoff (paper best practice: 0.75).
+    latent_dim:
+        CMF latent feature count *g*.
+    keep_mass:
+        PCA-importance mass retained by feature selection.
+    probes:
+        Random probe VMs for online initialization (paper: 3).
+    repetitions:
+        Data Collector repetitions per (workload, VM) pair (paper: 10).
+    correlation_probe_count:
+        VM types per source workload used to estimate correlation
+        signatures (time-series collection is the expensive part; the
+        median over a family-spread subset is statistically equivalent).
+    top_m, temperature:
+        Similarity-predictor blending knobs.
+    match_threshold:
+        Minimum knowledge-match score (nearest-source similarity of the
+        completed target row) below which the online phase declares the
+        target non-convergent, per the paper's Spark-CF converge
+        limitation.
+    affinity_weight:
+        Log-space weight of the label→VM affinity path in runtime
+        prediction (0 = profile transfer only, 1 = affinity only).
+    seed:
+        Master seed for every stochastic component.
+    """
+
+    def __init__(
+        self,
+        vms: tuple[VMType, ...] | None = None,
+        sources: tuple[WorkloadSpec, ...] | None = None,
+        *,
+        k: int = 9,
+        lam: float = 0.75,
+        latent_dim: int = 8,
+        keep_mass: float = 0.8,
+        probes: int = 3,
+        repetitions: int = 10,
+        correlation_probe_count: int = 8,
+        top_m: int = 8,
+        temperature: float = 0.3,
+        match_threshold: float = 0.35,
+        affinity_weight: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        self.vms = catalog() if vms is None else tuple(vms)
+        if not self.vms:
+            raise ValidationError("need at least one VM type")
+        self.sources = training_set() if sources is None else tuple(sources)
+        if not self.sources:
+            raise ValidationError("need at least one source workload")
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        if probes < 0:
+            raise ValidationError("probes must be >= 0")
+        if correlation_probe_count < 1:
+            raise ValidationError("correlation_probe_count must be >= 1")
+        self.k = k
+        self.lam = lam
+        self.latent_dim = latent_dim
+        self.keep_mass = keep_mass
+        self.probes = probes
+        self.correlation_probe_count = correlation_probe_count
+        self.top_m = top_m
+        self.temperature = temperature
+        self.match_threshold = match_threshold
+        self.affinity_weight = affinity_weight
+        self.seed = seed
+        self.collector = DataCollector(repetitions=repetitions, seed=seed)
+
+        self._vm_index = {vm.name: i for i, vm in enumerate(self.vms)}
+        self._fitted = False
+
+    # -- helpers ----------------------------------------------------------------
+
+    def vm_index(self, name: str) -> int:
+        try:
+            return self._vm_index[name]
+        except KeyError:
+            raise ValidationError(f"VM type {name!r} not in this selector's set") from None
+
+    def _corr_probe_vms(self) -> tuple[VMType, ...]:
+        """Family-spread VM subset for correlation-signature profiling."""
+        per_family: dict[str, VMType] = {}
+        for vm in self.vms:
+            # Prefer mid-size shapes: they exercise all resources without
+            # degenerate (always-saturated or always-idle) series.
+            if vm.family not in per_family or vm.size == "xlarge":
+                per_family[vm.family] = vm
+        spread = sorted(per_family.values(), key=lambda v: v.name)
+        step = max(1, len(spread) // self.correlation_probe_count)
+        return tuple(spread[::step][: self.correlation_probe_count])
+
+    # -- signature extraction hooks ------------------------------------------------
+    #
+    # Subclasses (e.g. the raw-low-level-metric ablation variant) override
+    # these to swap the knowledge features while keeping labels, CMF and
+    # prediction identical.
+
+    def signature_names(self) -> tuple[str, ...]:
+        """Names of the per-workload signature features (Table-1 defaults)."""
+        return CORRELATION_NAMES
+
+    def _source_signature(self, spec: WorkloadSpec, vms) -> np.ndarray:
+        """Offline signature of a source workload: median of per-run
+        correlation vectors over a family-spread VM subset."""
+        vectors = np.vstack(
+            [
+                correlation_vector(self.collector.collect(spec, vm).timeseries)
+                for vm in vms
+            ]
+        )
+        return aggregate_correlation_vectors(vectors)
+
+    def signature_from_profile(self, profile) -> np.ndarray:
+        """Online signature (kept features only) from one sandbox profile."""
+        return correlation_vector(profile.timeseries)[self.kept_features]
+
+    # -- offline phase ---------------------------------------------------------------
+
+    def fit(self) -> "VestaSelector":
+        """Run the offline profiling + knowledge-abstraction pipeline."""
+        n_src, n_vm = len(self.sources), len(self.vms)
+
+        # 1. Performance matrix P: P90 runtime of each source on each VM.
+        self.perf = np.empty((n_src, n_vm))
+        for i, spec in enumerate(self.sources):
+            for t, vm in enumerate(self.vms):
+                self.perf[i, t] = self.collector.runtime_only(spec, vm)
+
+        # 2. Correlation signatures from time-series profiles.
+        corr_vms = self._corr_probe_vms()
+        corr_matrix = np.empty((n_src, len(self.signature_names())))
+        for i, spec in enumerate(self.sources):
+            corr_matrix[i] = self._source_signature(spec, corr_vms)
+        self.correlations = corr_matrix
+
+        # 3. PCA importance filtering (Figure 9).
+        kept, importance = select_by_importance(corr_matrix, keep_mass=self.keep_mass)
+        self.kept_features = kept
+        self.feature_importance = importance
+        kept_names = tuple(self.signature_names()[i] for i in kept)
+
+        # 4. Label universe and source workload-label matrix U.
+        self.label_space = LabelSpace(kept_names)
+        self.U = self.label_space.membership_matrix(corr_matrix[:, kept])
+
+        # 5. Near-best scores and the K-Means-smoothed label-VM matrix V.
+        best = self.perf.min(axis=1, keepdims=True)
+        slowdown = self.perf / best - 1.0
+        self.near_best = np.exp(-slowdown / NEAR_BEST_TAU)  # (sources, vms)
+
+        label_mass = self.U.sum(axis=0)  # (labels,)
+        v_raw = (self.near_best.T @ self.U) / np.where(label_mass > 0, label_mass, 1.0)
+
+        km_features = self.near_best.T  # VM described by how it serves sources
+        self.kmeans = KMeans(min(self.k, n_vm), seed=self.seed).fit(km_features)
+        self.vm_clusters = self.kmeans.labels_
+        self.V = np.empty_like(v_raw)
+        for c in range(self.kmeans.k):
+            members = self.vm_clusters == c
+            if members.any():
+                self.V[members] = v_raw[members].mean(axis=0)
+
+        # 6. Knowledge graph (Figure 4) and the similarity predictor.
+        self.graph = KnowledgeGraph(
+            self.label_space, tuple(vm.name for vm in self.vms)
+        )
+        for spec, row in zip(self.sources, self.U):
+            self.graph.add_source_workload(spec.name, row)
+        self.graph.set_label_vm_matrix(self.V)
+
+        self.predictor = SimilarityPredictor(
+            self.perf, self.U, top_m=self.top_m, temperature=self.temperature
+        )
+        self._fitted = True
+        return self
+
+    # -- online phase ---------------------------------------------------------------------
+
+    def online(self, spec: WorkloadSpec) -> OnlineSession:
+        """Open an online predicting session for a target workload."""
+        if not self._fitted:
+            raise ValidationError("VestaSelector is not fitted; call fit() first")
+        session = OnlineSession(self, spec)
+        if session.converged:
+            self.graph.add_target_workload(spec.name, session.completed_row)
+        return session
+
+    def select(self, spec: WorkloadSpec, objective: str = "time") -> Recommendation:
+        """One-shot best-VM selection (sandbox + probes + CMF + predict)."""
+        return self.online(spec).recommend(objective)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the Vesta reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch any library failure with a single ``except`` clause while still being
+able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class CatalogError(ReproError, KeyError):
+    """An unknown VM type, family, or workload name was requested."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An input value violates a documented precondition."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The framework simulator could not execute a workload.
+
+    Raised for unsatisfiable resource demands, e.g. a single task whose
+    working set exceeds the memory of every node even after spilling.
+    """
+
+
+class OutOfMemoryError(SimulationError):
+    """A simulated executor exceeded its hard memory limit.
+
+    Mirrors the OOM exceptions the paper guards against with Mesos
+    (Section 5.1).  The engines raise this only when spilling cannot
+    accommodate the working set.
+    """
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solver (SGD/CMF, K-Means, GP fit) failed to converge.
+
+    The paper observes this for *Spark-CF* (Section 5.3) and handles it with
+    a convergence limit in the online phase; we surface the same condition
+    as a typed error so the online predictor can fall back gracefully.
+    """

@@ -1,0 +1,15 @@
+"""One module per paper artifact (tables and figures).
+
+Each ``figNN_*``/``tabNN_*`` module exposes a ``run(...)`` returning a
+result dataclass and a ``format_table(result)`` that prints the rows/series
+the paper reports.  ``benchmarks/`` wraps these for pytest-benchmark, and
+``EXPERIMENTS.md`` records paper-vs-measured from the same outputs.
+
+:mod:`repro.experiments.common` holds the cached, seeded end-to-end
+fixtures (fitted selectors, ground truth) so repeated experiments do not
+re-run the offline profiling campaign.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,207 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each sweep varies one Vesta knob, holding the rest at the paper's
+defaults, and scores the Equation-7 MAPE over a fixed Spark workload
+panel:
+
+- ``sweep_lambda``: the CMF tradeoff λ (paper fixes 0.75);
+- ``sweep_probes``: the number of random online probe VMs (paper: 3);
+- ``sweep_interval_width``: the label interval width (paper: 0.05);
+- ``sweep_latent_dim``: the CMF latent feature count g;
+- ``compare_feature_sets``: the paper's core claim — correlation-similarity
+  features vs raw low-level-metric features for the cross-framework
+  transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.labels import LabelSpace
+from repro.core.vesta import VestaSelector
+from repro.experiments.common import DEFAULT_SEED, mape_vs_best
+from repro.telemetry.metrics import METRIC_NAMES
+from repro.workloads.catalog import target_set
+
+__all__ = [
+    "SweepResult",
+    "sweep_lambda",
+    "sweep_probes",
+    "sweep_interval_width",
+    "sweep_latent_dim",
+    "compare_feature_sets",
+    "RawMetricVesta",
+]
+
+#: Fixed evaluation panel: a spread of target workloads.
+_PANEL = ("spark-lr", "spark-sort", "spark-kmeans", "spark-page-rank", "spark-count")
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One ablation sweep: parameter values vs mean panel MAPE."""
+
+    parameter: str
+    values: tuple
+    mean_mape: tuple[float, ...]
+
+    @property
+    def best_value(self):
+        return self.values[int(np.argmin(self.mean_mape))]
+
+    def format_table(self) -> str:
+        lines = [f"-- ablation: {self.parameter} --"]
+        for v, m in zip(self.values, self.mean_mape):
+            lines.append(f"   {self.parameter} = {v!s:<20} mean MAPE = {m:6.1f} %")
+        lines.append(f"   best: {self.parameter} = {self.best_value}")
+        return "\n".join(lines)
+
+
+def _panel_mape(vesta: VestaSelector, seed: int) -> float:
+    specs = [w for w in target_set() if w.name in _PANEL]
+    return float(
+        np.mean(
+            [
+                mape_vs_best(s, vesta.online(s).predict_runtimes(), seed=seed)
+                for s in specs
+            ]
+        )
+    )
+
+
+def sweep_lambda(
+    values: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    seed: int = DEFAULT_SEED,
+) -> SweepResult:
+    """CMF λ: the paper's tradeoff between U- and V-knowledge fidelity."""
+    scores = [
+        _panel_mape(VestaSelector(seed=seed, lam=lam).fit(), seed) for lam in values
+    ]
+    return SweepResult("lambda", values, tuple(scores))
+
+
+def sweep_probes(
+    values: tuple[int, ...] = (0, 1, 3, 6, 10),
+    seed: int = DEFAULT_SEED,
+) -> SweepResult:
+    """Online probe count: accuracy vs the Figure-8 overhead currency."""
+    scores = [
+        _panel_mape(VestaSelector(seed=seed, probes=p).fit(), seed) for p in values
+    ]
+    return SweepResult("probes", values, tuple(scores))
+
+
+def sweep_latent_dim(
+    values: tuple[int, ...] = (2, 4, 8, 16),
+    seed: int = DEFAULT_SEED,
+) -> SweepResult:
+    """CMF latent feature count g (Section 3.3's shared representation)."""
+    scores = [
+        _panel_mape(VestaSelector(seed=seed, latent_dim=g).fit(), seed) for g in values
+    ]
+    return SweepResult("latent_dim", values, tuple(scores))
+
+
+class _WidthVesta(VestaSelector):
+    """Vesta with a non-default label interval width."""
+
+    def __init__(self, width: float, **kwargs) -> None:
+        self._width = width
+        super().__init__(**kwargs)
+
+    def fit(self) -> "VestaSelector":
+        super().fit()
+        # Rebuild the label layer at the requested width and refit the
+        # downstream knowledge on the already-collected profiling data.
+        self.label_space = LabelSpace(
+            tuple(self.label_space.feature_names), width=self._width
+        )
+        self._rebuild_knowledge()
+        return self
+
+    def _rebuild_knowledge(self) -> None:
+        from repro.core.graph import KnowledgeGraph
+        from repro.core.predictor import SimilarityPredictor
+
+        self.U = self.label_space.membership_matrix(
+            self.correlations[:, self.kept_features]
+        )
+        label_mass = self.U.sum(axis=0)
+        v_raw = (self.near_best.T @ self.U) / np.where(label_mass > 0, label_mass, 1.0)
+        self.V = v_raw.copy()
+        for c in range(self.kmeans.k):
+            members = self.vm_clusters == c
+            if members.any():
+                self.V[members] = v_raw[members].mean(axis=0)
+        self.graph = KnowledgeGraph(
+            self.label_space, tuple(vm.name for vm in self.vms)
+        )
+        for spec, row in zip(self.sources, self.U):
+            self.graph.add_source_workload(spec.name, row)
+        self.graph.set_label_vm_matrix(self.V)
+        self.predictor = SimilarityPredictor(
+            self.perf, self.U, top_m=self.top_m, temperature=self.temperature
+        )
+
+
+def sweep_interval_width(
+    values: tuple[float, ...] = (0.02, 0.05, 0.1, 0.25),
+    seed: int = DEFAULT_SEED,
+) -> SweepResult:
+    """Label interval width: finer labels are more specific but sparser."""
+    scores = [
+        _panel_mape(_WidthVesta(width=w, seed=seed).fit(), seed) for w in values
+    ]
+    return SweepResult("interval_width", values, tuple(scores))
+
+
+class RawMetricVesta(VestaSelector):
+    """Ablation variant: knowledge from raw low-level metric *levels*.
+
+    Replaces the Table-1 correlation similarities with tanh-squashed mean
+    utilization levels — the per-framework low-level metrics the paper
+    argues do not transfer — while keeping labels, CMF and prediction
+    identical.  Comparing it against stock Vesta isolates the value of the
+    correlation-similarity representation (the paper's central claim).
+    """
+
+    #: Ten representative level features (same cardinality as Table 1).
+    RAW_METRICS = (
+        "cpu_user",
+        "cpu_wait",
+        "mem_used",
+        "mem_cache",
+        "disk_read",
+        "disk_write",
+        "net_send",
+        "tasks_compute",
+        "tasks_communication",
+        "data_per_cycle",
+    )
+
+    def signature_names(self) -> tuple[str, ...]:
+        return self.RAW_METRICS
+
+    def _levels(self, series: np.ndarray) -> np.ndarray:
+        cols = [METRIC_NAMES.index(m) for m in self.RAW_METRICS]
+        return np.tanh(series.mean(axis=0)[cols])
+
+    def _source_signature(self, spec, vms) -> np.ndarray:
+        rows = np.vstack(
+            [self._levels(self.collector.collect(spec, vm).timeseries) for vm in vms]
+        )
+        return np.median(rows, axis=0)
+
+    def signature_from_profile(self, profile) -> np.ndarray:
+        return self._levels(profile.timeseries)[self.kept_features]
+
+
+def compare_feature_sets(seed: int = DEFAULT_SEED) -> SweepResult:
+    """Correlation-similarity features vs raw low-level metric levels."""
+    corr_score = _panel_mape(VestaSelector(seed=seed).fit(), seed)
+    raw_score = _panel_mape(RawMetricVesta(seed=seed).fit(), seed)
+    return SweepResult(
+        "features", ("correlation-labels", "raw-low-level"), (corr_score, raw_score)
+    )

@@ -1,0 +1,94 @@
+"""Shared, cached experiment fixtures and metrics.
+
+Every experiment draws from the same seeded pipeline instances so results
+are mutually consistent and the (simulated) offline profiling campaign
+runs once per process.  The default seed (7) is arbitrary but fixed; all
+EXPERIMENTS.md numbers use it.
+
+Metrics
+-------
+``mape_vs_best``
+    The paper's Equation 7 reading used for Figure 6: the absolute
+    percentage gap between the system's *predicted result* (its predicted
+    runtime at its chosen VM type) and the ground-truth best runtime.  It
+    charges both a bad pick and a biased prediction — which is what makes
+    Ernest's optimistic extrapolations on disk-bound Hadoop jobs score
+    badly even when its argmax happens to be acceptable.
+``selection_regret``
+    Pure pick quality: (runtime at chosen VM − best runtime) / best.
+    Used for the Figure 12/13 search progressions.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.baselines.ernest import Ernest
+from repro.baselines.ground_truth import GroundTruth
+from repro.baselines.paris import Paris
+from repro.core.vesta import VestaSelector
+from repro.workloads.catalog import training_set
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ground_truth",
+    "fitted_vesta",
+    "fitted_paris",
+    "shared_ernest",
+    "mape_vs_best",
+    "selection_regret",
+]
+
+DEFAULT_SEED = 7
+
+
+@lru_cache(maxsize=4)
+def ground_truth(seed: int = DEFAULT_SEED) -> GroundTruth:
+    """Cached exhaustive-search oracle."""
+    return GroundTruth(seed=seed)
+
+
+@lru_cache(maxsize=4)
+def fitted_vesta(seed: int = DEFAULT_SEED, k: int = 9) -> VestaSelector:
+    """Cached Vesta selector, offline-fitted on the Table-3 training set."""
+    return VestaSelector(seed=seed, k=k).fit()
+
+
+@lru_cache(maxsize=4)
+def fitted_paris(seed: int = DEFAULT_SEED) -> Paris:
+    """Cached PARIS baseline trained on the (Hadoop+Hive) training set."""
+    return Paris(seed=seed).fit(training_set())
+
+
+@lru_cache(maxsize=4)
+def shared_ernest(seed: int = DEFAULT_SEED) -> Ernest:
+    """Cached Ernest baseline (per-workload θ are cached inside)."""
+    return Ernest(seed=seed)
+
+
+def mape_vs_best(
+    spec: WorkloadSpec,
+    predicted_runtimes: np.ndarray,
+    *,
+    seed: int = DEFAULT_SEED,
+) -> float:
+    """Equation-7 MAPE (%): |predicted(t_pred) − T(t_best)| / T(t_best)."""
+    gt = ground_truth(seed)
+    predicted_runtimes = np.asarray(predicted_runtimes, dtype=float)
+    best = gt.best_value(spec)
+    chosen = float(predicted_runtimes[int(np.argmin(predicted_runtimes))])
+    return abs(chosen - best) / best * 100.0
+
+
+def selection_regret(
+    spec: WorkloadSpec,
+    vm_name: str,
+    objective: str = "time",
+    *,
+    seed: int = DEFAULT_SEED,
+) -> float:
+    """Relative regret (%) of picking ``vm_name`` under ``objective``."""
+    return ground_truth(seed).selection_error(spec, vm_name, objective) * 100.0

@@ -1,0 +1,113 @@
+"""Extension: onboarding a *fourth* framework (Flink) with zero retraining.
+
+Section 7: *"Our method can cover a wide range of existing big data
+frameworks since they follow a basic architecture design of Bulk
+Synchronous Parallelism."*  The evaluation only tests Hadoop/Hive → Spark;
+this experiment repeats the exercise for a pipelined Flink-style engine
+(:mod:`repro.frameworks.flink`), whose mechanics differ from all three
+evaluated frameworks — no stage barriers, no shuffle files, resident
+iteration state.
+
+Protocol: the same Vesta selector (knowledge from Hadoop + Hive only)
+onboards Flink twins of six target algorithms; PARIS-transferred and
+Ernest score the same workloads.  If the Section-7 claim holds, Vesta's
+correlation knowledge should transfer to the fourth framework about as
+well as it did to Spark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.ground_truth import GroundTruth
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    fitted_paris,
+    fitted_vesta,
+    shared_ernest,
+)
+from repro.workloads.catalog import get_workload
+
+__all__ = ["FlinkTransferResult", "flink_targets", "run", "format_table"]
+
+#: Spark targets whose Flink twins we onboard.
+_ALGORITHMS: tuple[str, ...] = ("lr", "kmeans", "sort", "page-rank", "grep", "bayes")
+
+
+def flink_targets() -> tuple:
+    """Flink twins of six target algorithms (shared demand profiles)."""
+    out = []
+    for alg in _ALGORITHMS:
+        base = get_workload(f"spark-{alg}")
+        out.append(
+            dataclasses.replace(base, name=f"flink-{alg}", framework="flink")
+        )
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class FlinkTransferResult:
+    """Per-workload Equation-7 MAPE on the fourth framework."""
+
+    workloads: tuple[str, ...]
+    vesta: tuple[float, ...]
+    paris: tuple[float, ...]
+    ernest: tuple[float, ...]
+
+    def means(self) -> dict[str, float]:
+        return {
+            "vesta": float(np.mean(self.vesta)),
+            "paris": float(np.mean(self.paris)),
+            "ernest": float(np.mean(self.ernest)),
+        }
+
+
+def run(seed: int = DEFAULT_SEED) -> FlinkTransferResult:
+    vesta = fitted_vesta(seed)
+    paris = fitted_paris(seed)
+    ernest = shared_ernest(seed)
+    gt = GroundTruth(seed=seed)
+
+    names, v_err, p_err, e_err = [], [], [], []
+    for spec in flink_targets():
+        best = gt.best_value(spec)
+
+        session = vesta.online(spec)
+        pred_v = session.predict_runtimes()
+        v_err.append(abs(float(pred_v[int(np.argmin(pred_v))]) - best) / best * 100)
+
+        pred_p = paris.predict_runtimes(spec)
+        p_err.append(abs(float(pred_p[int(np.argmin(pred_p))]) - best) / best * 100)
+
+        pred_e = ernest.predict_runtimes(spec)
+        e_err.append(abs(float(pred_e[int(np.argmin(pred_e))]) - best) / best * 100)
+        names.append(spec.name)
+
+    return FlinkTransferResult(
+        workloads=tuple(names),
+        vesta=tuple(v_err),
+        paris=tuple(p_err),
+        ernest=tuple(e_err),
+    )
+
+
+def format_table(result: FlinkTransferResult) -> str:
+    lines = ["-- extension: onboarding Flink (4th framework) without retraining --"]
+    lines.append(f"{'workload':16s} {'Vesta':>8s} {'PARIS':>8s} {'Ernest':>8s}")
+    for i, name in enumerate(result.workloads):
+        lines.append(
+            f"{name:16s} {result.vesta[i]:>8.1f} {result.paris[i]:>8.1f} "
+            f"{result.ernest[i]:>8.1f}"
+        )
+    m = result.means()
+    lines.append(
+        f"{'MEAN':16s} {m['vesta']:>8.1f} {m['paris']:>8.1f} {m['ernest']:>8.1f}"
+    )
+    lines.append(
+        "Section-7 claim: Vesta's correlation knowledge transfers to a "
+        "fourth BSP framework it never profiled."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Figure 1: budget heat maps over a (CPU cores × memory) grid.
+
+The paper's opening figure shows budget heat maps of *Hadoop-TeraSort*,
+*Hive-Aggregation* and *Spark-PageRank* over VM shapes parameterised by
+core count and memory size, observing that the best (blue) cells of all
+three follow similar CPU-to-memory ratios (e.g. 8G8U, 16G16U) while the
+maps' overall shapes differ per framework.
+
+We regenerate the maps on a synthetic m5-style shape grid: every (cores,
+memory) cell is a VM type with neutral family parameters and a price
+linear in resources, so the heat structure reflects the workload's demand
+shape, not family pricing quirks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.vmtypes import VMCategory, VMType
+from repro.telemetry.collector import DataCollector
+from repro.workloads.catalog import get_workload
+from repro.experiments.common import DEFAULT_SEED
+
+__all__ = ["HeatmapResult", "run", "format_table", "WORKLOADS", "CORE_AXIS", "MEM_AXIS"]
+
+#: The three applications of Figure 1.
+WORKLOADS: tuple[str, ...] = ("hadoop-terasort", "hive-aggregation", "spark-page-rank")
+
+#: Grid axes: vCPU cores (horizontal) and memory GB (vertical), spanning
+#: the catalog's range.
+CORE_AXIS: tuple[int, ...] = (2, 4, 8, 16, 32)
+MEM_AXIS: tuple[float, ...] = (2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: Neutral per-resource price model (USD/h): ~EC2 m5-generation rates.
+_PRICE_PER_VCPU = 0.021
+_PRICE_PER_GB = 0.0029
+
+
+def grid_vm(cores: int, mem_gb: float) -> VMType:
+    """Synthetic m5-like VM type for one heat-map cell."""
+    return VMType(
+        name=f"grid.{cores}u{int(mem_gb)}g",
+        family="GRID",
+        category=VMCategory.GENERAL_PURPOSE,
+        size="grid",
+        vcpus=cores,
+        mem_gb=mem_gb,
+        cpu_speed=1.0,
+        disk_mbps=80.0 * cores**0.85,
+        net_gbps=0.6 * cores**0.85,
+        price_per_hour=_PRICE_PER_VCPU * cores + _PRICE_PER_GB * mem_gb,
+    )
+
+
+@dataclass(frozen=True)
+class HeatmapResult:
+    """Budget heat maps, one (mem × cores) matrix per workload."""
+
+    workloads: tuple[str, ...]
+    core_axis: tuple[int, ...]
+    mem_axis: tuple[float, ...]
+    budgets: dict[str, np.ndarray]  # (len(mem_axis), len(core_axis)) USD
+
+    def best_cell(self, workload: str) -> tuple[float, int]:
+        """(memory GB, cores) of the cheapest cell for ``workload``."""
+        grid = self.budgets[workload]
+        mi, ci = np.unravel_index(int(np.argmin(grid)), grid.shape)
+        return self.mem_axis[mi], self.core_axis[ci]
+
+    def best_ratio(self, workload: str) -> float:
+        """Memory-per-core ratio of the cheapest cell."""
+        mem, cores = self.best_cell(workload)
+        return mem / cores
+
+
+def run(seed: int = DEFAULT_SEED, repetitions: int = 5) -> HeatmapResult:
+    """Compute the three budget heat maps."""
+    collector = DataCollector(repetitions=repetitions, seed=seed)
+    budgets: dict[str, np.ndarray] = {}
+    for name in WORKLOADS:
+        spec = get_workload(name)
+        grid = np.empty((len(MEM_AXIS), len(CORE_AXIS)))
+        for mi, mem in enumerate(MEM_AXIS):
+            for ci, cores in enumerate(CORE_AXIS):
+                vm = grid_vm(cores, mem)
+                runtime = collector.runtime_only(spec, vm)
+                grid[mi, ci] = Cluster(vm=vm, nodes=spec.nodes).budget(runtime)
+        budgets[name] = grid
+    return HeatmapResult(
+        workloads=WORKLOADS, core_axis=CORE_AXIS, mem_axis=MEM_AXIS, budgets=budgets
+    )
+
+
+def format_table(result: HeatmapResult) -> str:
+    """Render the heat maps as text grids (the paper's colour maps)."""
+    lines: list[str] = []
+    for name in result.workloads:
+        grid = result.budgets[name]
+        lines.append(f"-- {name} budget (USD), rows = memory GB, cols = cores --")
+        header = "mem\\cores " + "".join(f"{c:>9d}" for c in result.core_axis)
+        lines.append(header)
+        for mi, mem in enumerate(result.mem_axis):
+            row = f"{mem:>9.0f} " + "".join(f"{grid[mi, ci]:>9.4f}" for ci in range(len(result.core_axis)))
+            lines.append(row)
+        mem, cores = result.best_cell(name)
+        lines.append(f"best cell: {cores} cores, {mem:.0f} GB (ratio {mem / cores:.1f} GB/core)")
+        lines.append("")
+    return "\n".join(lines)

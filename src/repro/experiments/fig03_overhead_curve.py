@@ -1,0 +1,85 @@
+"""Figure 3: training-overhead vs prediction-error curve from scratch.
+
+The paper's second motivating figure: building a model for a *new*
+framework from scratch trades training overhead (how many reference VM
+types each workload is profiled on) against prediction error, and
+acceptable error needs a lot of profiling.
+
+We regenerate the curve with PARIS trained from scratch on Spark:
+leave-one-out over the Spark target set, with the forest trained on the
+other Spark workloads profiled on ``n`` reference VM types, for a sweep
+of ``n``.  Error falls monotonically (within noise) as ``n`` grows —
+the paper's "hundreds of hours" cost on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.paris import Paris
+from repro.cloud.vmtypes import catalog
+from repro.experiments.common import DEFAULT_SEED, mape_vs_best
+from repro.workloads.catalog import target_set
+
+__all__ = ["OverheadCurveResult", "run", "format_table", "REFERENCE_SWEEP"]
+
+#: Reference-VM counts swept (the paper's x axis, up to ~100).
+REFERENCE_SWEEP: tuple[int, ...] = (5, 10, 20, 40, 70, 100)
+
+
+@dataclass(frozen=True)
+class OverheadCurveResult:
+    """Mean LOO prediction error per reference-VM budget."""
+
+    reference_counts: tuple[int, ...]
+    mean_mape: tuple[float, ...]
+    per_workload: dict[int, tuple[float, ...]]
+
+
+def _vm_subset(n: int) -> tuple:
+    """``n`` catalog VM types spread across families and sizes."""
+    vms = catalog()
+    step = max(1, len(vms) // n)
+    subset = vms[::step][:n]
+    return tuple(subset)
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    reference_counts: tuple[int, ...] = REFERENCE_SWEEP,
+    loo_targets: int | None = None,
+) -> OverheadCurveResult:
+    """Sweep the from-scratch training budget for the Spark framework.
+
+    ``loo_targets`` limits the leave-one-out evaluation to the first N
+    Spark workloads (benchmarks use a smaller N to keep wall time down).
+    """
+    targets = target_set()[: loo_targets or len(target_set())]
+    means: list[float] = []
+    per: dict[int, tuple[float, ...]] = {}
+    for n in reference_counts:
+        subset = _vm_subset(n)
+        errors: list[float] = []
+        for held_out in targets:
+            train = tuple(w for w in target_set() if w.name != held_out.name)
+            paris = Paris(vms=subset, seed=seed).fit(train)
+            errors.append(
+                mape_vs_best(held_out, paris.predict_runtimes(held_out), seed=seed)
+            )
+        per[n] = tuple(errors)
+        means.append(float(np.mean(errors)))
+    return OverheadCurveResult(
+        reference_counts=tuple(reference_counts),
+        mean_mape=tuple(means),
+        per_workload=per,
+    )
+
+
+def format_table(result: OverheadCurveResult) -> str:
+    lines = ["-- Figure 3: from-scratch training overhead vs prediction error --"]
+    lines.append(f"{'reference VMs':>14s} {'mean MAPE %':>12s}")
+    for n, m in zip(result.reference_counts, result.mean_mape):
+        lines.append(f"{n:>14d} {m:>12.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Figure 7: predicting Spark-lr's execution time on 10 typical VM types.
+
+The paper picks 10 representative VM types and compares Vesta's and
+Ernest's predicted execution times for the compute-intensive *Spark-lr*
+workload, scoring each with ``(Predicted / Observed) × 100 %`` and
+reporting the 10th/90th percentile deviation bars.  Vesta is expected to
+be better or at least comparable on every VM type "since Vesta trains
+with large data sets offline".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.vmtypes import ten_typical_vm_types
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    fitted_vesta,
+    ground_truth,
+    shared_ernest,
+)
+from repro.workloads.catalog import get_workload
+
+__all__ = ["SparkLrResult", "run", "format_table", "WORKLOAD"]
+
+WORKLOAD = "spark-lr"
+
+
+@dataclass(frozen=True)
+class SparkLrResult:
+    """Predicted/observed (%) per VM type for both systems."""
+
+    vm_names: tuple[str, ...]
+    observed: tuple[float, ...]
+    vesta_predicted: tuple[float, ...]
+    ernest_predicted: tuple[float, ...]
+
+    def deviation(self, system: str) -> np.ndarray:
+        """(Predicted / Observed) × 100 per VM type."""
+        pred = np.asarray(
+            self.vesta_predicted if system == "vesta" else self.ernest_predicted
+        )
+        return pred / np.asarray(self.observed) * 100.0
+
+    def abs_error(self, system: str) -> np.ndarray:
+        return np.abs(self.deviation(system) - 100.0)
+
+
+def run(seed: int = DEFAULT_SEED) -> SparkLrResult:
+    spec = get_workload(WORKLOAD)
+    vms = ten_typical_vm_types()
+    gt = ground_truth(seed)
+    session = fitted_vesta(seed).online(spec)
+    ernest = shared_ernest(seed)
+    observed = [gt.value_of(spec, vm.name) for vm in vms]
+    vesta_pred = [session.predict_runtime(vm) for vm in vms]
+    ernest_pred = [ernest.predict_runtime(spec, vm) for vm in vms]
+    return SparkLrResult(
+        vm_names=tuple(vm.name for vm in vms),
+        observed=tuple(observed),
+        vesta_predicted=tuple(vesta_pred),
+        ernest_predicted=tuple(ernest_pred),
+    )
+
+
+def format_table(result: SparkLrResult) -> str:
+    lines = ["-- Figure 7: Spark-lr execution-time prediction on 10 VM types --"]
+    lines.append(
+        f"{'VM type':14s} {'observed s':>10s} {'Vesta s':>9s} {'Ernest s':>9s} "
+        f"{'Vesta %':>8s} {'Ernest %':>9s}"
+    )
+    dv = result.deviation("vesta")
+    de = result.deviation("ernest")
+    for i, name in enumerate(result.vm_names):
+        lines.append(
+            f"{name:14s} {result.observed[i]:>10.1f} {result.vesta_predicted[i]:>9.1f} "
+            f"{result.ernest_predicted[i]:>9.1f} {dv[i]:>8.0f} {de[i]:>9.0f}"
+        )
+    lines.append(
+        f"mean |deviation|: Vesta {result.abs_error('vesta').mean():.1f} % vs "
+        f"Ernest {result.abs_error('ernest').mean():.1f} %"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Figure 11: tuning the K-Means hyperparameter k.
+
+The paper sweeps k, evaluating with 10-fold cross validation on the
+testing-set workloads, and reports per-workload MAPE box plots with the
+minimum at k = 9.
+
+We regenerate the sweep: for each k, fit Vesta's offline model at that k
+and measure the Equation-7 MAPE of its predictions on every testing-set
+workload across several cross-validation seeds (the seeds shuffle probe
+choices and noise streams, playing the folds' role on the simulated
+cloud).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.vesta import VestaSelector
+from repro.experiments.common import DEFAULT_SEED, mape_vs_best
+from repro.workloads.catalog import testing_set
+
+__all__ = ["KSweepResult", "run", "format_table", "K_SWEEP"]
+
+K_SWEEP: tuple[int, ...] = (3, 5, 7, 9, 11, 13)
+
+
+@dataclass(frozen=True)
+class KSweepResult:
+    """MAPE distribution per k: (k, workload, fold-seed) samples."""
+
+    ks: tuple[int, ...]
+    workloads: tuple[str, ...]
+    mape: np.ndarray  # (len(ks), len(workloads), folds)
+
+    def mean_by_k(self) -> np.ndarray:
+        return self.mape.mean(axis=(1, 2))
+
+    @property
+    def best_k(self) -> int:
+        return self.ks[int(np.argmin(self.mean_by_k()))]
+
+    def percentiles(self, k: int, lo: float = 10, hi: float = 90) -> tuple[float, float]:
+        i = self.ks.index(k)
+        flat = self.mape[i].ravel()
+        return float(np.percentile(flat, lo)), float(np.percentile(flat, hi))
+
+
+def run(
+    seed: int = DEFAULT_SEED,
+    ks: tuple[int, ...] = K_SWEEP,
+    folds: int = 3,
+) -> KSweepResult:
+    specs = testing_set()
+    mape = np.empty((len(ks), len(specs), folds))
+    for ki, k in enumerate(ks):
+        for fold in range(folds):
+            vesta = VestaSelector(seed=seed + fold, k=k).fit()
+            for wi, spec in enumerate(specs):
+                session = vesta.online(spec)
+                mape[ki, wi, fold] = mape_vs_best(
+                    spec, session.predict_runtimes(), seed=seed
+                )
+    return KSweepResult(ks=tuple(ks), workloads=tuple(s.name for s in specs), mape=mape)
+
+
+def format_table(result: KSweepResult) -> str:
+    lines = ["-- Figure 11: K-Means k sweep (10-fold CV analogue) --"]
+    lines.append(f"{'k':>3s} {'mean MAPE %':>12s} {'p10':>8s} {'p90':>8s}")
+    means = result.mean_by_k()
+    for i, k in enumerate(result.ks):
+        p10, p90 = result.percentiles(k)
+        lines.append(f"{k:>3d} {means[i]:>12.1f} {p10:>8.1f} {p90:>8.1f}")
+    lines.append(f"best k = {result.best_k} (paper: 9)")
+    return "\n".join(lines)

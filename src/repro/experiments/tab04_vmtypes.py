@@ -1,0 +1,62 @@
+"""Table 4: the VM-type catalog.
+
+Regenerates the paper's Table 4 (category → family → sizes) from the
+implemented catalog and summarises the resource ranges, confirming the
+20-family × 5-size structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.vmtypes import VMCategory, catalog, families
+from repro.experiments.common import DEFAULT_SEED
+
+__all__ = ["CatalogResult", "run", "format_table"]
+
+
+@dataclass(frozen=True)
+class CatalogResult:
+    """Catalog summary: families per category and overall counts."""
+
+    total_types: int
+    families_per_category: dict[str, tuple[str, ...]]
+    sizes_per_family: dict[str, tuple[str, ...]]
+    price_range: tuple[float, float]
+    vcpu_range: tuple[int, int]
+    mem_range: tuple[float, float]
+
+
+def run(seed: int = DEFAULT_SEED) -> CatalogResult:
+    vms = catalog()
+    fams = families()
+    per_cat: dict[str, list[str]] = {c.value: [] for c in VMCategory}
+    for fam in fams.values():
+        per_cat[fam.category.value].append(fam.name)
+    return CatalogResult(
+        total_types=len(vms),
+        families_per_category={c: tuple(v) for c, v in per_cat.items()},
+        sizes_per_family={f.name: f.sizes for f in fams.values()},
+        price_range=(
+            min(vm.price_per_hour for vm in vms),
+            max(vm.price_per_hour for vm in vms),
+        ),
+        vcpu_range=(min(vm.vcpus for vm in vms), max(vm.vcpus for vm in vms)),
+        mem_range=(min(vm.mem_gb for vm in vms), max(vm.mem_gb for vm in vms)),
+    )
+
+
+def format_table(result: CatalogResult) -> str:
+    lines = ["-- Table 4: VM types used in the experiments --"]
+    for cat, fams in result.families_per_category.items():
+        lines.append(f"{cat}:")
+        for fam in fams:
+            sizes = ",".join(result.sizes_per_family[fam])
+            lines.append(f"   {fam:6s} {sizes}")
+    lines.append(
+        f"total {result.total_types} types | vCPUs {result.vcpu_range[0]}–"
+        f"{result.vcpu_range[1]} | mem {result.mem_range[0]:.2f}–"
+        f"{result.mem_range[1]:.0f} GB | ${result.price_range[0]:.4f}–"
+        f"${result.price_range[1]:.2f}/h"
+    )
+    return "\n".join(lines)

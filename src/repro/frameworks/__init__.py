@@ -1,0 +1,53 @@
+"""Big-data framework simulators (the paper's execution substrate).
+
+The paper profiles real Hadoop, Hive and Spark deployments on EC2.  This
+package replaces them with a discrete BSP (Bulk Synchronous Parallel)
+simulator — the paper itself notes (Section 7) that the covered frameworks
+all follow a BSP architecture.  Each engine plans a workload into
+:class:`~repro.frameworks.base.Phase` waves and the shared scheduler prices
+each phase against a cluster's CPU/memory/disk/network budget:
+
+- :mod:`repro.frameworks.hadoop` — MapReduce: per-job HDFS materialisation,
+  JVM task overheads, 3× replicated writes;
+- :mod:`repro.frameworks.hive` — SQL operator plans compiled to chained
+  MapReduce jobs plus query-compilation overhead;
+- :mod:`repro.frameworks.spark` — DAG stages with executor memory
+  management, in-memory caching across iterations, and spill-to-disk.
+
+The engines share framework-independent demand profiles but differ in
+mechanics, so low-level metric *levels* diverge across frameworks while
+the *correlation structure* transfers — exactly the premise Vesta tests.
+"""
+
+from repro.frameworks.base import (
+    BSPScheduler,
+    Engine,
+    Phase,
+    PhaseKind,
+    PhaseResult,
+    RunResult,
+)
+from repro.frameworks.flink import FlinkEngine
+from repro.frameworks.hadoop import HadoopEngine
+from repro.frameworks.hive import HiveEngine
+from repro.frameworks.mesos import ExecutorPlan, MemoryWatcher, safe_spec
+from repro.frameworks.registry import get_engine, simulate_run
+from repro.frameworks.spark import SparkEngine
+
+__all__ = [
+    "BSPScheduler",
+    "Engine",
+    "FlinkEngine",
+    "HadoopEngine",
+    "ExecutorPlan",
+    "HiveEngine",
+    "MemoryWatcher",
+    "safe_spec",
+    "Phase",
+    "PhaseKind",
+    "PhaseResult",
+    "RunResult",
+    "SparkEngine",
+    "get_engine",
+    "simulate_run",
+]

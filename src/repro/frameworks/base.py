@@ -1,0 +1,381 @@
+"""BSP execution core shared by the Hadoop, Hive and Spark engines.
+
+The unit of simulation is a :class:`Phase`: a set of homogeneous tasks with
+per-task CPU, disk, network and memory demands.  The :class:`BSPScheduler`
+prices a phase against a :class:`~repro.cloud.cluster.Cluster`:
+
+1. concurrency per node is limited by vCPUs and by memory fit; tasks whose
+   working set exceeds node memory *spill* (extra disk traffic) instead of
+   failing, mirroring the paper's Mesos-guarded deployments;
+2. tasks run in waves over the available slots;
+3. a task's duration is its dominant resource time plus a fraction of the
+   non-dominant times (imperfect CPU/IO overlap);
+4. per-phase utilization rates are derived for the telemetry layer.
+
+The model is analytic rather than event-driven — each phase is closed-form
+— which keeps a full profiling campaign (30 workloads × 100 VM types × 10
+repetitions) in the tens of seconds, per the HPC guide's advice to keep
+hot paths vectorizable and allocation-free.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cloud.cluster import Cluster
+from repro.errors import OutOfMemoryError, ValidationError
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "PhaseKind",
+    "Phase",
+    "PhaseResult",
+    "RunResult",
+    "BSPScheduler",
+    "Engine",
+    "HDFS_SPLIT_GB",
+    "HDFS_REPLICATION",
+]
+
+#: HDFS block size used to derive task counts (128 MB, the Hadoop default).
+HDFS_SPLIT_GB = 0.128
+
+#: HDFS replication factor: one local + two remote copies per write.
+HDFS_REPLICATION = 3
+
+#: Fraction of non-dominant resource time that is *not* overlapped with the
+#: dominant resource (0 = perfect pipelining, 1 = fully serial).
+OVERLAP_RESIDUAL = 0.25
+
+#: Spilled data is written once and read back once, plus merge passes.
+SPILL_RT_FACTOR = 3.0
+
+#: Memory-pressure (GC/paging) penalty: above this utilization fraction a
+#: task's CPU time inflates linearly, up to ``1 + GC_PENALTY`` at 100 %.
+GC_PRESSURE_KNEE = 0.85
+GC_PENALTY = 1.5
+
+#: Minimum JVM working set of a data-processing task (executor/container
+#: heap floor), independent of split size.  This is what makes sub-2 GB
+#: nodes nearly unusable for big-data stacks — the dark low-memory corners
+#: of the paper's Figure 1 heat maps.
+TASK_MEMORY_FLOOR_GB = 0.75
+
+#: A single task may spill at most this multiple of node memory before the
+#: simulator declares the placement infeasible.  Real engines external-sort
+#: through arbitrarily small memory, so the bound is generous: it exists to
+#: catch configuration pathologies, not to fail small VM types (those just
+#: get very slow, as on the real cloud).
+MAX_SPILL_RATIO = 64.0
+
+
+class PhaseKind(enum.Enum):
+    """Task classification used by the execution metrics (Section 3.1)."""
+
+    COMPUTE = "computation"
+    COMMUNICATION = "communication"
+    SYNCHRONIZATION = "synchronization"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A homogeneous wave-set of tasks.
+
+    All per-``*_gb`` figures are *per task*; ``tasks`` scales them to the
+    phase.  ``data_gb`` is the logical data volume the phase advances the
+    job by (feeds the data-to-X execution metrics).
+    """
+
+    name: str
+    kind: PhaseKind
+    tasks: int
+    cpu_secs_per_task: float
+    disk_read_gb: float = 0.0
+    disk_write_gb: float = 0.0
+    net_gb: float = 0.0
+    mem_gb_per_task: float = 0.0
+    task_overhead_s: float = 0.0
+    fixed_overhead_s: float = 0.0
+    iteration: int = 0
+    data_gb: float = 0.0
+    #: Partition imbalance: the hottest task carries (1 + skew) times the
+    #: average demand, stretching the wave that holds it (BSP barriers
+    #: wait for the straggler).
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tasks < 1:
+            raise ValidationError(f"phase {self.name!r}: tasks must be >= 1")
+        for attr in (
+            "cpu_secs_per_task",
+            "disk_read_gb",
+            "disk_write_gb",
+            "net_gb",
+            "mem_gb_per_task",
+            "task_overhead_s",
+            "fixed_overhead_s",
+            "data_gb",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValidationError(f"phase {self.name!r}: {attr} must be >= 0")
+        if self.skew < 0:
+            raise ValidationError(f"phase {self.name!r}: skew must be >= 0")
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Outcome of pricing one :class:`Phase` on a cluster.
+
+    The ``*_frac`` fields are cluster-level utilization fractions in
+    ``[0, 1]``; the ``*_mbps_node`` fields are per-node byte rates.  They
+    feed :mod:`repro.frameworks.resources` which expands them into the
+    20-metric 5-second time series the Data Collector records.
+    """
+
+    phase: Phase
+    duration_s: float
+    concurrency_per_node: int
+    waves: int
+    spilled_gb_per_task: float
+    cpu_busy_frac: float
+    io_wait_frac: float
+    mem_used_frac: float
+    #: Memory *demand* utilization: the data working set relative to node
+    #: memory, before the per-container heap floor.  The heap floor makes
+    #: ``mem_used_frac`` nearly constant across phases, so the telemetry
+    #: layer reports this demand figure instead — it is what a real
+    #: ``free``-style counter tracks (touched pages), and it is what makes
+    #: the CPU-to-memory correlation discriminate memory-hungry workloads.
+    mem_demand_frac: float
+    disk_read_mbps_node: float
+    disk_write_mbps_node: float
+    net_mbps_node: float
+    net_overload_frac: float
+
+    @property
+    def spilled(self) -> bool:
+        return self.spilled_gb_per_task > 0
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One simulated execution of a workload on a cluster.
+
+    ``runtime_s`` includes the run's cloud-noise multiplier; ``budget_usd``
+    prices that runtime at the cluster's on-demand rate.  ``timeseries`` is
+    filled by the telemetry layer (``None`` for runtime-only fast runs).
+    """
+
+    workload: str
+    framework: str
+    vm_name: str
+    nodes: int
+    runtime_s: float
+    budget_usd: float
+    noise_multiplier: float
+    phases: tuple[PhaseResult, ...]
+    timeseries: "np.ndarray | None" = None  # shape (samples, 20)
+    sample_period_s: float = 5.0
+
+    @property
+    def spilled(self) -> bool:
+        return any(p.spilled for p in self.phases)
+
+    @property
+    def base_runtime_s(self) -> float:
+        """Noise-free runtime (the deterministic simulator output)."""
+        return self.runtime_s / self.noise_multiplier
+
+
+class BSPScheduler:
+    """Prices phases against a cluster. Stateless; safe to share."""
+
+    def simulate_phase(self, phase: Phase, cluster: Cluster) -> PhaseResult:
+        """Closed-form wave scheduling of ``phase`` on ``cluster``.
+
+        Raises
+        ------
+        OutOfMemoryError
+            If a task's working set exceeds :data:`MAX_SPILL_RATIO` × node
+            memory — no amount of spilling makes the placement feasible.
+        """
+        vm = cluster.vm
+        usable = cluster.usable_mem_per_node_gb
+
+        # Worker tasks carry the framework's per-container heap floor;
+        # coordination phases (driver, barriers) do not.
+        task_mem = phase.mem_gb_per_task
+        if phase.kind is not PhaseKind.SYNCHRONIZATION:
+            task_mem = max(task_mem, TASK_MEMORY_FLOOR_GB)
+
+        spilled_gb = 0.0
+        concurrency = cluster.concurrent_tasks_per_node(task_mem)
+        if concurrency == 0:
+            # Working set exceeds what one node holds: run one task per node
+            # and spill the overflow through the disk.
+            if usable <= 0.0 or task_mem > MAX_SPILL_RATIO * usable:
+                raise OutOfMemoryError(
+                    f"phase {phase.name!r}: task working set "
+                    f"{task_mem:.2f} GB cannot fit in "
+                    f"{usable:.2f} GB node memory even with spilling"
+                )
+            spilled_gb = task_mem - usable
+            concurrency = 1
+
+        slots = concurrency * cluster.nodes
+        waves = math.ceil(phase.tasks / slots)
+        # Bandwidth is shared by the tasks actually co-resident on a node,
+        # which is below `concurrency` when the phase has fewer tasks than
+        # slots (e.g. a small shuffle on a large cluster).
+        sharing = min(concurrency, math.ceil(phase.tasks / (waves * cluster.nodes)))
+
+        mem_per_task = min(task_mem, usable) if usable > 0 else 0.0
+        mem_used = min(1.0, sharing * mem_per_task / usable) if usable > 0 else 1.0
+        demand_per_task = min(phase.mem_gb_per_task, usable) if usable > 0 else 0.0
+        mem_demand = (
+            min(1.0, sharing * demand_per_task / usable) if usable > 0 else 1.0
+        )
+
+        # Per-task resource times.  Disk and network bandwidth on a node are
+        # shared by the tasks running concurrently on it.  Running close to
+        # the memory ceiling inflates CPU time (GC churn, page-cache
+        # starvation) — the effect that makes under-provisioned VM types
+        # cost-inefficient, not just slow (Figure 1's dark corners).
+        gc_factor = 1.0
+        if mem_used > GC_PRESSURE_KNEE:
+            over = (mem_used - GC_PRESSURE_KNEE) / (1.0 - GC_PRESSURE_KNEE)
+            gc_factor = 1.0 + GC_PENALTY * over
+        cpu_t = gc_factor * phase.cpu_secs_per_task / vm.cpu_speed
+        disk_gb = phase.disk_read_gb + phase.disk_write_gb + SPILL_RT_FACTOR * spilled_gb
+        disk_bw_per_task = vm.disk_mbps / sharing  # MB/s
+        disk_t = disk_gb * 1000.0 / disk_bw_per_task if disk_gb > 0 else 0.0
+        net_bw_per_task = cluster.net_mbps_per_node / sharing
+        net_t = phase.net_gb * 1000.0 / net_bw_per_task if phase.net_gb > 0 else 0.0
+
+        dominant = max(cpu_t, disk_t, net_t)
+        residual = OVERLAP_RESIDUAL * (cpu_t + disk_t + net_t - dominant)
+        task_t = phase.task_overhead_s + dominant + residual
+        # One wave holds the hottest partition; the BSP barrier waits for
+        # it, so that wave runs (1 + skew) times longer than the average.
+        duration = phase.fixed_overhead_s + waves * task_t + phase.skew * task_t
+        duration = max(duration, 1e-6)
+
+        # Cluster-level utilization fractions, clipped to [0, 1].
+        total_cpu_time = phase.tasks * cpu_t
+        total_io_time = phase.tasks * (disk_t + net_t)
+        cpu_busy = min(1.0, total_cpu_time / (duration * cluster.total_vcpus))
+        io_wait = min(1.0 - cpu_busy, total_io_time / (duration * cluster.total_vcpus))
+
+        read_gb_total = phase.tasks * (phase.disk_read_gb + spilled_gb)
+        write_gb_total = phase.tasks * (phase.disk_write_gb + spilled_gb)
+        disk_read_rate = read_gb_total * 1000.0 / (duration * cluster.nodes)
+        disk_write_rate = write_gb_total * 1000.0 / (duration * cluster.nodes)
+
+        net_rate = phase.tasks * phase.net_gb * 1000.0 / (duration * cluster.nodes)
+        # Overload appears when the instantaneous demand of the concurrent
+        # tasks would exceed the NIC; express as headroom deficit.
+        peak_net_demand = sharing * phase.net_gb * 1000.0 / max(task_t, 1e-9)
+        overload = max(0.0, peak_net_demand / cluster.net_mbps_per_node - 0.95)
+        net_overload = min(1.0, overload)
+
+        return PhaseResult(
+            phase=phase,
+            duration_s=duration,
+            concurrency_per_node=concurrency,
+            waves=waves,
+            spilled_gb_per_task=spilled_gb,
+            cpu_busy_frac=cpu_busy,
+            io_wait_frac=io_wait,
+            mem_used_frac=mem_used,
+            mem_demand_frac=mem_demand,
+            disk_read_mbps_node=disk_read_rate,
+            disk_write_mbps_node=disk_write_rate,
+            net_mbps_node=net_rate,
+            net_overload_frac=net_overload,
+        )
+
+
+class Engine(ABC):
+    """Abstract framework engine: plans a workload into phases and runs it."""
+
+    #: Framework mnemonic ("hadoop", "hive", "spark").
+    framework: str = ""
+
+    def __init__(self) -> None:
+        self._scheduler = BSPScheduler()
+
+    @abstractmethod
+    def plan(self, spec: WorkloadSpec, cluster: Cluster) -> list[Phase]:
+        """Compile ``spec`` into an ordered list of phases for ``cluster``.
+
+        Planning may depend on the cluster (e.g. Spark's cache fraction
+        depends on aggregate memory), which is why it is not cluster-free.
+        """
+
+    def run(
+        self,
+        spec: WorkloadSpec,
+        cluster: Cluster,
+        *,
+        noise_multiplier: float = 1.0,
+        with_timeseries: bool = True,
+        sample_period_s: float = 5.0,
+        rng: np.random.Generator | None = None,
+    ) -> RunResult:
+        """Execute ``spec`` on ``cluster`` and return the run record.
+
+        Parameters
+        ----------
+        noise_multiplier:
+            Cloud-variability factor from
+            :class:`~repro.cloud.noise.CloudNoiseModel` (1.0 = noise-free).
+        with_timeseries:
+            Whether to materialise the 20-metric time series (skipping it
+            makes ground-truth sweeps several times faster).
+        sample_period_s:
+            Data Collector cadence; the paper samples every 5 seconds.
+        rng:
+            Source for the small measurement ripple on the time series.
+        """
+        if spec.framework != self.framework:
+            raise ValidationError(
+                f"{type(self).__name__} cannot run {spec.framework!r} workload {spec.name!r}"
+            )
+        if noise_multiplier <= 0:
+            raise ValidationError("noise_multiplier must be > 0")
+
+        phases = self.plan(spec, cluster)
+        results = tuple(self._scheduler.simulate_phase(p, cluster) for p in phases)
+        base_runtime = sum(r.duration_s for r in results)
+        runtime = base_runtime * noise_multiplier
+
+        series = None
+        if with_timeseries:
+            # Imported here to keep base free of a telemetry dependency cycle.
+            from repro.frameworks.resources import build_timeseries
+
+            series = build_timeseries(
+                results,
+                spec,
+                cluster,
+                sample_period_s=sample_period_s,
+                rng=rng,
+            )
+
+        return RunResult(
+            workload=spec.name,
+            framework=spec.framework,
+            vm_name=cluster.vm.name,
+            nodes=cluster.nodes,
+            runtime_s=runtime,
+            budget_usd=cluster.budget(runtime),
+            noise_multiplier=noise_multiplier,
+            phases=results,
+            timeseries=series,
+            sample_period_s=sample_period_s,
+        )

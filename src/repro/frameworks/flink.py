@@ -1,0 +1,134 @@
+"""Flink-style pipelined engine — the Section-7 generality extension.
+
+The paper's conclusion claims Vesta "can cover a wide range of existing
+big data frameworks since they follow a basic architecture design of Bulk
+Synchronous Parallelism".  To test that claim beyond the three evaluated
+frameworks, this module adds a fourth engine with genuinely different
+mechanics and lets the transfer experiments onboard it exactly like Spark
+was onboarded (``benchmarks/bench_ext_flink.py``).
+
+Mechanics that distinguish Flink in the simulator:
+
+- **pipelined execution**: operators stream records to their successors —
+  no per-stage barrier, no shuffle files on disk.  A pass's compute and
+  its shuffle run as *one* phase whose duration is the max of the
+  pipeline's stage costs (the slowest operator backpressures the rest);
+- long-running task-manager slots: one deployment cost up front, near-zero
+  per-task overhead afterwards;
+- iterations use Flink's native iteration operator: state stays in the
+  slots, only deltas travel between supersteps;
+- **managed memory**: Flink pre-allocates its memory budget; working sets
+  beyond it spill through its managed serializer (cheaper than a JVM
+  OOM-retry but still disk traffic), modeled by the shared scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cloud.cluster import Cluster
+from repro.frameworks.base import (
+    HDFS_REPLICATION,
+    HDFS_SPLIT_GB,
+    Engine,
+    Phase,
+    PhaseKind,
+)
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["FlinkEngine"]
+
+#: Job-manager + task-manager slot deployment latency (paid once).
+APP_STARTUP_S = 5.0
+
+#: Per-superstep coordination cost (no full barrier, only checkpointing).
+SUPERSTEP_OVERHEAD_S = 0.25
+
+#: Per-task dispatch inside a running slot.
+TASK_OVERHEAD_S = 0.05
+
+#: Fraction of usable memory Flink pre-allocates as managed memory.
+MANAGED_MEMORY_FRACTION = 0.7
+
+
+class FlinkEngine(Engine):
+    """Pipelined dataflow executor with native iterations."""
+
+    framework = "flink"
+
+    def plan(self, spec: WorkloadSpec, cluster: Cluster) -> list[Phase]:
+        d = spec.demand
+        data = spec.input_gb
+        slots = cluster.total_vcpus
+        remote_frac = (cluster.nodes - 1) / cluster.nodes if cluster.nodes > 1 else 0.0
+
+        phases: list[Phase] = [
+            Phase(
+                name=f"{spec.name}-deploy",
+                kind=PhaseKind.SYNCHRONIZATION,
+                tasks=1,
+                cpu_secs_per_task=1.5,
+                fixed_overhead_s=APP_STARTUP_S,
+            )
+        ]
+
+        # Parallelism follows the slot count (Flink's default parallelism).
+        parallelism = max(1, min(2 * slots, math.ceil(data / (HDFS_SPLIT_GB / 2))))
+        per_task = data / parallelism
+        shuffle_gb = data * d.shuffle_fraction
+
+        for it in range(d.iterations):
+            # One pipelined superstep: source read (first pass only — the
+            # iteration operator keeps state resident), the operator
+            # chain's compute, and the network exchange all overlap.
+            first = it == 0
+            phases.append(
+                Phase(
+                    name=f"{spec.name}-superstep{it}",
+                    kind=PhaseKind.COMPUTE,
+                    tasks=parallelism,
+                    cpu_secs_per_task=d.compute_per_gb * per_task,
+                    disk_read_gb=per_task if first else 0.0,
+                    # Pipelined exchange: network only, no shuffle files.
+                    net_gb=(shuffle_gb / parallelism) * remote_frac,
+                    mem_gb_per_task=per_task * d.mem_blowup,
+                    task_overhead_s=TASK_OVERHEAD_S,
+                    fixed_overhead_s=SUPERSTEP_OVERHEAD_S,
+                    iteration=it,
+                    data_gb=data,
+                    skew=d.skew,
+                )
+            )
+            for s in range(d.sync_per_iter):
+                phases.append(
+                    Phase(
+                        name=f"{spec.name}-it{it}-checkpoint{s}",
+                        kind=PhaseKind.SYNCHRONIZATION,
+                        tasks=cluster.nodes,
+                        cpu_secs_per_task=0.03,
+                        disk_write_gb=0.01,  # lightweight checkpoint
+                        fixed_overhead_s=0.2,
+                        iteration=it,
+                    )
+                )
+
+        out_gb = data * d.output_fraction
+        if out_gb > 0:
+            out_tasks = max(1, min(slots, math.ceil(out_gb / HDFS_SPLIT_GB)))
+            per_out = out_gb / out_tasks
+            phases.append(
+                Phase(
+                    name=f"{spec.name}-sink",
+                    kind=PhaseKind.COMMUNICATION,
+                    tasks=out_tasks,
+                    cpu_secs_per_task=0.02 * d.compute_per_gb * per_out,
+                    disk_write_gb=per_out * HDFS_REPLICATION,
+                    net_gb=per_out * (HDFS_REPLICATION - 1),
+                    mem_gb_per_task=per_out,
+                    task_overhead_s=TASK_OVERHEAD_S,
+                    fixed_overhead_s=SUPERSTEP_OVERHEAD_S,
+                    iteration=d.iterations - 1,
+                    data_gb=out_gb,
+                )
+            )
+        return phases

@@ -1,0 +1,181 @@
+"""Hadoop MapReduce engine.
+
+Mechanics that distinguish Hadoop from Spark in the simulator (and on real
+clusters):
+
+- every logical pass over the data is a separate **MapReduce job** with its
+  own submission/setup latency and per-task JVM start-up cost;
+- map outputs spill to local disk; reducers pull them over the network;
+- intermediate results between chained jobs are **materialised to HDFS**
+  with 3× replication (one local write, two replica transfers), which is
+  what makes iterative ML so expensive on Hadoop and so much cheaper on
+  Spark — a contrast the transfer learner must survive.
+
+The :func:`mapreduce_job` planner is reused by the Hive engine, which
+compiles SQL operators to chains of these jobs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cloud.cluster import Cluster
+from repro.frameworks.base import (
+    HDFS_REPLICATION,
+    HDFS_SPLIT_GB,
+    Engine,
+    Phase,
+    PhaseKind,
+)
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["HadoopEngine", "mapreduce_job"]
+
+#: One-off job submission + setup latency (scheduler, container allocation).
+JOB_SETUP_S = 8.0
+
+#: JVM start-up cost per task attempt (no JVM reuse, the common default).
+TASK_JVM_OVERHEAD_S = 1.2
+
+#: Fraction of map input read from non-local HDFS replicas.
+NON_LOCAL_READ_FRACTION = 0.3
+
+#: Fraction of the per-GB compute budget spent in the map stage.
+MAP_COMPUTE_SHARE = 0.6
+
+
+def mapreduce_job(
+    name: str,
+    cluster: Cluster,
+    *,
+    data_in_gb: float,
+    shuffle_gb: float,
+    data_out_gb: float,
+    cpu_secs_per_gb: float,
+    mem_blowup: float,
+    iteration: int = 0,
+    replicate_output: bool = True,
+    skew: float = 0.0,
+) -> list[Phase]:
+    """Plan one MapReduce job as setup → map → shuffle → reduce phases.
+
+    Parameters mirror the job's logical data flow: ``data_in_gb`` read by
+    mappers, ``shuffle_gb`` exchanged map→reduce, ``data_out_gb`` written by
+    reducers (HDFS-replicated when ``replicate_output``).
+    """
+    split = HDFS_SPLIT_GB
+    map_tasks = max(1, math.ceil(data_in_gb / split))
+    slots = cluster.total_vcpus
+    reduce_tasks = max(1, min(map_tasks, slots))
+
+    phases: list[Phase] = [
+        Phase(
+            name=f"{name}-setup",
+            kind=PhaseKind.SYNCHRONIZATION,
+            tasks=1,
+            cpu_secs_per_task=0.5,
+            fixed_overhead_s=JOB_SETUP_S,
+            iteration=iteration,
+        )
+    ]
+
+    map_in = data_in_gb / map_tasks
+    phases.append(
+        Phase(
+            name=f"{name}-map",
+            kind=PhaseKind.COMPUTE,
+            tasks=map_tasks,
+            cpu_secs_per_task=cpu_secs_per_gb * MAP_COMPUTE_SHARE * map_in,
+            disk_read_gb=map_in,
+            disk_write_gb=shuffle_gb / map_tasks,  # map output spill
+            net_gb=map_in * NON_LOCAL_READ_FRACTION,
+            mem_gb_per_task=map_in * mem_blowup,
+            task_overhead_s=TASK_JVM_OVERHEAD_S,
+            iteration=iteration,
+            data_gb=data_in_gb,
+        )
+    )
+
+    if shuffle_gb > 0:
+        remote_frac = (cluster.nodes - 1) / cluster.nodes if cluster.nodes > 1 else 0.0
+        per_reducer = shuffle_gb / reduce_tasks
+        phases.append(
+            Phase(
+                name=f"{name}-shuffle",
+                kind=PhaseKind.COMMUNICATION,
+                tasks=reduce_tasks,
+                cpu_secs_per_task=0.05 * cpu_secs_per_gb * per_reducer,
+                disk_read_gb=per_reducer,  # pull spilled map output + merge
+                net_gb=per_reducer * remote_frac,
+                mem_gb_per_task=per_reducer * mem_blowup * 0.5,
+                task_overhead_s=0.3,
+                iteration=iteration,
+                data_gb=shuffle_gb,
+                skew=skew,
+            )
+        )
+
+    reduce_in = max(shuffle_gb, 1e-6) / reduce_tasks
+    out_per_reducer = data_out_gb / reduce_tasks
+    replicas = HDFS_REPLICATION if replicate_output else 1
+    phases.append(
+        Phase(
+            name=f"{name}-reduce",
+            kind=PhaseKind.COMPUTE,
+            tasks=reduce_tasks,
+            cpu_secs_per_task=cpu_secs_per_gb
+            * (1.0 - MAP_COMPUTE_SHARE)
+            * (data_in_gb / reduce_tasks),
+            # Local copy plus replica traffic landing on cluster disks.
+            disk_write_gb=out_per_reducer * replicas,
+            net_gb=out_per_reducer * (replicas - 1),
+            mem_gb_per_task=max(reduce_in, split) * mem_blowup,
+            task_overhead_s=TASK_JVM_OVERHEAD_S,
+            iteration=iteration,
+            data_gb=max(data_out_gb, 1e-6),
+            skew=skew,
+        )
+    )
+    return phases
+
+
+class HadoopEngine(Engine):
+    """MapReduce executor: one chained job per demand-profile iteration."""
+
+    framework = "hadoop"
+
+    def plan(self, spec: WorkloadSpec, cluster: Cluster) -> list[Phase]:
+        d = spec.demand
+        data = spec.input_gb
+        phases: list[Phase] = []
+        for it in range(d.iterations):
+            last = it == d.iterations - 1
+            # Non-final jobs materialise the full working data back to HDFS;
+            # the final job writes the logical output.
+            out_gb = data * d.output_fraction if last else data
+            phases.extend(
+                mapreduce_job(
+                    f"{spec.name}-job{it}",
+                    cluster,
+                    data_in_gb=data,
+                    shuffle_gb=data * d.shuffle_fraction,
+                    data_out_gb=max(out_gb, 1e-6),
+                    cpu_secs_per_gb=d.compute_per_gb,
+                    mem_blowup=d.mem_blowup,
+                    iteration=it,
+                    skew=d.skew,
+                )
+            )
+            for s in range(d.sync_per_iter - 1):
+                phases.append(
+                    Phase(
+                        name=f"{spec.name}-job{it}-sync{s}",
+                        kind=PhaseKind.SYNCHRONIZATION,
+                        tasks=cluster.nodes,
+                        cpu_secs_per_task=0.1,
+                        net_gb=0.001,
+                        fixed_overhead_s=1.5,
+                        iteration=it,
+                    )
+                )
+        return phases

@@ -1,0 +1,107 @@
+"""Hive engine: SQL operator plans compiled to MapReduce job chains.
+
+Hive (the paper's third framework) is a SQL layer over MapReduce: a query
+is compiled into a DAG of operators, each lowered to a MapReduce job, with
+intermediate tables materialised to HDFS between jobs.  The simulator
+reproduces exactly that layering by reusing
+:func:`repro.frameworks.hadoop.mapreduce_job` per operator, plus a
+query-compilation overhead up front.
+
+Operator cost shapes (relative to the workload's demand profile):
+
+========== ===========================================================
+scan          map-heavy read of the full table, no shuffle
+filter        map-only pass emitting a reduced table
+shuffle-join  full MR job with a large shuffle (both sides repartition)
+aggregate     full MR job with a moderate combiner-reduced shuffle
+========== ===========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.cluster import Cluster
+from repro.errors import ValidationError
+from repro.frameworks.base import Engine, Phase, PhaseKind
+from repro.frameworks.hadoop import mapreduce_job
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["HiveEngine", "OPERATOR_COSTS", "OperatorCost"]
+
+#: Query parse/plan/optimize latency before the first job launches.
+COMPILE_OVERHEAD_S = 5.0
+
+
+@dataclass(frozen=True)
+class OperatorCost:
+    """Relative cost shape of one Hive logical operator.
+
+    ``cpu_factor`` scales the workload's ``compute_per_gb``;
+    ``shuffle_factor`` scales its ``shuffle_fraction``; ``selectivity`` is
+    output rows / input rows for the operator.
+    """
+
+    cpu_factor: float
+    shuffle_factor: float
+    selectivity: float
+
+
+OPERATOR_COSTS: dict[str, OperatorCost] = {
+    "scan": OperatorCost(cpu_factor=0.4, shuffle_factor=0.0, selectivity=1.0),
+    "filter": OperatorCost(cpu_factor=0.3, shuffle_factor=0.0, selectivity=0.5),
+    "shuffle-join": OperatorCost(cpu_factor=1.2, shuffle_factor=1.0, selectivity=0.8),
+    "aggregate": OperatorCost(cpu_factor=0.8, shuffle_factor=0.5, selectivity=0.1),
+}
+
+
+class HiveEngine(Engine):
+    """SQL-on-MapReduce executor."""
+
+    framework = "hive"
+
+    def plan(self, spec: WorkloadSpec, cluster: Cluster) -> list[Phase]:
+        if not spec.sql_ops:
+            raise ValidationError(f"hive workload {spec.name!r} has no sql_ops plan")
+        d = spec.demand
+        phases: list[Phase] = [
+            Phase(
+                name=f"{spec.name}-compile",
+                kind=PhaseKind.SYNCHRONIZATION,
+                tasks=1,
+                cpu_secs_per_task=1.0,
+                fixed_overhead_s=COMPILE_OVERHEAD_S,
+            )
+        ]
+
+        data = spec.input_gb
+        for oi, op in enumerate(spec.sql_ops):
+            try:
+                cost = OPERATOR_COSTS[op]
+            except KeyError:
+                raise ValidationError(
+                    f"unknown Hive operator {op!r}; known: {sorted(OPERATOR_COSTS)}"
+                ) from None
+            last = oi == len(spec.sql_ops) - 1
+            data_out = data * cost.selectivity
+            if last:
+                data_out = min(data_out, data * max(d.output_fraction, 1e-3))
+            shuffle_gb = data * d.shuffle_fraction * cost.shuffle_factor
+            phases.extend(
+                mapreduce_job(
+                    f"{spec.name}-op{oi}-{op}",
+                    cluster,
+                    data_in_gb=data,
+                    shuffle_gb=shuffle_gb,
+                    data_out_gb=max(data_out, 1e-6),
+                    cpu_secs_per_gb=d.compute_per_gb * cost.cpu_factor,
+                    mem_blowup=d.mem_blowup,
+                    iteration=oi,
+                    skew=d.skew if cost.shuffle_factor > 0 else 0.0,
+                    # Intermediate tables between operators are written
+                    # unreplicated scratch; only the final table replicates.
+                    replicate_output=last,
+                )
+            )
+            data = max(data_out, 1e-6)
+        return phases

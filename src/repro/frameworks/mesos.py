@@ -1,0 +1,107 @@
+"""Mesos-style executor memory sizing (Section 5.1).
+
+The paper: *"In order to prevent out of memory (OOM) exceptions, we use
+Mesos to watch the real usage of memory per executor.  Then, we set the
+number of executors and the amount of executor memories based on the
+memory usage statistics."*
+
+:class:`MemoryWatcher` reproduces that guard for the simulator: it runs a
+workload once on a small observation cluster, reads the peak per-task
+working set out of the phase results, and recommends executor settings
+with a safety head-room.  :func:`safe_spec` applies the recommendation by
+raising the workload's ``mem_blowup`` floor so every engine sizes its
+tasks at (at least) the observed usage — runs configured this way cannot
+spill on any VM type whose nodes hold one sized executor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.vmtypes import VMType, get_vm_type
+from repro.errors import ValidationError
+from repro.frameworks.base import HDFS_SPLIT_GB, TASK_MEMORY_FLOOR_GB
+from repro.frameworks.registry import get_engine
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["ExecutorPlan", "MemoryWatcher", "safe_spec"]
+
+#: Default memory head-room over the observed peak (Mesos-style guards
+#: typically add 20-50 %).
+DEFAULT_HEADROOM = 1.3
+
+
+@dataclass(frozen=True)
+class ExecutorPlan:
+    """Recommended executor settings for one workload.
+
+    ``executor_memory_gb`` is the per-task container size;
+    ``executors_per_node(vm)`` derives the count for a concrete VM type.
+    """
+
+    workload: str
+    observed_peak_gb: float
+    executor_memory_gb: float
+    headroom: float
+
+    def executors_per_node(self, vm: VMType | str, nodes: int = 4) -> int:
+        """Executors that fit one node of ``vm`` at the planned size."""
+        if isinstance(vm, str):
+            vm = get_vm_type(vm)
+        cluster = Cluster(vm=vm, nodes=nodes)
+        return cluster.concurrent_tasks_per_node(self.executor_memory_gb)
+
+
+class MemoryWatcher:
+    """Observe per-task memory usage and recommend executor settings."""
+
+    def __init__(
+        self,
+        observation_vm: str = "r5.xlarge",
+        *,
+        headroom: float = DEFAULT_HEADROOM,
+    ) -> None:
+        if headroom < 1.0:
+            raise ValidationError("headroom must be >= 1.0")
+        self.observation_vm = get_vm_type(observation_vm)
+        self.headroom = headroom
+
+    def observe(self, spec: WorkloadSpec) -> ExecutorPlan:
+        """One observation run → the executor plan.
+
+        The peak working set is the largest per-task memory demand any
+        phase requested (before the container floor), exactly what a
+        Mesos-side usage watcher would report.
+        """
+        cluster = Cluster(vm=self.observation_vm, nodes=spec.nodes)
+        engine = get_engine(spec.framework)
+        phases = engine.plan(spec, cluster)
+        peak = max((p.mem_gb_per_task for p in phases), default=0.0)
+        sized = max(peak * self.headroom, TASK_MEMORY_FLOOR_GB)
+        return ExecutorPlan(
+            workload=spec.name,
+            observed_peak_gb=peak,
+            executor_memory_gb=sized,
+            headroom=self.headroom,
+        )
+
+
+def safe_spec(spec: WorkloadSpec, plan: ExecutorPlan) -> WorkloadSpec:
+    """Apply an executor plan: raise the spec's memory floor to the plan.
+
+    The returned spec's ``mem_blowup`` guarantees each task requests at
+    least ``plan.executor_memory_gb``, so the scheduler packs executors
+    the way the Mesos guard would — no task is admitted beyond what its
+    sized container allows.
+    """
+    if plan.workload != spec.name:
+        raise ValidationError(
+            f"plan is for {plan.workload!r}, not {spec.name!r}"
+        )
+    needed_blowup = plan.executor_memory_gb / HDFS_SPLIT_GB
+    if spec.demand.mem_blowup >= needed_blowup:
+        return spec
+    demand = dataclasses.replace(spec.demand, mem_blowup=needed_blowup)
+    return dataclasses.replace(spec, demand=demand)

@@ -1,0 +1,63 @@
+"""Framework registry and the one-call simulation entry point."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.vmtypes import VMType, get_vm_type
+from repro.errors import CatalogError
+from repro.frameworks.base import Engine, RunResult
+from repro.frameworks.hadoop import HadoopEngine
+from repro.frameworks.flink import FlinkEngine
+from repro.frameworks.hive import HiveEngine
+from repro.frameworks.spark import SparkEngine
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["get_engine", "simulate_run"]
+
+_ENGINES: dict[str, Engine] = {}
+
+
+def get_engine(framework: str) -> Engine:
+    """Return the (shared, stateless) engine for ``framework``."""
+    if framework not in ("hadoop", "hive", "spark", "flink"):
+        raise CatalogError(f"unknown framework {framework!r}")
+    if framework not in _ENGINES:
+        _ENGINES[framework] = {
+            "hadoop": HadoopEngine,
+            "hive": HiveEngine,
+            "spark": SparkEngine,
+            "flink": FlinkEngine,
+        }[framework]()
+    return _ENGINES[framework]
+
+
+def simulate_run(
+    spec: WorkloadSpec,
+    vm: VMType | str,
+    *,
+    nodes: int | None = None,
+    noise_multiplier: float = 1.0,
+    with_timeseries: bool = True,
+    sample_period_s: float = 5.0,
+    rng: np.random.Generator | None = None,
+) -> RunResult:
+    """Simulate one execution of ``spec`` on a cluster of ``vm`` instances.
+
+    Convenience wrapper: resolves the VM name, builds the
+    :class:`~repro.cloud.cluster.Cluster` (defaulting to the spec's node
+    count), and dispatches to the right engine.
+    """
+    if isinstance(vm, str):
+        vm = get_vm_type(vm)
+    cluster = Cluster(vm=vm, nodes=nodes if nodes is not None else spec.nodes)
+    engine = get_engine(spec.framework)
+    return engine.run(
+        spec,
+        cluster,
+        noise_multiplier=noise_multiplier,
+        with_timeseries=with_timeseries,
+        sample_period_s=sample_period_s,
+        rng=rng,
+    )

@@ -1,0 +1,187 @@
+"""Spark engine: DAG stages, executor memory, caching, spill.
+
+Mechanics that distinguish Spark in the simulator:
+
+- a one-off driver/executor start-up, then **cheap stages** (threads, not
+  JVMs per task — per-task overhead is ~10× smaller than Hadoop's);
+- iterative jobs **cache** their working set in executor storage memory;
+  iterations after the first re-read only the uncached remainder from
+  disk, so iteration cost collapses when the cluster has enough memory —
+  the effect that makes memory-optimized VM types win for iterative ML on
+  Spark but not on Hadoop;
+- shuffles write sort-based shuffle files locally and pull them across the
+  network;
+- when a task's working set exceeds its memory share the base scheduler
+  spills to disk (Section 5.1's OOM guard).
+
+Executor sizing follows the paper's setup: executors and their memory are
+derived from observed usage (we size storage memory as a fixed fraction of
+usable node memory, the ``spark.memory.fraction`` default).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cloud.cluster import Cluster
+from repro.frameworks.base import (
+    HDFS_REPLICATION,
+    HDFS_SPLIT_GB,
+    Engine,
+    Phase,
+    PhaseKind,
+)
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["SparkEngine", "cache_fraction"]
+
+#: Driver + executor fleet start-up latency.
+APP_STARTUP_S = 6.0
+
+#: Per-stage scheduling latency.
+STAGE_OVERHEAD_S = 0.4
+
+#: Per-task launch overhead (task dispatch in a running executor).
+TASK_OVERHEAD_S = 0.12
+
+#: Fraction of usable executor memory available for RDD storage
+#: (Spark's unified memory region times its storage share).
+STORAGE_FRACTION = 0.55
+
+#: Shuffle data is written to local shuffle files and read back once.
+SHUFFLE_DISK_FACTOR = 0.5
+
+#: Driver-side work per task per stage (serialization, scheduling) — not
+#: parallelizable, so it caps how far small inputs scale on huge slot
+#: counts: the diminishing returns real Spark shows past a few dozen
+#: cores per GB.
+DRIVER_COST_PER_TASK_S = 0.0012
+
+#: Per-mapper connection setup paid by each reduce task in a shuffle; the
+#: all-to-all fan-out that makes oversized clusters shuffle-bound.
+SHUFFLE_CONN_SETUP_S = 0.0004
+
+
+def cache_fraction(spec: WorkloadSpec, cluster: Cluster) -> float:
+    """Fraction of the working set served from cache after iteration 0.
+
+    ``min(cacheable share of the algorithm, storage capacity / working set)``.
+    The working set is the deserialised input (``input_gb × mem_blowup``).
+    """
+    d = spec.demand
+    working_set = spec.input_gb * d.mem_blowup
+    if working_set <= 0:
+        return d.cacheable_fraction
+    capacity = cluster.usable_mem_gb * STORAGE_FRACTION
+    return min(d.cacheable_fraction, capacity / working_set)
+
+
+class SparkEngine(Engine):
+    """DAG executor with in-memory caching across iterations."""
+
+    framework = "spark"
+
+    def plan(self, spec: WorkloadSpec, cluster: Cluster) -> list[Phase]:
+        d = spec.demand
+        data = spec.input_gb
+        split = HDFS_SPLIT_GB
+        slots = cluster.total_vcpus
+        remote_frac = (cluster.nodes - 1) / cluster.nodes if cluster.nodes > 1 else 0.0
+        cached = cache_fraction(spec, cluster)
+
+        phases: list[Phase] = [
+            Phase(
+                name=f"{spec.name}-startup",
+                kind=PhaseKind.SYNCHRONIZATION,
+                tasks=1,
+                cpu_secs_per_task=2.0,
+                fixed_overhead_s=APP_STARTUP_S,
+            )
+        ]
+
+        # Spark sizes its partition count to the cluster (defaultParallelism
+        # = 2-3x total cores), unlike Hadoop whose map tasks are pinned to
+        # HDFS splits.  This is why Spark keeps scaling with bigger VM
+        # types where MapReduce flattens out — and why Ernest's 1/cores
+        # basis fits Spark but not Hadoop (Table 5).
+        parallelism = max(1, math.ceil(data / split), 2 * slots)
+
+        for it in range(d.iterations):
+            # Compute stage: full pass over the (possibly cached) dataset.
+            tasks = parallelism
+            per_task_in = data / tasks
+            disk_share = 1.0 if it == 0 else (1.0 - cached)
+            phases.append(
+                Phase(
+                    name=f"{spec.name}-it{it}-compute",
+                    kind=PhaseKind.COMPUTE,
+                    tasks=tasks,
+                    cpu_secs_per_task=d.compute_per_gb * per_task_in,
+                    disk_read_gb=per_task_in * disk_share,
+                    net_gb=per_task_in * disk_share * 0.1,  # non-local blocks
+                    mem_gb_per_task=per_task_in * d.mem_blowup,
+                    task_overhead_s=TASK_OVERHEAD_S,
+                    fixed_overhead_s=STAGE_OVERHEAD_S
+                    + DRIVER_COST_PER_TASK_S * tasks,
+                    iteration=it,
+                    data_gb=data,
+                )
+            )
+
+            shuffle_gb = data * d.shuffle_fraction
+            if shuffle_gb > 0:
+                red_tasks = max(1, min(parallelism, math.ceil(shuffle_gb / split) * 2))
+                per_red = shuffle_gb / red_tasks
+                phases.append(
+                    Phase(
+                        name=f"{spec.name}-it{it}-shuffle",
+                        kind=PhaseKind.COMMUNICATION,
+                        tasks=red_tasks,
+                        cpu_secs_per_task=0.05 * d.compute_per_gb * per_red,
+                        disk_read_gb=per_red * SHUFFLE_DISK_FACTOR,
+                        disk_write_gb=per_red * SHUFFLE_DISK_FACTOR,
+                        net_gb=per_red * remote_frac,
+                        mem_gb_per_task=per_red * d.mem_blowup * 0.5,
+                        task_overhead_s=TASK_OVERHEAD_S
+                        + SHUFFLE_CONN_SETUP_S * parallelism,
+                        fixed_overhead_s=STAGE_OVERHEAD_S
+                        + DRIVER_COST_PER_TASK_S * red_tasks,
+                        iteration=it,
+                        data_gb=shuffle_gb,
+                        skew=d.skew,
+                    )
+                )
+
+            for s in range(d.sync_per_iter):
+                phases.append(
+                    Phase(
+                        name=f"{spec.name}-it{it}-barrier{s}",
+                        kind=PhaseKind.SYNCHRONIZATION,
+                        tasks=cluster.nodes,
+                        cpu_secs_per_task=0.05,
+                        net_gb=0.0005,
+                        fixed_overhead_s=0.3,
+                        iteration=it,
+                    )
+                )
+
+        out_gb = data * d.output_fraction
+        if out_gb > 0:
+            out_tasks = max(1, min(slots, math.ceil(out_gb / split)))
+            per_out = out_gb / out_tasks
+            phases.append(
+                Phase(
+                    name=f"{spec.name}-write",
+                    kind=PhaseKind.COMMUNICATION,
+                    tasks=out_tasks,
+                    cpu_secs_per_task=0.02 * d.compute_per_gb * per_out,
+                    disk_write_gb=per_out * HDFS_REPLICATION,
+                    net_gb=per_out * (HDFS_REPLICATION - 1),
+                    mem_gb_per_task=per_out,
+                    task_overhead_s=TASK_OVERHEAD_S,
+                    fixed_overhead_s=STAGE_OVERHEAD_S,
+                    iteration=d.iterations - 1,
+                    data_gb=out_gb,
+                )
+            )
+        return phases

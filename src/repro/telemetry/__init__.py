@@ -1,0 +1,34 @@
+"""Metric collection: the paper's Data Collector and its storage.
+
+- :mod:`repro.telemetry.metrics` — the 20 low-level metric definitions;
+- :mod:`repro.telemetry.collector` — repeated-run profiling with 5-second
+  sampling and conservative P90 aggregation (Section 4.1);
+- :mod:`repro.telemetry.store` — a sqlite-backed run archive standing in
+  for the paper's MySQL database;
+- :mod:`repro.telemetry.latency` — latency/throughput metrics for
+  latency-sensitive workloads (the Section 7 extension).
+"""
+
+from repro.telemetry.collector import DataCollector, WorkloadProfile
+from repro.telemetry.latency import LatencyReport, latency_report
+from repro.telemetry.metrics import (
+    EXECUTION_METRICS,
+    METRIC_INDEX,
+    METRIC_NAMES,
+    NUM_METRICS,
+    RESOURCE_METRICS,
+)
+from repro.telemetry.store import MetricsStore
+
+__all__ = [
+    "DataCollector",
+    "EXECUTION_METRICS",
+    "LatencyReport",
+    "latency_report",
+    "METRIC_INDEX",
+    "METRIC_NAMES",
+    "MetricsStore",
+    "NUM_METRICS",
+    "RESOURCE_METRICS",
+    "WorkloadProfile",
+]

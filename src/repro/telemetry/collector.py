@@ -1,0 +1,183 @@
+"""The Data Collector: repeated-run profiling with P90 aggregation.
+
+Section 4.1: *"Considering the performance variability in cloud
+environments, we run each workload 10 times to take a conservative
+estimate of P90 values.  The Data Collector collects low-level metrics in
+every 5 seconds using average resource utilizations."*
+
+:class:`DataCollector` reproduces that protocol against the simulated
+cloud: per (workload, VM type) it draws independent noise multipliers,
+executes the configured repetitions, and aggregates into a
+:class:`WorkloadProfile` holding the conservative P90 runtime/budget and
+one run's full 20-metric time series (for correlation analysis — the
+paper records correlation values per run).
+
+Seeding: every (workload, VM, seed) triple derives a stable stream seed,
+so profiles are reproducible independently of collection order.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.noise import CloudNoiseModel
+from repro.cloud.vmtypes import VMType, get_vm_type
+from repro.errors import ValidationError
+from repro.frameworks.registry import simulate_run
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["DataCollector", "WorkloadProfile", "DEFAULT_REPETITIONS"]
+
+#: The paper's repetition count per (workload, VM type).
+DEFAULT_REPETITIONS = 10
+
+#: The paper's conservative percentile.
+P90 = 90.0
+
+
+def _stream_seed(workload: str, vm_name: str, seed: int) -> int:
+    """Stable 32-bit seed for one (workload, VM) profiling stream."""
+    return zlib.crc32(f"{workload}|{vm_name}|{seed}".encode())
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Aggregated profile of one workload on one VM type.
+
+    Attributes
+    ----------
+    runtimes, budgets:
+        Per-repetition observations (noise included).
+    runtime_p90, budget_p90:
+        The paper's conservative estimates.
+    timeseries:
+        ``(samples, 20)`` metric series of the first repetition (the run
+        whose correlation values the analysis layer consumes).
+    spilled:
+        Whether the run had to spill task state to disk.
+    """
+
+    workload: str
+    framework: str
+    vm_name: str
+    nodes: int
+    runtimes: np.ndarray
+    budgets: np.ndarray
+    timeseries: np.ndarray
+    spilled: bool
+
+    @property
+    def runtime_p90(self) -> float:
+        return float(np.percentile(self.runtimes, P90))
+
+    @property
+    def budget_p90(self) -> float:
+        return float(np.percentile(self.budgets, P90))
+
+    @property
+    def runtime_mean(self) -> float:
+        return float(np.mean(self.runtimes))
+
+    @property
+    def runtime_cv(self) -> float:
+        """Coefficient of variation — the paper reports ~40 % for svd++."""
+        mean = self.runtime_mean
+        return float(np.std(self.runtimes) / mean) if mean > 0 else 0.0
+
+
+class DataCollector:
+    """Runs the paper's offline profiling protocol on the simulated cloud.
+
+    Parameters
+    ----------
+    repetitions:
+        Runs per (workload, VM type); the paper uses 10.
+    seed:
+        Master seed; all per-pair noise streams derive from it.
+    sample_period_s:
+        Collector cadence (5 s in the paper).
+    """
+
+    def __init__(
+        self,
+        repetitions: int = DEFAULT_REPETITIONS,
+        seed: int = 0,
+        sample_period_s: float = 5.0,
+    ) -> None:
+        if repetitions < 1:
+            raise ValidationError("repetitions must be >= 1")
+        self.repetitions = repetitions
+        self.seed = seed
+        self.sample_period_s = sample_period_s
+
+    def collect(
+        self,
+        spec: WorkloadSpec,
+        vm: VMType | str,
+        *,
+        nodes: int | None = None,
+    ) -> WorkloadProfile:
+        """Profile ``spec`` on ``vm``: repeated runs, P90, one time series."""
+        if isinstance(vm, str):
+            vm = get_vm_type(vm)
+        stream = _stream_seed(spec.name, vm.name, self.seed)
+        noise = CloudNoiseModel(seed=stream)
+        rng = np.random.default_rng(stream + 1)
+
+        runtimes = np.empty(self.repetitions)
+        budgets = np.empty(self.repetitions)
+        series = None
+        spilled = False
+        for rep in range(self.repetitions):
+            mult = noise.sample(spec.demand.variance_boost).multiplier
+            result = simulate_run(
+                spec,
+                vm,
+                nodes=nodes,
+                noise_multiplier=mult,
+                with_timeseries=rep == 0,
+                sample_period_s=self.sample_period_s,
+                rng=rng,
+            )
+            runtimes[rep] = result.runtime_s
+            budgets[rep] = result.budget_usd
+            if rep == 0:
+                series = result.timeseries
+                spilled = result.spilled
+
+        assert series is not None
+        return WorkloadProfile(
+            workload=spec.name,
+            framework=spec.framework,
+            vm_name=vm.name,
+            nodes=nodes if nodes is not None else spec.nodes,
+            runtimes=runtimes,
+            budgets=budgets,
+            timeseries=series,
+            spilled=spilled,
+        )
+
+    def runtime_only(
+        self,
+        spec: WorkloadSpec,
+        vm: VMType | str,
+        *,
+        nodes: int | None = None,
+    ) -> float:
+        """Fast path: P90 runtime without materialising any time series.
+
+        Used by the ground-truth exhaustive sweeps where only runtimes
+        matter (30 workloads × 100 VM types × 10 reps).
+        """
+        if isinstance(vm, str):
+            vm = get_vm_type(vm)
+        stream = _stream_seed(spec.name, vm.name, self.seed)
+        noise = CloudNoiseModel(seed=stream)
+        base = simulate_run(
+            spec, vm, nodes=nodes, noise_multiplier=1.0, with_timeseries=False
+        ).runtime_s
+        mults = noise.sample_multipliers(self.repetitions, spec.demand.variance_boost)
+        return float(np.percentile(base * mults, P90))

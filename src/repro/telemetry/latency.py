@@ -1,0 +1,93 @@
+"""Latency/throughput metrics for latency-sensitive workloads (Section 7).
+
+The paper's conclusion sketches the extension: *"latency and throughput
+are important variables for measuring the performance of
+latency-sensitive workloads"*.  The simulator already exposes the
+structure these metrics need — iterations act as micro-batches for the
+streaming workloads (Twitter, PageReview) — so this module derives them
+from any :class:`~repro.frameworks.base.RunResult`:
+
+- :func:`batch_latencies` — wall time of each iteration (micro-batch);
+- :func:`latency_percentile` — e.g. the P99 batch latency an SLA would
+  bound;
+- :func:`throughput_gb_per_s` — sustained data rate over the run;
+- :func:`latency_report` — the full summary for one run.
+
+These are measurement utilities (the ground-truth side); ranking VM types
+by a latency objective reduces to ranking by the slowest batch, which
+:func:`batch_latencies` exposes per candidate run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.frameworks.base import RunResult
+
+__all__ = [
+    "batch_latencies",
+    "latency_percentile",
+    "throughput_gb_per_s",
+    "LatencyReport",
+    "latency_report",
+]
+
+
+def batch_latencies(run: RunResult) -> np.ndarray:
+    """Wall time (s) of each iteration (micro-batch) of ``run``.
+
+    Phase durations are grouped by their ``iteration`` index; the noise
+    multiplier is applied uniformly, matching how
+    :class:`~repro.frameworks.base.Engine.run` scales the total.
+    """
+    if not run.phases:
+        raise ValidationError("run has no phases")
+    iters: dict[int, float] = {}
+    for result in run.phases:
+        it = result.phase.iteration
+        iters[it] = iters.get(it, 0.0) + result.duration_s
+    ordered = np.array([iters[k] for k in sorted(iters)])
+    return ordered * run.noise_multiplier
+
+
+def latency_percentile(run: RunResult, pct: float = 99.0) -> float:
+    """The ``pct``-th percentile batch latency (s) of ``run``."""
+    if not 0.0 <= pct <= 100.0:
+        raise ValidationError(f"pct must be in [0, 100], got {pct}")
+    return float(np.percentile(batch_latencies(run), pct))
+
+
+def throughput_gb_per_s(run: RunResult) -> float:
+    """Sustained logical data rate (GB/s) over the whole run."""
+    total_gb = sum(r.phase.data_gb for r in run.phases)
+    return total_gb / run.runtime_s if run.runtime_s > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Latency-sensitive summary of one run."""
+
+    workload: str
+    vm_name: str
+    batches: int
+    mean_latency_s: float
+    p99_latency_s: float
+    max_latency_s: float
+    throughput_gb_s: float
+
+
+def latency_report(run: RunResult) -> LatencyReport:
+    """Build the full latency/throughput summary for ``run``."""
+    lats = batch_latencies(run)
+    return LatencyReport(
+        workload=run.workload,
+        vm_name=run.vm_name,
+        batches=len(lats),
+        mean_latency_s=float(lats.mean()),
+        p99_latency_s=float(np.percentile(lats, 99)),
+        max_latency_s=float(lats.max()),
+        throughput_gb_s=throughput_gb_per_s(run),
+    )

@@ -1,0 +1,74 @@
+"""The 20 low-level metrics the Data Collector records (Section 3.1).
+
+The paper enumerates resource metrics (CPU system/user/idle; RAM, buffer,
+cache usage; disk read/write; network send/receive/drop) and execution
+metrics (task counts in computation/communication/synchronization steps;
+ratios of data size to cycles, iterations, and parallelism) and says the
+total is 20.  The explicit list covers 17, so we complete the set with the
+three standard companions any ``sar``-style collector reports alongside
+them — ``cpu_wait`` (iowait), ``mem_swap`` (spill pressure) and
+``disk_util`` — and document the choice here.
+
+Every metric is a per-sample scalar; a run's telemetry is a
+``(samples, 20)`` array with columns in :data:`METRIC_NAMES` order.
+"""
+
+from __future__ import annotations
+
+from typing import Final
+
+__all__ = [
+    "RESOURCE_METRICS",
+    "EXECUTION_METRICS",
+    "METRIC_NAMES",
+    "METRIC_INDEX",
+    "NUM_METRICS",
+    "metric_column",
+]
+
+#: Resource metrics: utilization fractions in [0, 1] except the byte rates
+#: (``disk_read``, ``disk_write``, ``net_send``, ``net_recv``, in MB/s per
+#: node) — Pearson correlation is scale-invariant so mixed units are fine.
+RESOURCE_METRICS: Final[tuple[str, ...]] = (
+    "cpu_user",
+    "cpu_system",
+    "cpu_idle",
+    "cpu_wait",
+    "mem_used",
+    "mem_buffer",
+    "mem_cache",
+    "mem_swap",
+    "disk_read",
+    "disk_write",
+    "disk_util",
+    "net_send",
+    "net_recv",
+    "net_drop",
+)
+
+#: Execution metrics: active task counts per step kind, and the
+#: data-to-{cycles, iterations, parallelism} ratios of Section 3.1.
+EXECUTION_METRICS: Final[tuple[str, ...]] = (
+    "tasks_compute",
+    "tasks_communication",
+    "tasks_synchronization",
+    "data_per_cycle",
+    "data_per_iteration",
+    "data_per_parallelism",
+)
+
+METRIC_NAMES: Final[tuple[str, ...]] = RESOURCE_METRICS + EXECUTION_METRICS
+
+#: Column index of each metric in a telemetry array.
+METRIC_INDEX: Final[dict[str, int]] = {name: i for i, name in enumerate(METRIC_NAMES)}
+
+NUM_METRICS: Final[int] = len(METRIC_NAMES)
+assert NUM_METRICS == 20, "the paper collects exactly 20 low-level metrics"
+
+
+def metric_column(name: str) -> int:
+    """Column index for ``name``; raises ``KeyError`` with a helpful message."""
+    try:
+        return METRIC_INDEX[name]
+    except KeyError:
+        raise KeyError(f"unknown metric {name!r}; known: {METRIC_NAMES}") from None

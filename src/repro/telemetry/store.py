@@ -1,0 +1,146 @@
+"""Run archive: the paper's MySQL database, reproduced over sqlite3.
+
+Section 4.1 stores all collected data in MySQL.  A reproduction needs the
+same capability — persist profiles, query them back by workload/VM — but
+not a server, so :class:`MetricsStore` wraps :mod:`sqlite3` (in-memory by
+default, file-backed on request).  Time series are persisted as raw
+``float64`` blobs with their shape, avoiding any serialization dependency.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from collections.abc import Iterator
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.telemetry.collector import WorkloadProfile
+from repro.telemetry.metrics import NUM_METRICS
+
+__all__ = ["MetricsStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS profiles (
+    workload   TEXT NOT NULL,
+    framework  TEXT NOT NULL,
+    vm_name    TEXT NOT NULL,
+    nodes      INTEGER NOT NULL,
+    spilled    INTEGER NOT NULL,
+    runtimes   BLOB NOT NULL,
+    budgets    BLOB NOT NULL,
+    samples    INTEGER NOT NULL,
+    series     BLOB NOT NULL,
+    PRIMARY KEY (workload, vm_name, nodes)
+);
+CREATE INDEX IF NOT EXISTS idx_profiles_workload ON profiles (workload);
+CREATE INDEX IF NOT EXISTS idx_profiles_vm ON profiles (vm_name);
+"""
+
+
+class MetricsStore:
+    """Persistent archive of :class:`~repro.telemetry.collector.WorkloadProfile` rows.
+
+    Usable as a context manager; ``close()`` is idempotent.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "MetricsStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- writes ----------------------------------------------------------------
+
+    def put(self, profile: WorkloadProfile) -> None:
+        """Insert or replace the profile for its (workload, vm, nodes) key."""
+        series = np.ascontiguousarray(profile.timeseries, dtype=np.float64)
+        if series.ndim != 2 or series.shape[1] != NUM_METRICS:
+            raise ValidationError(
+                f"profile series must be (samples, {NUM_METRICS}), got {series.shape}"
+            )
+        self._conn.execute(
+            "INSERT OR REPLACE INTO profiles VALUES (?,?,?,?,?,?,?,?,?)",
+            (
+                profile.workload,
+                profile.framework,
+                profile.vm_name,
+                profile.nodes,
+                int(profile.spilled),
+                np.ascontiguousarray(profile.runtimes, dtype=np.float64).tobytes(),
+                np.ascontiguousarray(profile.budgets, dtype=np.float64).tobytes(),
+                series.shape[0],
+                series.tobytes(),
+            ),
+        )
+        self._conn.commit()
+
+    # -- reads -------------------------------------------------------------------
+
+    def get(self, workload: str, vm_name: str, nodes: int = 4) -> WorkloadProfile | None:
+        """Fetch one profile, or ``None`` when absent."""
+        row = self._conn.execute(
+            "SELECT * FROM profiles WHERE workload=? AND vm_name=? AND nodes=?",
+            (workload, vm_name, nodes),
+        ).fetchone()
+        return self._row_to_profile(row) if row else None
+
+    def profiles_for_workload(self, workload: str) -> list[WorkloadProfile]:
+        """All stored profiles of ``workload``, ordered by VM name."""
+        rows = self._conn.execute(
+            "SELECT * FROM profiles WHERE workload=? ORDER BY vm_name", (workload,)
+        ).fetchall()
+        return [self._row_to_profile(r) for r in rows]
+
+    def workloads(self) -> list[str]:
+        """Distinct workload names present in the store."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT workload FROM profiles ORDER BY workload"
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def vm_names(self) -> list[str]:
+        """Distinct VM type names present in the store."""
+        rows = self._conn.execute(
+            "SELECT DISTINCT vm_name FROM profiles ORDER BY vm_name"
+        ).fetchall()
+        return [r[0] for r in rows]
+
+    def __len__(self) -> int:
+        return int(self._conn.execute("SELECT COUNT(*) FROM profiles").fetchone()[0])
+
+    @contextmanager
+    def bulk(self) -> Iterator["MetricsStore"]:
+        """Batch many :meth:`put` calls into one transaction."""
+        self._conn.execute("BEGIN")
+        try:
+            yield self
+        finally:
+            self._conn.commit()
+
+    # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _row_to_profile(row: tuple) -> WorkloadProfile:
+        (workload, framework, vm_name, nodes, spilled, rt_b, bud_b, samples, series_b) = row
+        series = np.frombuffer(series_b, dtype=np.float64).reshape(samples, NUM_METRICS)
+        return WorkloadProfile(
+            workload=workload,
+            framework=framework,
+            vm_name=vm_name,
+            nodes=nodes,
+            runtimes=np.frombuffer(rt_b, dtype=np.float64),
+            budgets=np.frombuffer(bud_b, dtype=np.float64),
+            timeseries=series,
+            spilled=bool(spilled),
+        )

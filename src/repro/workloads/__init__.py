@@ -1,0 +1,46 @@
+"""The 30-application workload suite of Table 3.
+
+Workloads come from HiBench and BigDataBench analogs spanning the paper's
+five use-case groups: micro benchmarks, machine learning, SQL-like
+processing, search engine, and streaming.  Each workload is a
+:class:`~repro.workloads.spec.WorkloadSpec` binding a *framework* (hadoop /
+hive / spark) to a framework-independent :class:`~repro.workloads.spec.DemandProfile`
+— the shared demand structure is precisely the cross-framework similarity
+Vesta's transfer learning exploits.
+"""
+
+from repro.workloads.catalog import (
+    SOURCE_TESTING,
+    SOURCE_TRAINING,
+    TARGET_SET,
+    all_workloads,
+    get_workload,
+    source_set,
+    target_set,
+    testing_set,
+    training_set,
+    workload_names,
+)
+from repro.workloads.datasets import DATASET_SCALES_GB, dataset_gb
+from repro.workloads.spec import DemandProfile, UseCase, WorkloadSpec
+from repro.workloads.generators import ARCHETYPES, WorkloadGenerator
+
+__all__ = [
+    "ARCHETYPES",
+    "WorkloadGenerator",
+    "DATASET_SCALES_GB",
+    "DemandProfile",
+    "SOURCE_TESTING",
+    "SOURCE_TRAINING",
+    "TARGET_SET",
+    "UseCase",
+    "WorkloadSpec",
+    "all_workloads",
+    "dataset_gb",
+    "get_workload",
+    "source_set",
+    "target_set",
+    "testing_set",
+    "training_set",
+    "workload_names",
+]

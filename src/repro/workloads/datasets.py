@@ -1,0 +1,44 @@
+"""Input-dataset scale presets.
+
+HiBench names its data scales; the paper quotes "gigantic" = 30 GB,
+"huge" = 3 GB and "large" = 300 MB (Section 5.1).  BigDataBench lets the
+user set the input size directly.  We reproduce the HiBench ladder and
+expose a helper that resolves either a preset name or an explicit size.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ValidationError
+
+__all__ = ["DATASET_SCALES_GB", "dataset_gb"]
+
+#: HiBench scale-profile ladder in GB, anchored on the paper's quoted sizes.
+DATASET_SCALES_GB: dict[str, float] = {
+    "tiny": 0.003,
+    "small": 0.03,
+    "large": 0.3,
+    "huge": 3.0,
+    "gigantic": 30.0,
+    "bigdata": 300.0,
+}
+
+
+def dataset_gb(scale: str | float) -> float:
+    """Resolve a scale preset name or explicit GB figure to GB.
+
+    >>> dataset_gb("huge")
+    3.0
+    >>> dataset_gb(12.5)
+    12.5
+    """
+    if isinstance(scale, str):
+        try:
+            return DATASET_SCALES_GB[scale]
+        except KeyError:
+            raise ValidationError(
+                f"unknown dataset scale {scale!r}; choose from {sorted(DATASET_SCALES_GB)}"
+            ) from None
+    value = float(scale)
+    if value <= 0:
+        raise ValidationError(f"dataset size must be > 0 GB, got {value}")
+    return value

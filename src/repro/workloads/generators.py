@@ -1,0 +1,172 @@
+"""Synthetic workload generation.
+
+The Table-3 suite is fixed; capacity studies, stress tests and
+property-based tests need *arbitrary* workloads that still look like big
+data jobs.  :class:`WorkloadGenerator` samples demand profiles from
+archetype-conditioned distributions (compute-bound ML, IO-bound micro,
+shuffle-heavy SQL/graph, streaming) and binds them to frameworks and
+input sizes, seeded and reproducible.
+
+Generated workloads run through exactly the same engine/selection paths
+as the catalog ones — nothing downstream special-cases them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.workloads.spec import DemandProfile, Suite, UseCase, WorkloadSpec
+
+__all__ = ["Archetype", "ARCHETYPES", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class Archetype:
+    """Sampling ranges for one workload family.
+
+    Each attribute is a ``(low, high)`` range sampled log-uniformly
+    (compute) or uniformly (fractions/counts).
+    """
+
+    name: str
+    use_case: UseCase
+    compute_per_gb: tuple[float, float]
+    shuffle_fraction: tuple[float, float]
+    output_fraction: tuple[float, float]
+    iterations: tuple[int, int]
+    mem_blowup: tuple[float, float]
+    sync_per_iter: tuple[int, int]
+    cacheable: tuple[float, float]
+    input_gb: tuple[float, float]
+    skew: tuple[float, float] = (0.0, 0.0)
+
+
+ARCHETYPES: dict[str, Archetype] = {
+    "micro-io": Archetype(
+        name="micro-io",
+        use_case=UseCase.MICRO,
+        compute_per_gb=(3.0, 12.0),
+        shuffle_fraction=(0.0, 1.0),
+        output_fraction=(0.0, 1.0),
+        iterations=(1, 1),
+        mem_blowup=(1.0, 1.8),
+        sync_per_iter=(0, 1),
+        cacheable=(0.0, 0.0),
+        input_gb=(10.0, 60.0),
+    ),
+    "iterative-ml": Archetype(
+        name="iterative-ml",
+        use_case=UseCase.ML,
+        compute_per_gb=(20.0, 50.0),
+        shuffle_fraction=(0.02, 0.3),
+        output_fraction=(0.0, 0.01),
+        iterations=(5, 20),
+        mem_blowup=(2.0, 5.0),
+        sync_per_iter=(1, 3),
+        cacheable=(0.8, 1.0),
+        input_gb=(2.0, 12.0),
+    ),
+    "shuffle-heavy": Archetype(
+        name="shuffle-heavy",
+        use_case=UseCase.SQL,
+        compute_per_gb=(8.0, 20.0),
+        shuffle_fraction=(0.5, 1.2),
+        output_fraction=(0.1, 0.6),
+        iterations=(1, 3),
+        mem_blowup=(1.8, 3.5),
+        sync_per_iter=(0, 2),
+        cacheable=(0.0, 0.5),
+        input_gb=(5.0, 25.0),
+        skew=(0.3, 1.5),  # hot join keys
+    ),
+    "streaming": Archetype(
+        name="streaming",
+        use_case=UseCase.STREAMING,
+        compute_per_gb=(8.0, 16.0),
+        shuffle_fraction=(0.1, 0.4),
+        output_fraction=(0.01, 0.1),
+        iterations=(3, 8),
+        mem_blowup=(1.2, 2.0),
+        sync_per_iter=(4, 8),
+        cacheable=(0.0, 0.3),
+        input_gb=(2.0, 10.0),
+    ),
+}
+
+
+class WorkloadGenerator:
+    """Seeded sampler of synthetic :class:`WorkloadSpec` instances."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._counter = 0
+
+    def _log_uniform(self, lo: float, hi: float) -> float:
+        return float(np.exp(self._rng.uniform(np.log(lo), np.log(hi))))
+
+    def sample_profile(self, archetype: str) -> DemandProfile:
+        """Sample one demand profile from an archetype."""
+        try:
+            a = ARCHETYPES[archetype]
+        except KeyError:
+            raise ValidationError(
+                f"unknown archetype {archetype!r}; choose from {sorted(ARCHETYPES)}"
+            ) from None
+        rng = self._rng
+        return DemandProfile(
+            compute_per_gb=self._log_uniform(*a.compute_per_gb),
+            shuffle_fraction=float(rng.uniform(*a.shuffle_fraction)),
+            output_fraction=float(rng.uniform(*a.output_fraction)),
+            iterations=int(rng.integers(a.iterations[0], a.iterations[1] + 1)),
+            mem_blowup=float(rng.uniform(*a.mem_blowup)),
+            sync_per_iter=int(rng.integers(a.sync_per_iter[0], a.sync_per_iter[1] + 1)),
+            cacheable_fraction=float(rng.uniform(*a.cacheable)),
+            skew=float(rng.uniform(*a.skew)),
+        )
+
+    def sample(
+        self,
+        archetype: str | None = None,
+        framework: str | None = None,
+        nodes: int = 4,
+    ) -> WorkloadSpec:
+        """Sample one synthetic workload.
+
+        ``archetype``/``framework`` default to uniform draws.  Hive
+        workloads get a plausible operator plan for their archetype.
+        """
+        rng = self._rng
+        if archetype is None:
+            archetype = sorted(ARCHETYPES)[int(rng.integers(len(ARCHETYPES)))]
+        if framework is None:
+            framework = ("hadoop", "hive", "spark")[int(rng.integers(3))]
+        profile = self.sample_profile(archetype)  # validates the archetype
+        a = ARCHETYPES[archetype]
+        self._counter += 1
+        sql_ops: tuple[str, ...] = ()
+        if framework == "hive":
+            sql_ops = (
+                ("scan", "aggregate")
+                if profile.shuffle_fraction < 0.5
+                else ("scan", "shuffle-join")
+            )
+        return WorkloadSpec(
+            name=f"{framework}-synth-{archetype}-{self._counter}",
+            framework=framework,
+            algorithm=f"synth-{archetype}",
+            use_case=a.use_case,
+            suite=Suite.BIGDATABENCH,
+            demand=profile,
+            input_gb=self._log_uniform(*a.input_gb),
+            nodes=nodes,
+            sql_ops=sql_ops,
+        )
+
+    def sample_many(self, n: int, **kwargs) -> tuple[WorkloadSpec, ...]:
+        """Sample ``n`` workloads with shared constraints."""
+        if n < 0:
+            raise ValidationError("n must be >= 0")
+        return tuple(self.sample(**kwargs) for _ in range(n))

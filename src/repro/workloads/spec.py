@@ -1,0 +1,182 @@
+"""Workload specifications.
+
+A workload in the paper is "the runtime state of an application" — an
+application plus its input and the load it imposes on resources.  We model
+that with two layers:
+
+- :class:`DemandProfile` — the **framework-independent** demand structure of
+  an algorithm (how much CPU per GB, how much data it shuffles, how many
+  iterations, its memory blow-up...).  *Hadoop-kmeans* and *Spark-kmeans*
+  share one profile.  This is the ground-truth source of the "correlation
+  similarities" the paper observes across frameworks: the co-movement of
+  resource usage is set by the algorithm, while the absolute levels are set
+  by the engine.
+- :class:`WorkloadSpec` — a named Table-3 entry binding a profile to a
+  framework, an input size, a benchmark suite, and (for Hive) a SQL
+  operator plan.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ValidationError
+
+__all__ = ["UseCase", "Suite", "DemandProfile", "WorkloadSpec"]
+
+
+class UseCase(enum.Enum):
+    """The paper's five use-case groups (Section 3.1)."""
+
+    MICRO = "micro benchmark"
+    ML = "machine learning"
+    SQL = "SQL-like processing"
+    SEARCH = "search engine"
+    STREAMING = "streaming"
+
+
+class Suite(enum.Enum):
+    """Origin benchmark suite (Table 3 distinguishes the two by font)."""
+
+    HIBENCH = "HiBench"
+    BIGDATABENCH = "BigDataBench"
+
+
+@dataclass(frozen=True)
+class DemandProfile:
+    """Framework-independent demand structure of one algorithm.
+
+    Attributes
+    ----------
+    compute_per_gb:
+        Normalized-core CPU seconds needed per GB of input, per pass.
+    shuffle_fraction:
+        Fraction of the processed data exchanged between stages (drives
+        network and shuffle-disk traffic).
+    output_fraction:
+        Output size as a fraction of input size (drives final writes).
+    iterations:
+        Number of passes over the data (1 for one-shot jobs; ML jobs
+        iterate).  Iterations are where Spark's caching pays off and where
+        Hadoop pays repeated HDFS materialisation.
+    mem_blowup:
+        In-memory working set per task as a multiple of its input split
+        (deserialisation + algorithm state).  Values > ~3 mark
+        memory-hungry jobs (PCA, LR models with many features).
+    sync_per_iter:
+        Synchronisation barriers per iteration beyond the implicit
+        stage barrier (drives the synchronization execution metrics).
+    cacheable_fraction:
+        Fraction of the input that benefits from in-memory caching across
+        iterations (Spark only).  1.0 for classic iterative ML, 0 for
+        single-pass jobs.
+    variance_boost:
+        Multiplier on the cloud-noise sigma for this algorithm.  ≈6 for
+        svd++ reproduces the paper's ~40 % run-to-run variance anomaly.
+    skew:
+        Partition imbalance at shuffle boundaries: the hottest partition
+        carries ``(1 + skew)`` times the average load (hot keys in joins,
+        power-law vertex degrees in graph workloads).  0 = uniform.
+    """
+
+    compute_per_gb: float
+    shuffle_fraction: float
+    output_fraction: float = 0.1
+    iterations: int = 1
+    mem_blowup: float = 1.5
+    sync_per_iter: int = 1
+    cacheable_fraction: float = 0.0
+    variance_boost: float = 1.0
+    skew: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.compute_per_gb <= 0:
+            raise ValidationError("compute_per_gb must be > 0")
+        if not 0.0 <= self.shuffle_fraction <= 2.0:
+            raise ValidationError("shuffle_fraction must be in [0, 2]")
+        if self.output_fraction < 0:
+            raise ValidationError("output_fraction must be >= 0")
+        if self.iterations < 1:
+            raise ValidationError("iterations must be >= 1")
+        if self.mem_blowup <= 0:
+            raise ValidationError("mem_blowup must be > 0")
+        if self.sync_per_iter < 0:
+            raise ValidationError("sync_per_iter must be >= 0")
+        if not 0.0 <= self.cacheable_fraction <= 1.0:
+            raise ValidationError("cacheable_fraction must be in [0, 1]")
+        if self.variance_boost <= 0:
+            raise ValidationError("variance_boost must be > 0")
+        if not 0.0 <= self.skew <= 5.0:
+            raise ValidationError("skew must be in [0, 5]")
+
+    @property
+    def compute_intensity(self) -> float:
+        """Total CPU seconds per GB across all iterations."""
+        return self.compute_per_gb * self.iterations
+
+    @property
+    def is_iterative(self) -> bool:
+        return self.iterations > 1
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table-3 workload: an algorithm bound to a framework and input.
+
+    Attributes
+    ----------
+    name:
+        Table-3 name, e.g. ``"spark-lr"``.
+    framework:
+        ``"hadoop"``, ``"hive"``, ``"spark"``, or ``"flink"`` (the
+        Section-7 generality extension).
+    algorithm:
+        Framework-independent algorithm mnemonic (``"lr"``, ``"kmeans"``...);
+        workloads sharing an algorithm share a :class:`DemandProfile`.
+    use_case:
+        Paper use-case group.
+    suite:
+        Origin benchmark suite.
+    demand:
+        The demand profile.
+    input_gb:
+        Default input size in GB (HiBench scale presets or BigDataBench
+        sizing chosen for "reasonable" runtimes, Section 5.1).
+    nodes:
+        Cluster size the workload is deployed on.
+    sql_ops:
+        For Hive workloads, the logical operator plan compiled to
+        MapReduce jobs (e.g. ``("scan", "join")``).
+    """
+
+    name: str
+    framework: str
+    algorithm: str
+    use_case: UseCase
+    suite: Suite
+    demand: DemandProfile
+    input_gb: float
+    nodes: int = 4
+    sql_ops: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.framework not in ("hadoop", "hive", "spark", "flink"):
+            raise ValidationError(f"unknown framework {self.framework!r}")
+        if self.input_gb <= 0:
+            raise ValidationError("input_gb must be > 0")
+        if self.nodes < 1:
+            raise ValidationError("nodes must be >= 1")
+        if self.framework == "hive" and not self.sql_ops:
+            raise ValidationError(f"hive workload {self.name!r} needs sql_ops")
+
+    def with_input(self, input_gb: float) -> "WorkloadSpec":
+        """Copy of this spec at a different input scale (Ernest-style probes)."""
+        return replace(self, input_gb=input_gb)
+
+    def with_nodes(self, nodes: int) -> "WorkloadSpec":
+        """Copy of this spec deployed on a different cluster size."""
+        return replace(self, nodes=nodes)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name

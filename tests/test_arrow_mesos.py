@@ -1,0 +1,119 @@
+"""Tests for the Arrow baseline and the Mesos-style memory watcher."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines.arrow import Arrow, BottleneckSignal, _signal_from_series
+from repro.errors import ValidationError
+from repro.frameworks.mesos import DEFAULT_HEADROOM, MemoryWatcher, safe_spec
+from repro.frameworks.registry import simulate_run
+from repro.telemetry.metrics import METRIC_INDEX, NUM_METRICS
+from repro.workloads.catalog import get_workload
+
+
+class TestBottleneckSignal:
+    def test_dominant_resource(self):
+        s = BottleneckSignal(cpu=0.9, memory=0.2, disk=0.3, network=0.1)
+        assert s.dominant() == "cpu"
+        s = BottleneckSignal(cpu=0.1, memory=0.2, disk=0.9, network=0.1)
+        assert s.dominant() == "disk"
+
+    def test_signal_from_cpu_bound_run(self):
+        run = simulate_run(get_workload("spark-lr"), "t3.large",
+                           rng=np.random.default_rng(0))
+        signal = _signal_from_series(run.timeseries)
+        # Throttled T-family under a compute job: CPU pressure dominates.
+        assert signal.dominant() in ("cpu", "memory")
+
+    def test_signal_from_disk_bound_run(self):
+        run = simulate_run(get_workload("hadoop-identify"), "m5.large",
+                           rng=np.random.default_rng(0))
+        signal = _signal_from_series(run.timeseries)
+        assert signal.disk > signal.network
+
+
+class TestArrow:
+    def test_search_trace_monotone(self, spark_lr):
+        arrow = Arrow(max_iters=8, ei_threshold=0.0, seed=1, collector_seed=7,
+                      repetitions=2)
+        trace = arrow.optimize_workload(spark_lr)
+        bests = [s.best_so_far for s in trace]
+        assert bests == sorted(bests, reverse=True)
+        assert len(trace) <= 8
+
+    def test_no_duplicate_evaluations(self, spark_lr):
+        arrow = Arrow(max_iters=8, ei_threshold=0.0, seed=2, collector_seed=7,
+                      repetitions=2)
+        names = [s.vm_name for s in arrow.optimize_workload(spark_lr)]
+        assert len(set(names)) == len(names)
+
+    def test_finds_near_best(self, ground_truth):
+        spec = get_workload("spark-kmeans")
+        arrow = Arrow(max_iters=10, ei_threshold=0.0, seed=3, collector_seed=7,
+                      repetitions=2)
+        trace = arrow.optimize_workload(spec)
+        best = ground_truth.best_value(spec)
+        assert trace[-1].best_so_far <= 1.3 * best
+
+    def test_zero_relief_reduces_to_plain_bo_mechanics(self, spark_lr):
+        arrow = Arrow(max_iters=6, ei_threshold=0.0, seed=4, relief_strength=0.0,
+                      collector_seed=7, repetitions=2)
+        trace = arrow.optimize_workload(spark_lr)
+        assert len(trace) >= arrow.n_init
+
+    def test_negative_relief_rejected(self):
+        with pytest.raises(ValidationError):
+            Arrow(relief_strength=-1.0)
+
+    def test_overhead_currency(self):
+        assert Arrow(max_iters=12).reference_vm_count == 12
+
+
+class TestMemoryWatcher:
+    def test_plan_has_headroom(self):
+        spec = get_workload("spark-pca")
+        plan = MemoryWatcher().observe(spec)
+        assert plan.observed_peak_gb > 0
+        assert plan.executor_memory_gb >= plan.observed_peak_gb
+        assert plan.headroom == DEFAULT_HEADROOM
+
+    def test_executors_per_node_respects_plan(self):
+        spec = get_workload("spark-pca")
+        plan = MemoryWatcher().observe(spec)
+        per_node = plan.executors_per_node("r5.xlarge")
+        assert 1 <= per_node <= 4  # bounded by vCPUs
+
+    def test_memory_heavy_workload_gets_bigger_executors(self):
+        light = MemoryWatcher().observe(get_workload("spark-grep"))
+        heavy = MemoryWatcher().observe(get_workload("spark-cf"))
+        assert heavy.executor_memory_gb >= light.executor_memory_gb
+
+    def test_safe_spec_raises_memory_floor(self):
+        spec = get_workload("spark-pca")
+        plan = MemoryWatcher(headroom=2.0).observe(spec)
+        safe = safe_spec(spec, plan)
+        assert safe.demand.mem_blowup >= spec.demand.mem_blowup
+
+    def test_safe_spec_noop_when_already_sized(self):
+        spec = get_workload("spark-cf")  # mem_blowup 5.0, already large
+        plan = dataclasses.replace(
+            MemoryWatcher().observe(spec), executor_memory_gb=0.1
+        )
+        assert safe_spec(spec, plan) is spec
+
+    def test_safe_spec_still_simulates(self):
+        spec = get_workload("spark-pca")
+        safe = safe_spec(spec, MemoryWatcher().observe(spec))
+        r = simulate_run(safe, "r5.2xlarge", with_timeseries=False)
+        assert r.runtime_s > 0
+
+    def test_plan_workload_mismatch_rejected(self):
+        plan = MemoryWatcher().observe(get_workload("spark-pca"))
+        with pytest.raises(ValidationError):
+            safe_spec(get_workload("spark-lr"), plan)
+
+    def test_invalid_headroom_rejected(self):
+        with pytest.raises(ValidationError):
+            MemoryWatcher(headroom=0.5)

@@ -1,0 +1,74 @@
+"""Tests for the Azure catalog and multi-cloud selection."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.azure import azure_catalog, get_azure_vm_type, multi_cloud_catalog
+from repro.cloud.vmtypes import VMCategory
+from repro.errors import CatalogError
+from repro.frameworks.registry import simulate_run
+from repro.workloads.catalog import get_workload
+
+
+class TestAzureCatalog:
+    def test_counts(self):
+        assert len(azure_catalog()) == 25
+        assert len(multi_cloud_catalog()) == 125
+
+    def test_names_prefixed_and_unique(self):
+        names = [vm.name for vm in azure_catalog()]
+        assert all(n.startswith("az-") for n in names)
+        assert len(set(names)) == len(names)
+
+    def test_no_name_collisions_with_ec2(self):
+        names = [vm.name for vm in multi_cloud_catalog()]
+        assert len(set(names)) == len(names)
+
+    def test_lookup(self):
+        vm = get_azure_vm_type("az-f8sv2")
+        assert vm.vcpus == 8
+        assert vm.category is VMCategory.COMPUTE_OPTIMIZED
+        with pytest.raises(CatalogError):
+            get_azure_vm_type("az-zz99")
+
+    def test_burstable_b_series_throttled(self):
+        b = get_azure_vm_type("az-b2s")
+        d = get_azure_vm_type("az-d2sv3")
+        assert b.cpu_speed < 0.5 * d.cpu_speed
+
+    def test_lsv2_storage_dominates_disk(self):
+        l = get_azure_vm_type("az-l8sv2")
+        others = [vm for vm in azure_catalog() if vm.family != "AzLsv2" and vm.vcpus == 8]
+        assert all(l.disk_mbps > vm.disk_mbps for vm in others)
+
+    def test_fsv2_cheapest_per_effective_vcpu(self):
+        f = get_azure_vm_type("az-f8sv2")
+        e = get_azure_vm_type("az-e8sv3")
+        f_rate = f.price_per_hour / (f.vcpus * f.cpu_speed)
+        e_rate = e.price_per_hour / (e.vcpus * e.cpu_speed)
+        assert f_rate < e_rate
+
+    def test_workloads_simulate_on_azure(self):
+        for vm_name in ("az-d4sv3", "az-f16sv2", "az-l8sv2"):
+            r = simulate_run(get_workload("spark-lr"), get_azure_vm_type(vm_name),
+                             with_timeseries=False)
+            assert r.runtime_s > 0
+
+
+class TestMultiCloudSelection:
+    def test_vesta_over_combined_space(self):
+        from repro.core.vesta import VestaSelector
+        from repro.workloads.catalog import training_set
+
+        vesta = VestaSelector(
+            vms=multi_cloud_catalog(), sources=training_set()[:6], seed=7
+        ).fit()
+        rec = vesta.select(get_workload("spark-grep"))
+        assert rec.vm_name in {vm.name for vm in multi_cloud_catalog()}
+
+    def test_ground_truth_over_combined_space(self):
+        from repro.baselines.ground_truth import GroundTruth
+
+        gt = GroundTruth(vms=multi_cloud_catalog(), seed=7)
+        spec = get_workload("spark-lr")
+        assert gt.runtimes(spec).shape == (125,)

@@ -1,0 +1,246 @@
+"""Tests for ground truth, random forest, PARIS, Ernest, and CherryPick."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cherrypick import CherryPick
+from repro.baselines.ernest import Ernest
+from repro.baselines.ground_truth import GroundTruth
+from repro.baselines.paris import Paris
+from repro.baselines.random_forest import DecisionTreeRegressor, RandomForestRegressor
+from repro.errors import ValidationError
+from repro.workloads.catalog import get_workload, training_set
+
+
+class TestGroundTruth:
+    def test_runtime_surface_shape(self, ground_truth, spark_lr):
+        rts = ground_truth.runtimes(spark_lr)
+        assert rts.shape == (len(ground_truth.vms),)
+        assert np.all(rts > 0)
+
+    def test_caching_is_stable(self, ground_truth, spark_lr):
+        a = ground_truth.runtimes(spark_lr)
+        b = ground_truth.runtimes(spark_lr)
+        assert a is b
+
+    def test_best_vm_minimizes_surface(self, ground_truth, spark_lr):
+        best = ground_truth.best_vm(spark_lr)
+        assert ground_truth.value_of(spark_lr, best.name) == pytest.approx(
+            ground_truth.best_value(spark_lr)
+        )
+
+    def test_budget_surface_differs_from_time(self, ground_truth, spark_lr):
+        t_best = ground_truth.best_vm(spark_lr, "time")
+        b_best = ground_truth.best_vm(spark_lr, "budget")
+        assert t_best.name != b_best.name  # big-fast vs small-cheap
+
+    def test_selection_error_zero_for_best(self, ground_truth, spark_lr):
+        best = ground_truth.best_vm(spark_lr)
+        assert ground_truth.selection_error(spark_lr, best.name) == pytest.approx(0.0)
+
+    def test_selection_error_positive_for_bad_pick(self, ground_truth, spark_lr):
+        assert ground_truth.selection_error(spark_lr, "t3.small") > 0.5
+
+    def test_unknown_vm_rejected(self, ground_truth, spark_lr):
+        with pytest.raises(ValidationError):
+            ground_truth.value_of(spark_lr, "warp.9xlarge")
+
+    def test_bad_objective_rejected(self, ground_truth, spark_lr):
+        with pytest.raises(ValidationError):
+            ground_truth.surface(spark_lr, "latency")
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = (X[:, 0] > 0.5).astype(float)
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert tree.predict(np.array([[0.2]]))[0] == pytest.approx(0.0, abs=0.05)
+        assert tree.predict(np.array([[0.8]]))[0] == pytest.approx(1.0, abs=0.05)
+
+    def test_depth_limit_respected(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = rng.normal(size=200)
+        tree = DecisionTreeRegressor(max_depth=4, min_samples_leaf=1).fit(X, y)
+        assert tree.depth() <= 4
+
+    def test_constant_target_gives_leaf(self, rng):
+        X = rng.normal(size=(50, 2))
+        tree = DecisionTreeRegressor().fit(X, np.full(50, 3.5))
+        assert tree.depth() == 0
+        assert np.all(tree.predict(X) == 3.5)
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.normal(size=(10, 1))
+        y = rng.normal(size=10)
+        tree = DecisionTreeRegressor(min_samples_leaf=5, max_depth=10).fit(X, y)
+        assert tree.depth() <= 1
+
+    def test_interpolates_smooth_function(self, rng):
+        X = rng.uniform(0, 1, size=(400, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1]
+        tree = DecisionTreeRegressor(max_depth=10).fit(X, y)
+        pred = tree.predict(X)
+        assert np.mean((pred - y) ** 2) < 0.05
+
+    def test_validation(self, rng):
+        with pytest.raises(ValidationError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ValidationError):
+            DecisionTreeRegressor().fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValidationError):
+            DecisionTreeRegressor().predict(np.zeros((1, 2)))
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noisy_data(self, rng):
+        X = rng.uniform(-1, 1, size=(300, 4))
+        y = X[:, 0] * X[:, 1] + 0.3 * rng.normal(size=300)
+        X_test = rng.uniform(-1, 1, size=(100, 4))
+        y_test = X_test[:, 0] * X_test[:, 1]
+        tree = DecisionTreeRegressor(max_depth=12, seed=0).fit(X, y)
+        forest = RandomForestRegressor(n_estimators=30, seed=0).fit(X, y)
+        mse_tree = np.mean((tree.predict(X_test) - y_test) ** 2)
+        mse_forest = np.mean((forest.predict(X_test) - y_test) ** 2)
+        assert mse_forest < mse_tree
+
+    def test_deterministic_per_seed(self, rng):
+        X = rng.normal(size=(100, 3))
+        y = rng.normal(size=100)
+        a = RandomForestRegressor(n_estimators=5, seed=4).fit(X, y).predict(X[:10])
+        b = RandomForestRegressor(n_estimators=5, seed=4).fit(X, y).predict(X[:10])
+        np.testing.assert_array_equal(a, b)
+
+    def test_prediction_in_target_range(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = rng.uniform(5, 10, size=100)
+        forest = RandomForestRegressor(n_estimators=10, seed=1).fit(X, y)
+        pred = forest.predict(X)
+        assert np.all((pred >= 5) & (pred <= 10))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ValidationError):
+            RandomForestRegressor().predict(np.zeros((1, 2)))
+
+
+class TestParis:
+    def test_fingerprint_dimensions(self, fitted_paris, spark_lr):
+        fp = fitted_paris.fingerprint(spark_lr)
+        # 4 log-runtimes + 4 ratios + 6 utilization means.
+        assert fp.shape == (14,)
+
+    def test_reference_overhead_is_fingerprint_size(self, fitted_paris):
+        assert fitted_paris.reference_vm_count == 4
+
+    def test_predictions_positive_over_catalog(self, fitted_paris, spark_lr):
+        pred = fitted_paris.predict_runtimes(spark_lr)
+        assert pred.shape == (len(fitted_paris.vms),)
+        assert np.all(pred > 0)
+
+    def test_in_framework_prediction_decent(self, fitted_paris, ground_truth):
+        # PARIS is competent inside the frameworks it was trained on.
+        spec = get_workload("hadoop-nutch")
+        pick = fitted_paris.select(spec)
+        assert ground_truth.selection_error(spec, pick) < 0.5
+
+    def test_select_budget_prefers_cheaper(self, fitted_paris, spark_lr):
+        t = fitted_paris.select(spark_lr, "time")
+        b = fitted_paris.select(spark_lr, "budget")
+        from repro.cloud.vmtypes import get_vm_type
+
+        assert get_vm_type(b).price_per_hour <= get_vm_type(t).price_per_hour
+
+    def test_unfitted_predict_rejected(self, spark_lr):
+        with pytest.raises(ValidationError):
+            Paris().predict_runtimes(spark_lr)
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValidationError):
+            Paris().fit(())
+
+
+class TestErnest:
+    def test_theta_nonnegative(self, shared_ernest, spark_lr):
+        theta = shared_ernest.fit_workload(spark_lr)
+        assert theta.shape == (4,)
+        assert np.all(theta >= 0)
+
+    def test_theta_cached(self, shared_ernest, spark_lr):
+        a = shared_ernest.fit_workload(spark_lr)
+        assert shared_ernest.fit_workload(spark_lr) is a
+
+    def test_accurate_on_spark(self, shared_ernest, ground_truth, spark_lr):
+        pred = shared_ernest.predict_runtime(spark_lr, "m5.2xlarge")
+        actual = ground_truth.value_of(spark_lr, "m5.2xlarge")
+        assert pred == pytest.approx(actual, rel=0.25)
+
+    def test_worse_on_hadoop_than_spark(self, shared_ernest, ground_truth):
+        """The paper's Table-5 asymmetry: the basis is Spark-shaped."""
+        def mean_abs_err(spec):
+            errs = []
+            for vm_name in ("m5.2xlarge", "c5.2xlarge", "i3en.2xlarge", "r5.4xlarge"):
+                pred = shared_ernest.predict_runtime(spec, vm_name)
+                actual = ground_truth.value_of(spec, vm_name)
+                errs.append(abs(pred - actual) / actual)
+            return float(np.mean(errs))
+
+        spark_err = mean_abs_err(get_workload("spark-lr"))
+        hadoop_err = mean_abs_err(get_workload("hadoop-lr"))
+        assert hadoop_err > spark_err
+
+    def test_probe_overhead_low(self, shared_ernest):
+        assert shared_ernest.reference_vm_count <= 5
+
+    def test_invalid_probe_scales_rejected(self):
+        with pytest.raises(ValidationError):
+            Ernest(probe_scales=(0.0, 0.5))
+        with pytest.raises(ValidationError):
+            Ernest(probe_scales=())
+
+
+class TestCherryPick:
+    @staticmethod
+    def _convex_objective(vm):
+        """Smooth objective with a unique minimum near mid-size C5."""
+        target = np.log1p(np.array([8.0, 16.0, 2.0, 1.15, 500.0, 2.0, 0.34]))
+        return 1.0 + float(np.linalg.norm(np.log1p(vm.spec_vector()) - target))
+
+    def test_search_improves_over_initial(self):
+        bo = CherryPick(n_init=3, max_iters=12, ei_threshold=0.0, seed=1)
+        trace = bo.optimize(self._convex_objective)
+        assert trace[-1].best_so_far <= trace[bo.n_init - 1].best_so_far
+
+    def test_trace_monotone_best(self):
+        bo = CherryPick(n_init=3, max_iters=10, ei_threshold=0.0, seed=2)
+        trace = bo.optimize(self._convex_objective)
+        bests = [s.best_so_far for s in trace]
+        assert bests == sorted(bests, reverse=True)
+
+    def test_no_duplicate_evaluations(self):
+        bo = CherryPick(n_init=3, max_iters=12, ei_threshold=0.0, seed=3)
+        trace = bo.optimize(self._convex_objective)
+        names = [s.vm_name for s in trace]
+        assert len(set(names)) == len(names)
+
+    def test_ei_threshold_stops_early(self):
+        eager = CherryPick(n_init=3, max_iters=30, ei_threshold=0.5, seed=4)
+        trace = eager.optimize(self._convex_objective)
+        assert len(trace) < 30
+
+    def test_best_vm_extraction(self):
+        bo = CherryPick(n_init=3, max_iters=8, ei_threshold=0.0, seed=5)
+        trace = bo.optimize(self._convex_objective)
+        best = bo.best_vm(trace)
+        values = {s.vm_name: s.observed for s in trace}
+        assert values[best] == min(values.values())
+
+    def test_nonpositive_objective_rejected(self):
+        bo = CherryPick(n_init=1, max_iters=2, seed=6)
+        with pytest.raises(ValidationError):
+            bo.optimize(lambda vm: 0.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValidationError):
+            CherryPick(n_init=0)
+        with pytest.raises(ValidationError):
+            CherryPick(n_init=5, max_iters=3)

@@ -1,0 +1,172 @@
+"""Tests for the label space and the collective matrix factorization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.intervals import num_intervals
+from repro.core.cmf import CMF
+from repro.core.labels import LabelSpace
+from repro.errors import ConvergenceError, ValidationError
+
+
+@pytest.fixture()
+def space():
+    return LabelSpace(("cpu-to-memory", "disk-to-network"), softness=2)
+
+
+class TestLabelSpace:
+    def test_universe_size(self, space):
+        assert space.n_features == 2
+        assert space.n_labels == 2 * num_intervals()
+
+    def test_label_id_blocks(self, space):
+        assert space.label_id(0, 0) == 0
+        assert space.label_id(1, 0) == num_intervals()
+
+    def test_label_name_human_readable(self, space):
+        name = space.label_name(space.label_id(0, 22))
+        assert name.startswith("cpu-to-memory[")
+        assert "+0.10" in name
+
+    def test_hard_membership_is_equation3(self, space):
+        row = space.membership(np.array([0.12, -0.4]), hard=True)
+        assert row.sum() == pytest.approx(2.0)
+        assert set(np.unique(row)) <= {0.0, 1.0}
+
+    def test_soft_membership_unit_mass_per_feature(self, space):
+        row = space.membership(np.array([0.12, -0.4]))
+        for f in range(space.n_features):
+            assert row[space.feature_block(f)].sum() == pytest.approx(1.0)
+
+    def test_soft_kernel_peaks_at_measured_interval(self, space):
+        row = space.membership(np.array([0.12, -0.4]))
+        block = row[space.feature_block(0)]
+        assert int(np.argmax(block)) == 22
+
+    def test_soft_wider_than_hard(self, space):
+        soft = space.membership(np.array([0.12, -0.4]))
+        hard = space.membership(np.array([0.12, -0.4]), hard=True)
+        assert (soft > 0).sum() > (hard > 0).sum()
+
+    def test_boundary_values_stay_in_blocks(self, space):
+        row = space.membership(np.array([-1.0, 1.0]))
+        assert row[space.feature_block(0)].sum() == pytest.approx(1.0)
+        assert row[space.feature_block(1)].sum() == pytest.approx(1.0)
+
+    def test_membership_matrix_stacks_rows(self, space):
+        vectors = np.array([[0.1, 0.2], [-0.3, 0.9]])
+        m = space.membership_matrix(vectors)
+        assert m.shape == (2, space.n_labels)
+        np.testing.assert_allclose(m[0], space.membership(vectors[0]))
+
+    def test_wrong_vector_size_rejected(self, space):
+        with pytest.raises(ValidationError):
+            space.membership(np.array([0.1, 0.2, 0.3]))
+
+    def test_empty_features_rejected(self):
+        with pytest.raises(ValidationError):
+            LabelSpace(())
+
+    @given(st.lists(st.floats(-1.0, 1.0), min_size=2, max_size=2))
+    @settings(max_examples=50, deadline=None)
+    def test_membership_mass_invariant(self, values):
+        space = LabelSpace(("a", "b"), softness=2)
+        row = space.membership(np.array(values))
+        assert row.sum() == pytest.approx(2.0)
+        assert np.all(row >= 0)
+
+
+def _toy_problem(seed=0, n_src=8, n_vm=6, g_true=3, labels=30, sparsity=0.3):
+    """Low-rank U, V + one sparse target row drawn from the same factors."""
+    rng = np.random.default_rng(seed)
+    L = rng.normal(size=(labels, g_true))
+    A = rng.normal(size=(n_src, g_true))
+    B = rng.normal(size=(n_vm, g_true))
+    a_star = rng.normal(size=(1, g_true))
+    U = A @ L.T
+    V = B @ L.T
+    full = a_star @ L.T
+    mask = (rng.random(size=full.shape) < sparsity).astype(float)
+    mask[0, :3] = 1.0  # guarantee a few observations
+    return U, V, full, mask
+
+
+class TestCMF:
+    def test_objective_decreases(self):
+        U, V, full, mask = _toy_problem()
+        res = CMF(latent_dim=3, seed=1).fit(U, V, full * mask, mask)
+        h = res.objective_history
+        assert h[-1] < h[0]
+
+    def test_converges_on_low_rank_data(self):
+        U, V, full, mask = _toy_problem()
+        res = CMF(latent_dim=3, seed=1).fit(U, V, full * mask, mask)
+        assert res.converged
+
+    def test_completion_recovers_unobserved_entries(self):
+        U, V, full, mask = _toy_problem(sparsity=0.5)
+        res = CMF(latent_dim=3, seed=1, max_epochs=4000, tol=1e-6).fit(
+            U, V, full * mask, mask
+        )
+        unobserved = mask[0] == 0
+        err = np.abs(res.completed_ustar[0, unobserved] - full[0, unobserved])
+        scale = np.abs(full[0, unobserved]).mean()
+        assert err.mean() < 0.5 * scale
+
+    def test_lambda_extremes_change_fit_focus(self):
+        U, V, full, mask = _toy_problem(seed=3)
+        res_u = CMF(latent_dim=3, lam=1.0, seed=1).fit(U, V, full * mask, mask)
+        res_v = CMF(latent_dim=3, lam=0.0, seed=1).fit(U, V, full * mask, mask)
+        err_u_focus = ((U - res_u.reconstructed_u) ** 2).sum()
+        err_u_neglect = ((U - res_v.reconstructed_u) ** 2).sum()
+        assert err_u_focus < err_u_neglect
+
+    def test_result_shapes(self):
+        U, V, full, mask = _toy_problem()
+        res = CMF(latent_dim=4, seed=1).fit(U, V, full * mask, mask)
+        assert res.A.shape == (U.shape[0], 4)
+        assert res.B.shape == (V.shape[0], 4)
+        assert res.Astar.shape == (1, 4)
+        assert res.L.shape == (U.shape[1], 4)
+        assert res.completed_ustar.shape == full.shape
+
+    def test_none_mask_means_fully_observed(self):
+        U, V, full, _ = _toy_problem()
+        res = CMF(latent_dim=3, seed=1).fit(U, V, full)
+        assert res.converged
+
+    def test_raise_on_divergence(self):
+        U, V, full, mask = _toy_problem()
+        with pytest.raises(ConvergenceError):
+            CMF(latent_dim=2, seed=1, max_epochs=2, raise_on_divergence=True).fit(
+                U, V, full * mask, mask
+            )
+
+    def test_seeded_determinism(self):
+        U, V, full, mask = _toy_problem()
+        a = CMF(latent_dim=3, seed=9).fit(U, V, full * mask, mask)
+        b = CMF(latent_dim=3, seed=9).fit(U, V, full * mask, mask)
+        np.testing.assert_array_equal(a.completed_ustar, b.completed_ustar)
+
+    def test_dimension_mismatch_rejected(self):
+        U, V, full, mask = _toy_problem()
+        with pytest.raises(ValidationError):
+            CMF().fit(U, V[:, :-1], full, mask)
+        with pytest.raises(ValidationError):
+            CMF().fit(U, V, full, mask[:, :-1])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"latent_dim": 0},
+            {"lam": 1.5},
+            {"lr": 0.0},
+            {"reg": -1.0},
+            {"max_epochs": 0},
+        ],
+    )
+    def test_invalid_hyperparams(self, kwargs):
+        with pytest.raises(ValidationError):
+            CMF(**kwargs)

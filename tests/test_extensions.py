@@ -1,0 +1,208 @@
+"""Tests for the extension features: continual updating, cluster sizing,
+latency metrics, and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENT_IDS, main
+from repro.core.cluster_sizing import ClusterChoice, ClusterSizer
+from repro.core.continual import ContinualVesta
+from repro.core.vesta import VestaSelector
+from repro.errors import ValidationError
+from repro.frameworks.registry import simulate_run
+from repro.telemetry.latency import (
+    batch_latencies,
+    latency_percentile,
+    latency_report,
+    throughput_gb_per_s,
+)
+from repro.workloads.catalog import get_workload
+
+
+class TestContinual:
+    def test_requires_fitted_selector(self):
+        with pytest.raises(ValidationError):
+            ContinualVesta(VestaSelector())
+
+    def test_absorb_grows_knowledge(self, fitted_vesta):
+        import copy
+
+        selector = copy.deepcopy(fitted_vesta)
+        cont = ContinualVesta(selector, min_observations=3)
+        before = cont.knowledge_size
+        session = selector.online(get_workload("spark-lr"))
+        assert cont.absorb(session)
+        assert cont.knowledge_size == before + 1
+        assert "spark-lr" in cont.absorbed
+        assert selector.perf.shape[0] == before + 1
+        assert selector.U.shape[0] == before + 1
+        assert "spark-lr" in selector.graph.workload_names(target=False)
+
+    def test_absorb_is_idempotent_per_workload(self, fitted_vesta):
+        import copy
+
+        selector = copy.deepcopy(fitted_vesta)
+        cont = ContinualVesta(selector, min_observations=3)
+        s1 = selector.online(get_workload("spark-grep"))
+        assert cont.absorb(s1)
+        s2 = selector.online(get_workload("spark-grep"))
+        assert not cont.absorb(s2)
+
+    def test_source_workloads_not_reabsorbed(self, fitted_vesta):
+        import copy
+
+        selector = copy.deepcopy(fitted_vesta)
+        cont = ContinualVesta(selector)
+        session = selector.online(get_workload("hadoop-terasort"))
+        assert not cont.absorb(session)
+
+    def test_under_observed_session_rejected(self, fitted_vesta):
+        import copy
+
+        selector = copy.deepcopy(fitted_vesta)
+        cont = ContinualVesta(selector, min_observations=10)
+        session = selector.online(get_workload("spark-count"))  # 4 obs
+        assert not cont.absorb(session)
+
+    def test_onboard_returns_recommendation(self, fitted_vesta):
+        import copy
+
+        selector = copy.deepcopy(fitted_vesta)
+        cont = ContinualVesta(selector, min_observations=3)
+        rec = cont.onboard(get_workload("spark-bayes"))
+        assert rec.vm_name
+        assert "spark-bayes" in cont.absorbed
+
+    def test_selection_still_works_after_absorption(self, fitted_vesta):
+        import copy
+
+        selector = copy.deepcopy(fitted_vesta)
+        cont = ContinualVesta(selector, min_observations=3)
+        cont.onboard(get_workload("spark-lr"))
+        rec = selector.select(get_workload("spark-kmeans"))
+        assert rec.predicted_runtime_s > 0
+
+
+class TestClusterSizer:
+    @pytest.fixture(scope="class")
+    def sizer(self, fitted_vesta):
+        session = fitted_vesta.online(get_workload("spark-page-rank"))
+        return ClusterSizer(session, node_options=(2, 4, 8))
+
+    def test_rank_returns_sorted_choices(self, sizer):
+        ranked = sizer.rank("time", top=10)
+        assert len(ranked) == 10
+        times = [c.predicted_runtime_s for c in ranked]
+        assert times == sorted(times)
+        assert all(isinstance(c, ClusterChoice) for c in ranked)
+
+    def test_candidates_span_node_options(self, sizer):
+        ranked = sizer.rank("budget", top=50)
+        assert {c.nodes for c in ranked} <= {2, 4, 8}
+
+    def test_best_is_rank_head(self, sizer):
+        assert sizer.best("budget") == sizer.rank("budget", top=1)[0]
+
+    def test_scaling_measured_on_sandbox_only(self, sizer):
+        assert sizer.extra_runs == 2  # native size (4) excluded
+
+    def test_more_nodes_faster_runtimes(self, sizer):
+        ranked = sizer.rank("time", top=200)
+        by_vm = {}
+        for c in ranked:
+            by_vm.setdefault(c.vm_name, {})[c.nodes] = c.predicted_runtime_s
+        times = by_vm[next(iter(by_vm))]
+        if 2 in times and 8 in times:
+            assert times[8] <= times[2]
+
+    def test_thin_cluster_signal_is_boolean(self, sizer):
+        assert isinstance(sizer.prefers_thin_cluster(), bool)
+
+    def test_invalid_options_rejected(self, fitted_vesta):
+        session = fitted_vesta.online(get_workload("spark-count"))
+        with pytest.raises(ValidationError):
+            ClusterSizer(session, node_options=())
+        with pytest.raises(ValidationError):
+            ClusterSizer(session, node_options=(0, 2))
+
+    def test_invalid_objective_rejected(self, sizer):
+        with pytest.raises(ValidationError):
+            sizer.rank("carbon")
+
+
+class TestLatencyMetrics:
+    @pytest.fixture()
+    def streaming_run(self):
+        return simulate_run(get_workload("hadoop-twitter"), "m5.xlarge")
+
+    def test_batch_latencies_per_iteration(self, streaming_run):
+        lats = batch_latencies(streaming_run)
+        spec = get_workload("hadoop-twitter")
+        assert len(lats) == spec.demand.iterations
+        assert np.all(lats > 0)
+
+    def test_latencies_sum_to_runtime(self, streaming_run):
+        lats = batch_latencies(streaming_run)
+        assert lats.sum() == pytest.approx(streaming_run.runtime_s, rel=1e-6)
+
+    def test_percentile_ordering(self, streaming_run):
+        p50 = latency_percentile(streaming_run, 50)
+        p99 = latency_percentile(streaming_run, 99)
+        assert p50 <= p99 <= batch_latencies(streaming_run).max() + 1e-9
+
+    def test_throughput_positive(self, streaming_run):
+        assert throughput_gb_per_s(streaming_run) > 0
+
+    def test_report_fields(self, streaming_run):
+        report = latency_report(streaming_run)
+        assert report.workload == "hadoop-twitter"
+        assert report.batches >= 1
+        assert report.mean_latency_s <= report.max_latency_s
+        assert report.p99_latency_s <= report.max_latency_s + 1e-9
+
+    def test_bigger_vm_lower_latency(self):
+        spec = get_workload("spark-page-rank")
+        small = latency_report(simulate_run(spec, "m5.large"))
+        big = latency_report(simulate_run(spec, "m5.8xlarge"))
+        assert big.p99_latency_s < small.p99_latency_s
+        assert big.throughput_gb_s > small.throughput_gb_s
+
+    def test_invalid_percentile_rejected(self, streaming_run):
+        with pytest.raises(ValidationError):
+            latency_percentile(streaming_run, 150)
+
+
+class TestCli:
+    def test_catalog_lists_types(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "m5.xlarge" in out and "100 VM types" in out
+
+    def test_catalog_family_filter(self, capsys):
+        assert main(["catalog", "--family", "I3en"]) == 0
+        out = capsys.readouterr().out
+        assert "i3en.8xlarge" in out and "m5.xlarge" not in out
+
+    def test_catalog_unknown_family_errors(self, capsys):
+        assert main(["catalog", "--family", "Z9"]) == 2
+
+    def test_workloads_lists_splits(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "spark-svd++" in out and "target (new framework)" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "spark-lr", "m5.xlarge", "--reps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime P90" in out and "20 metrics" in out
+
+    def test_experiment_ids_resolve(self):
+        import importlib
+
+        for mod in EXPERIMENT_IDS.values():
+            importlib.import_module(f"repro.experiments.{mod}")
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "tab04"]) == 0
+        out = capsys.readouterr().out
+        assert "100 types" in out

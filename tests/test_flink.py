@@ -1,0 +1,85 @@
+"""Tests for the Flink engine and fourth-framework transfer."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import CatalogError
+from repro.frameworks.flink import FlinkEngine
+from repro.frameworks.registry import get_engine, simulate_run
+from repro.workloads.catalog import get_workload
+
+
+def flink_twin(name: str):
+    base = get_workload(f"spark-{name}")
+    return dataclasses.replace(base, name=f"flink-{name}", framework="flink")
+
+
+class TestFlinkEngine:
+    def test_registry_dispatch(self):
+        assert isinstance(get_engine("flink"), FlinkEngine)
+        with pytest.raises(CatalogError):
+            get_engine("storm")
+
+    def test_pipelined_pass_is_one_phase_per_iteration(self, small_cluster):
+        spec = flink_twin("kmeans")
+        phases = FlinkEngine().plan(spec, small_cluster)
+        supersteps = [p for p in phases if "superstep" in p.name]
+        assert len(supersteps) == spec.demand.iterations
+
+    def test_no_shuffle_disk_traffic(self, small_cluster):
+        spec = flink_twin("sort")  # full shuffle on Spark/Hadoop
+        phases = FlinkEngine().plan(spec, small_cluster)
+        supersteps = [p for p in phases if "superstep" in p.name]
+        assert all(p.disk_write_gb == 0 for p in supersteps)
+        assert all(p.net_gb > 0 for p in supersteps)
+
+    def test_iteration_state_resident(self, small_cluster):
+        spec = flink_twin("kmeans")
+        phases = FlinkEngine().plan(spec, small_cluster)
+        supersteps = [p for p in phases if "superstep" in p.name]
+        assert supersteps[0].disk_read_gb > 0
+        assert all(p.disk_read_gb == 0 for p in supersteps[1:])
+
+    def test_faster_than_spark_on_iterative_jobs(self):
+        spec = flink_twin("kmeans")
+        spark = get_workload("spark-kmeans")
+        f = simulate_run(spec, "m5.xlarge", with_timeseries=False).runtime_s
+        s = simulate_run(spark, "m5.xlarge", with_timeseries=False).runtime_s
+        assert f < s  # no stage barriers, no shuffle files
+
+    def test_checkpoints_follow_sync_per_iter(self, small_cluster):
+        spec = flink_twin("bfs")  # sync_per_iter = 3
+        phases = FlinkEngine().plan(spec, small_cluster)
+        checkpoints = [p for p in phases if "checkpoint" in p.name]
+        assert len(checkpoints) == spec.demand.iterations * spec.demand.sync_per_iter
+
+    def test_telemetry_produced(self):
+        import numpy as np
+
+        r = simulate_run(flink_twin("lr"), "c5.xlarge", rng=np.random.default_rng(0))
+        assert r.timeseries.shape[1] == 20
+        assert r.framework == "flink"
+
+
+class TestFourthFrameworkTransfer:
+    def test_flink_targets_well_formed(self):
+        from repro.experiments.ext_flink import flink_targets
+
+        targets = flink_targets()
+        assert len(targets) == 6
+        assert all(w.framework == "flink" for w in targets)
+        # Twins share demand profiles with their Spark counterparts.
+        assert targets[0].demand is get_workload("spark-lr").demand
+
+    def test_vesta_selects_for_flink(self, fitted_vesta, ground_truth):
+        spec = flink_twin("grep")
+        rec = fitted_vesta.select(spec)
+        # gt caches per workload-name; compute directly.
+        from repro.telemetry.collector import DataCollector
+        import numpy as np
+
+        dc = DataCollector(repetitions=10, seed=7)
+        rts = np.array([dc.runtime_only(spec, vm) for vm in ground_truth.vms])
+        chosen = rts[[vm.name for vm in ground_truth.vms].index(rec.vm_name)]
+        assert (chosen - rts.min()) / rts.min() < 0.5

@@ -1,0 +1,235 @@
+"""Tests for the BSP scheduler core."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.cluster import Cluster
+from repro.cloud.vmtypes import get_vm_type
+from repro.errors import OutOfMemoryError, ValidationError
+from repro.frameworks.base import (
+    BSPScheduler,
+    Phase,
+    PhaseKind,
+    TASK_MEMORY_FLOOR_GB,
+    RunResult,
+)
+from repro.frameworks.registry import get_engine, simulate_run
+
+
+def make_phase(**overrides) -> Phase:
+    defaults = dict(
+        name="p",
+        kind=PhaseKind.COMPUTE,
+        tasks=16,
+        cpu_secs_per_task=2.0,
+        disk_read_gb=0.1,
+        mem_gb_per_task=0.5,
+    )
+    defaults.update(overrides)
+    return Phase(**defaults)
+
+
+@pytest.fixture()
+def scheduler():
+    return BSPScheduler()
+
+
+class TestPhaseValidation:
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(ValidationError):
+            make_phase(tasks=0)
+
+    @pytest.mark.parametrize(
+        "field", ["cpu_secs_per_task", "disk_read_gb", "net_gb", "mem_gb_per_task"]
+    )
+    def test_negative_demands_rejected(self, field):
+        with pytest.raises(ValidationError):
+            make_phase(**{field: -0.1})
+
+
+class TestWaveScheduling:
+    def test_single_wave_when_tasks_fit(self, scheduler, small_cluster):
+        result = scheduler.simulate_phase(make_phase(tasks=16), small_cluster)
+        assert result.waves == 1
+        assert result.concurrency_per_node == 4
+
+    def test_waves_grow_with_task_count(self, scheduler, small_cluster):
+        r1 = scheduler.simulate_phase(make_phase(tasks=16), small_cluster)
+        r3 = scheduler.simulate_phase(make_phase(tasks=48), small_cluster)
+        assert r3.waves == 3 * r1.waves
+        assert r3.duration_s == pytest.approx(3 * r1.duration_s)
+
+    def test_duration_positive_even_for_empty_work(self, scheduler, small_cluster):
+        result = scheduler.simulate_phase(
+            make_phase(cpu_secs_per_task=0.0, disk_read_gb=0.0, mem_gb_per_task=0.0),
+            small_cluster,
+        )
+        assert result.duration_s > 0
+
+    def test_fixed_overhead_added_once(self, scheduler, small_cluster):
+        base = scheduler.simulate_phase(make_phase(), small_cluster)
+        with_oh = scheduler.simulate_phase(make_phase(fixed_overhead_s=10.0), small_cluster)
+        assert with_oh.duration_s == pytest.approx(base.duration_s + 10.0)
+
+    def test_faster_cpu_shortens_compute_phase(self, scheduler):
+        slow = Cluster(vm=get_vm_type("m5a.xlarge"), nodes=4)
+        fast = Cluster(vm=get_vm_type("z1d.xlarge"), nodes=4)
+        phase = make_phase(cpu_secs_per_task=50.0, disk_read_gb=0.0)
+        assert (
+            BSPScheduler().simulate_phase(phase, fast).duration_s
+            < BSPScheduler().simulate_phase(phase, slow).duration_s
+        )
+
+    def test_more_disk_shortens_io_phase(self, scheduler):
+        ebs = Cluster(vm=get_vm_type("m5.xlarge"), nodes=4)
+        nvme = Cluster(vm=get_vm_type("i3.xlarge"), nodes=4)
+        phase = make_phase(cpu_secs_per_task=0.1, disk_read_gb=2.0)
+        assert (
+            scheduler.simulate_phase(phase, nvme).duration_s
+            < scheduler.simulate_phase(phase, ebs).duration_s
+        )
+
+
+class TestMemoryBehaviour:
+    def test_memory_floor_applies_to_worker_tasks(self, scheduler, small_cluster):
+        result = scheduler.simulate_phase(make_phase(mem_gb_per_task=0.01), small_cluster)
+        # 15 GB usable / 0.75 floor = 20 >= 4 vcpus, so still vcpu-bound.
+        assert result.concurrency_per_node == 4
+
+    def test_memory_floor_skipped_for_sync(self, scheduler):
+        tiny = Cluster(vm=get_vm_type("c4n.small"), nodes=4)
+        sync = make_phase(kind=PhaseKind.SYNCHRONIZATION, mem_gb_per_task=0.0, tasks=4)
+        result = scheduler.simulate_phase(sync, tiny)
+        assert not result.spilled
+
+    def test_spill_engages_for_oversized_tasks(self, scheduler, small_cluster):
+        result = scheduler.simulate_phase(make_phase(mem_gb_per_task=30.0), small_cluster)
+        assert result.spilled
+        assert result.concurrency_per_node == 1
+        assert result.spilled_gb_per_task == pytest.approx(30.0 - 15.0)
+
+    def test_spilling_slows_the_phase(self, scheduler, small_cluster):
+        fit = scheduler.simulate_phase(make_phase(mem_gb_per_task=1.0), small_cluster)
+        spill = scheduler.simulate_phase(make_phase(mem_gb_per_task=30.0), small_cluster)
+        assert spill.duration_s > fit.duration_s
+
+    def test_oom_beyond_spill_limit(self, scheduler, small_cluster):
+        with pytest.raises(OutOfMemoryError):
+            scheduler.simulate_phase(make_phase(mem_gb_per_task=5000.0), small_cluster)
+
+    def test_gc_pressure_inflates_cpu_time(self, scheduler, small_cluster):
+        # 15 GB usable; 4 x 3.6 GB = 96 % utilization -> GC penalty.
+        relaxed = scheduler.simulate_phase(
+            make_phase(cpu_secs_per_task=20.0, disk_read_gb=0.0, mem_gb_per_task=1.0),
+            small_cluster,
+        )
+        pressured = scheduler.simulate_phase(
+            make_phase(cpu_secs_per_task=20.0, disk_read_gb=0.0, mem_gb_per_task=3.6),
+            small_cluster,
+        )
+        assert pressured.duration_s > relaxed.duration_s * 1.1
+
+
+class TestUtilizations:
+    def test_fractions_bounded(self, scheduler, small_cluster):
+        r = scheduler.simulate_phase(make_phase(net_gb=0.5, disk_write_gb=0.5), small_cluster)
+        for v in (r.cpu_busy_frac, r.io_wait_frac, r.mem_used_frac, r.net_overload_frac):
+            assert 0.0 <= v <= 1.0
+
+    def test_byte_rates_nonnegative(self, scheduler, small_cluster):
+        r = scheduler.simulate_phase(make_phase(disk_write_gb=1.0, net_gb=1.0), small_cluster)
+        assert r.disk_read_mbps_node >= 0
+        assert r.disk_write_mbps_node > 0
+        assert r.net_mbps_node > 0
+
+    def test_cpu_heavy_phase_is_cpu_bound(self, scheduler, small_cluster):
+        r = scheduler.simulate_phase(
+            make_phase(cpu_secs_per_task=100.0, disk_read_gb=0.001), small_cluster
+        )
+        assert r.cpu_busy_frac > 0.8
+        assert r.io_wait_frac < 0.1
+
+    def test_bandwidth_shared_by_resident_tasks_only(self, scheduler, small_cluster):
+        # 4 tasks on 4 nodes = 1 per node: full per-node bandwidth each.
+        sparse = scheduler.simulate_phase(
+            make_phase(tasks=4, cpu_secs_per_task=0.0, disk_read_gb=2.0), small_cluster
+        )
+        dense = scheduler.simulate_phase(
+            make_phase(tasks=16, cpu_secs_per_task=0.0, disk_read_gb=2.0), small_cluster
+        )
+        # Dense packs 4 tasks per node -> 1/4 bandwidth each -> same wall time
+        # per wave is 4x sparse's per-task time but one wave either way.
+        assert dense.duration_s == pytest.approx(4 * sparse.duration_s, rel=0.15)
+
+    def test_mem_demand_tracks_workload_not_floor(self, scheduler, small_cluster):
+        lo = scheduler.simulate_phase(make_phase(mem_gb_per_task=0.01), small_cluster)
+        hi = scheduler.simulate_phase(make_phase(mem_gb_per_task=3.0), small_cluster)
+        assert hi.mem_demand_frac > lo.mem_demand_frac
+
+
+class TestEngineRun:
+    def test_run_result_fields(self, spark_lr, rng):
+        r = simulate_run(spark_lr, "m5.xlarge", rng=rng)
+        assert isinstance(r, RunResult)
+        assert r.workload == "spark-lr"
+        assert r.vm_name == "m5.xlarge"
+        assert r.runtime_s > 0
+        assert r.budget_usd > 0
+        assert r.timeseries is not None and r.timeseries.shape[1] == 20
+
+    def test_noise_multiplier_scales_runtime(self, spark_lr):
+        base = simulate_run(spark_lr, "m5.xlarge", with_timeseries=False)
+        noisy = simulate_run(
+            spark_lr, "m5.xlarge", noise_multiplier=1.5, with_timeseries=False
+        )
+        assert noisy.runtime_s == pytest.approx(1.5 * base.runtime_s)
+        assert noisy.base_runtime_s == pytest.approx(base.runtime_s)
+
+    def test_timeseries_skipped_when_disabled(self, spark_lr):
+        r = simulate_run(spark_lr, "m5.xlarge", with_timeseries=False)
+        assert r.timeseries is None
+
+    def test_engine_rejects_wrong_framework(self, spark_lr, small_cluster):
+        with pytest.raises(ValidationError):
+            get_engine("hadoop").run(spark_lr, small_cluster)
+
+    def test_invalid_noise_rejected(self, spark_lr):
+        with pytest.raises(ValidationError):
+            simulate_run(spark_lr, "m5.xlarge", noise_multiplier=0.0)
+
+    def test_deterministic_without_rng(self, spark_lr):
+        a = simulate_run(spark_lr, "m5.xlarge")
+        b = simulate_run(spark_lr, "m5.xlarge")
+        assert a.runtime_s == b.runtime_s
+        np.testing.assert_array_equal(a.timeseries, b.timeseries)
+
+
+class TestSkew:
+    def test_skew_stretches_duration(self, scheduler, small_cluster):
+        base = scheduler.simulate_phase(make_phase(), small_cluster)
+        skewed = scheduler.simulate_phase(make_phase(skew=1.0), small_cluster)
+        assert skewed.duration_s > base.duration_s
+
+    def test_skew_penalty_is_one_straggler_wave(self, scheduler, small_cluster):
+        # duration = fixed + waves*t + skew*t, so the delta equals the
+        # per-task time exactly for skew = 1.
+        base = scheduler.simulate_phase(make_phase(tasks=16), small_cluster)
+        skewed = scheduler.simulate_phase(make_phase(tasks=16, skew=1.0), small_cluster)
+        per_task = base.duration_s / base.waves
+        assert skewed.duration_s - base.duration_s == pytest.approx(per_task)
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValidationError):
+            make_phase(skew=-0.5)
+
+    def test_skewed_generator_workloads_slower(self):
+        from repro.workloads.generators import WorkloadGenerator
+        import dataclasses
+
+        gen = WorkloadGenerator(seed=9)
+        w = gen.sample(archetype="shuffle-heavy", framework="spark")
+        assert w.demand.skew > 0
+        uniform = dataclasses.replace(w, demand=dataclasses.replace(w.demand, skew=0.0))
+        slow = simulate_run(w, "m5.xlarge", with_timeseries=False).runtime_s
+        fast = simulate_run(uniform, "m5.xlarge", with_timeseries=False).runtime_s
+        assert slow > fast

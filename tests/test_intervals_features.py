@@ -1,0 +1,148 @@
+"""Tests for interval labels and feature selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.feature_selection import exhaustive_search, select_by_importance
+from repro.analysis.intervals import (
+    INTERVAL_WIDTH,
+    interval_bounds,
+    interval_of,
+    label_matrix,
+    labels_for_vector,
+    num_intervals,
+)
+from repro.errors import ValidationError
+
+
+class TestIntervals:
+    def test_paper_width_gives_40_intervals(self):
+        assert INTERVAL_WIDTH == 0.05
+        assert num_intervals() == 40
+
+    def test_paper_example_intervals(self):
+        # "[0.1, 0.15]" -> index (0.1 + 1)/0.05 = 22.
+        assert interval_of(0.12) == 22
+        lo, hi = interval_bounds(22)
+        assert lo == pytest.approx(0.10)
+        assert hi == pytest.approx(0.15)
+
+    def test_extremes_map_inside(self):
+        assert interval_of(-1.0) == 0
+        assert interval_of(1.0) == num_intervals() - 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            interval_of(1.2)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValidationError):
+            num_intervals(0.0)
+
+    def test_bounds_roundtrip(self):
+        for idx in range(num_intervals()):
+            lo, hi = interval_bounds(idx)
+            mid = (lo + hi) / 2
+            assert interval_of(mid) == idx
+
+    @given(st.floats(-1.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_value_within_its_interval(self, value):
+        idx = interval_of(value)
+        lo, hi = interval_bounds(idx)
+        assert lo - 1e-9 <= value <= hi + 1e-9
+
+    @given(st.floats(-1.0, 1.0), st.floats(-1.0, 1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, a, b):
+        if a <= b:
+            assert interval_of(a) <= interval_of(b)
+
+
+class TestLabelMatrix:
+    def test_flat_ids_block_structure(self):
+        ids = labels_for_vector(np.array([-1.0, 1.0]))
+        n = num_intervals()
+        assert ids[0] == 0
+        assert ids[1] == 2 * n - 1
+
+    def test_one_hot_per_feature(self):
+        vectors = np.array([[0.12, -0.4], [0.9, 0.9]])
+        m = label_matrix(vectors)
+        assert m.shape == (2, 2 * num_intervals())
+        assert np.all(m.sum(axis=1) == 2)  # one label per feature
+        assert set(np.unique(m)) == {0.0, 1.0}
+
+    def test_equation3_semantics(self):
+        # G[i, j] == 1 iff workload i conforms to label j.
+        m = label_matrix(np.array([[0.12]]))
+        assert m[0, interval_of(0.12)] == 1.0
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            label_matrix(np.zeros(5))
+
+
+class TestImportanceSelection:
+    def test_keeps_strongest_features(self, rng):
+        X = np.column_stack(
+            [
+                5.0 * rng.normal(size=100),
+                0.01 * rng.normal(size=100),
+                3.0 * rng.normal(size=100),
+            ]
+        )
+        kept, imp = select_by_importance(X, keep_mass=0.9)
+        assert 0 in kept and 2 in kept
+        assert imp.shape == (3,)
+
+    def test_min_features_respected(self, rng):
+        X = np.column_stack([rng.normal(size=50), 1e-6 * rng.normal(size=50)])
+        kept, _ = select_by_importance(X, keep_mass=0.1, min_features=2)
+        assert len(kept) == 2
+
+    def test_kept_sorted_ascending(self, rng):
+        X = rng.normal(size=(40, 6))
+        kept, _ = select_by_importance(X, keep_mass=0.7)
+        assert list(kept) == sorted(kept)
+
+    def test_full_mass_keeps_everything(self, rng):
+        X = rng.normal(size=(40, 5))
+        kept, _ = select_by_importance(X, keep_mass=1.0)
+        assert len(kept) == 5
+
+    def test_invalid_mass_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            select_by_importance(rng.normal(size=(10, 3)), keep_mass=0.0)
+
+
+class TestExhaustiveSearch:
+    def test_finds_global_optimum(self):
+        target = (1, 3)
+        best, score = exhaustive_search(
+            5, lambda s: 10.0 - abs(len(s) - 2) - (0 if s == target else 1)
+        )
+        assert best == target
+        assert score == 10.0
+
+    def test_max_size_bounds_subsets(self):
+        seen = []
+        exhaustive_search(4, lambda s: seen.append(s) or 0.0, max_size=2)
+        assert max(len(s) for s in seen) == 2
+
+    def test_full_space_size(self):
+        seen = []
+        exhaustive_search(4, lambda s: seen.append(s) or 0.0)
+        assert len(seen) == 2**4 - 1
+
+    def test_tie_break_deterministic(self):
+        best, _ = exhaustive_search(3, lambda s: 1.0)
+        assert best == (0,)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValidationError):
+            exhaustive_search(0, lambda s: 0.0)
+        with pytest.raises(ValidationError):
+            exhaustive_search(3, lambda s: 0.0, max_size=0)

@@ -1,0 +1,114 @@
+"""Cross-checks and small-surface coverage: errors, resources, numerics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlation_matrix
+from repro.cloud.cluster import Cluster
+from repro.cloud.vmtypes import get_vm_type
+from repro.errors import (
+    CatalogError,
+    ConvergenceError,
+    OutOfMemoryError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.frameworks.base import BSPScheduler, Phase, PhaseKind
+from repro.frameworks.registry import get_engine
+from repro.frameworks.resources import phase_metric_levels
+from repro.telemetry.metrics import METRIC_INDEX, NUM_METRICS
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (CatalogError, ValidationError, SimulationError,
+                    OutOfMemoryError, ConvergenceError):
+            assert issubclass(exc, ReproError)
+
+    def test_dual_inheritance_for_ergonomics(self):
+        # Callers can catch the stdlib flavour too.
+        assert issubclass(CatalogError, KeyError)
+        assert issubclass(ValidationError, ValueError)
+        assert issubclass(SimulationError, RuntimeError)
+        assert issubclass(OutOfMemoryError, SimulationError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            get_vm_type("nope.large")
+
+
+class TestCorrelationMatrixVsNumpy:
+    def test_matches_corrcoef_on_nondegenerate_data(self, rng):
+        series = np.abs(rng.normal(size=(50, NUM_METRICS))) + 0.1
+        ours = correlation_matrix(series)
+        theirs = np.corrcoef(series.T)
+        np.testing.assert_allclose(ours, theirs, atol=1e-10)
+
+
+class TestPhaseMetricLevels:
+    @pytest.fixture()
+    def level_vector(self, spark_lr, small_cluster):
+        phase = Phase(
+            name="p", kind=PhaseKind.COMPUTE, tasks=32,
+            cpu_secs_per_task=5.0, disk_read_gb=0.2, disk_write_gb=0.1,
+            net_gb=0.05, mem_gb_per_task=1.0,
+        )
+        result = BSPScheduler().simulate_phase(phase, small_cluster)
+        return phase_metric_levels(result, spark_lr, small_cluster)
+
+    def test_vector_length(self, level_vector):
+        assert level_vector.shape == (NUM_METRICS,)
+        assert np.all(level_vector >= 0)
+
+    def test_cpu_shares_sum_to_at_most_one(self, level_vector):
+        total = sum(
+            level_vector[METRIC_INDEX[m]]
+            for m in ("cpu_user", "cpu_system", "cpu_idle", "cpu_wait")
+        )
+        assert total <= 1.05  # small daemon constant allowed
+
+    def test_compute_phase_counts_compute_tasks(self, level_vector):
+        assert (
+            level_vector[METRIC_INDEX["tasks_compute"]]
+            > level_vector[METRIC_INDEX["tasks_communication"]]
+        )
+
+    def test_communication_phase_counts_comm_tasks(self, spark_lr, small_cluster):
+        phase = Phase(
+            name="s", kind=PhaseKind.COMMUNICATION, tasks=16,
+            cpu_secs_per_task=0.1, net_gb=0.5, mem_gb_per_task=0.2,
+        )
+        result = BSPScheduler().simulate_phase(phase, small_cluster)
+        levels = phase_metric_levels(result, spark_lr, small_cluster)
+        assert (
+            levels[METRIC_INDEX["tasks_communication"]]
+            > levels[METRIC_INDEX["tasks_compute"]]
+        )
+
+    def test_spill_raises_swap_metric(self, spark_lr, small_cluster):
+        phase = Phase(
+            name="x", kind=PhaseKind.COMPUTE, tasks=4,
+            cpu_secs_per_task=1.0, mem_gb_per_task=40.0,
+        )
+        result = BSPScheduler().simulate_phase(phase, small_cluster)
+        levels = phase_metric_levels(result, spark_lr, small_cluster)
+        assert levels[METRIC_INDEX["mem_swap"]] > 0
+
+
+class TestEngineSharedState:
+    def test_engines_are_stateless_across_specs(self, spark_lr):
+        engine = get_engine("spark")
+        c1 = Cluster(vm=get_vm_type("m5.large"), nodes=2)
+        c2 = Cluster(vm=get_vm_type("r5.8xlarge"), nodes=8)
+        a1 = engine.plan(spark_lr, c1)
+        _ = engine.plan(spark_lr, c2)
+        a2 = engine.plan(spark_lr, c1)
+        assert [p.name for p in a1] == [p.name for p in a2]
+        assert [p.tasks for p in a1] == [p.tasks for p in a2]
+
+    def test_plan_is_pure(self, spark_lr, small_cluster):
+        engine = get_engine("spark")
+        p1 = engine.plan(spark_lr, small_cluster)
+        p2 = engine.plan(spark_lr, small_cluster)
+        assert p1 == p2

@@ -1,0 +1,169 @@
+"""Tests for the from-scratch PCA and K-Means implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis.kmeans import KMeans
+from repro.analysis.pca import PCA
+from repro.errors import ValidationError
+
+
+class TestPCA:
+    @pytest.fixture()
+    def gaussian_data(self, rng):
+        cov = np.array([[4.0, 1.0], [1.0, 0.5]])
+        return rng.multivariate_normal([1.0, -2.0], cov, size=400)
+
+    def test_components_orthonormal(self, gaussian_data):
+        p = PCA().fit(gaussian_data)
+        gram = p.components_ @ p.components_.T
+        np.testing.assert_allclose(gram, np.eye(len(gram)), atol=1e-10)
+
+    def test_explained_variance_descending_and_normalized(self, gaussian_data):
+        p = PCA().fit(gaussian_data)
+        evr = p.explained_variance_ratio_
+        assert np.all(np.diff(evr) <= 1e-12)
+        assert evr.sum() == pytest.approx(1.0)
+
+    def test_first_component_captures_dominant_axis(self, rng):
+        x = rng.normal(size=300)
+        data = np.column_stack([x, 0.01 * rng.normal(size=300)])
+        p = PCA(n_components=1).fit(data)
+        assert abs(p.components_[0, 0]) > 0.99
+
+    def test_transform_inverse_roundtrip(self, gaussian_data):
+        p = PCA().fit(gaussian_data)  # full rank
+        z = p.transform(gaussian_data)
+        back = p.inverse_transform(z)
+        np.testing.assert_allclose(back, gaussian_data, atol=1e-8)
+
+    def test_reconstruction_improves_with_components(self, rng):
+        data = rng.normal(size=(100, 6)) @ rng.normal(size=(6, 6))
+        errs = []
+        for k in (1, 3, 6):
+            p = PCA(n_components=k).fit(data)
+            recon = p.inverse_transform(p.transform(data))
+            errs.append(float(((data - recon) ** 2).sum()))
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_importance_index_sums_to_one(self, gaussian_data):
+        imp = PCA().fit(gaussian_data).importance_index()
+        assert imp.sum() == pytest.approx(1.0)
+        assert np.all(imp >= 0)
+
+    def test_importance_favours_high_variance_feature(self, rng):
+        data = np.column_stack(
+            [10.0 * rng.normal(size=200), 0.01 * rng.normal(size=200)]
+        )
+        imp = PCA().fit(data).importance_index()
+        assert imp[0] > imp[1]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ValidationError):
+            PCA().transform(np.zeros((3, 2)))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            PCA().fit(np.zeros((1, 4)))
+
+    @given(arrays(np.float64, (12, 4), elements=st.floats(-50, 50)))
+    @settings(max_examples=30, deadline=None)
+    def test_evr_bounded_property(self, X):
+        p = PCA().fit(X)
+        assert np.all(p.explained_variance_ratio_ >= -1e-12)
+        assert p.explained_variance_ratio_.sum() <= 1.0 + 1e-9
+
+
+class TestKMeans:
+    @pytest.fixture()
+    def three_blobs(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        points = np.vstack(
+            [c + 0.3 * rng.normal(size=(40, 2)) for c in centers]
+        )
+        return points, centers
+
+    def test_recovers_separated_blobs(self, three_blobs):
+        points, centers = three_blobs
+        km = KMeans(3, seed=0).fit(points)
+        found = km.centers_[np.argsort(km.centers_[:, 0] + 100 * km.centers_[:, 1])]
+        want = centers[np.argsort(centers[:, 0] + 100 * centers[:, 1])]
+        np.testing.assert_allclose(found, want, atol=0.5)
+
+    def test_labels_partition_data(self, three_blobs):
+        points, _ = three_blobs
+        km = KMeans(3, seed=0).fit(points)
+        assert set(km.labels_) == {0, 1, 2}
+        assert km.labels_.shape == (len(points),)
+
+    def test_inertia_decreases_with_k(self, three_blobs):
+        points, _ = three_blobs
+        inertias = [KMeans(k, seed=0).fit(points).inertia_ for k in (1, 2, 3, 6)]
+        assert inertias == sorted(inertias, reverse=True)
+
+    def test_predict_assigns_nearest_center(self, three_blobs):
+        points, _ = three_blobs
+        km = KMeans(3, seed=0).fit(points)
+        label = km.predict(np.array([[10.1, -0.2]]))[0]
+        center = km.centers_[label]
+        assert np.linalg.norm(center - [10.0, 0.0]) < 1.0
+
+    def test_predict_1d_input(self, three_blobs):
+        points, _ = three_blobs
+        km = KMeans(3, seed=0).fit(points)
+        assert km.predict(points[0]).shape == (1,)
+
+    def test_deterministic_per_seed(self, three_blobs):
+        points, _ = three_blobs
+        a = KMeans(3, seed=5).fit(points)
+        b = KMeans(3, seed=5).fit(points)
+        np.testing.assert_array_equal(a.labels_, b.labels_)
+        assert a.inertia_ == b.inertia_
+
+    def test_k_equal_n_gives_zero_inertia(self, rng):
+        points = rng.normal(size=(6, 3))
+        km = KMeans(6, seed=0, n_init=8).fit(points)
+        assert km.inertia_ == pytest.approx(0.0, abs=1e-9)
+
+    def test_duplicate_points_handled(self):
+        points = np.vstack([np.zeros((5, 2)), np.ones((5, 2))])
+        km = KMeans(2, seed=0).fit(points)
+        assert km.inertia_ == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_larger_than_n_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            KMeans(10).fit(rng.normal(size=(4, 2)))
+
+    def test_invalid_hyperparams_rejected(self):
+        with pytest.raises(ValidationError):
+            KMeans(0)
+        with pytest.raises(ValidationError):
+            KMeans(2, n_init=0)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(ValidationError):
+            KMeans(2).predict(np.zeros((1, 2)))
+
+    @given(
+        arrays(
+            np.float64,
+            (20, 3),
+            elements=st.floats(-100, 100, allow_nan=False),
+        ),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_inertia_nonnegative_and_labels_valid(self, X, k):
+        km = KMeans(k, seed=0, n_init=2, max_iter=30).fit(X)
+        assert km.inertia_ >= 0
+        assert np.all((0 <= km.labels_) & (km.labels_ < k))
+
+    @given(arrays(np.float64, (15, 2), elements=st.floats(-10, 10)))
+    @settings(max_examples=25, deadline=None)
+    def test_centers_within_data_hull_box(self, X):
+        km = KMeans(3, seed=0, n_init=2, max_iter=30).fit(X)
+        assert np.all(km.centers_ >= X.min(axis=0) - 1e-9)
+        assert np.all(km.centers_ <= X.max(axis=0) + 1e-9)

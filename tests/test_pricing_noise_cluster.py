@@ -1,0 +1,129 @@
+"""Tests for pricing, cloud-noise, and cluster resource math."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.cluster import Cluster, OS_MEMORY_RESERVE_GB
+from repro.cloud.noise import CloudNoiseModel
+from repro.cloud.pricing import MIN_BILLED_SECONDS, budget_for_runtime, hourly_price
+from repro.cloud.vmtypes import get_vm_type
+from repro.errors import ValidationError
+
+
+class TestPricing:
+    def test_hourly_price_scales_with_nodes(self, m5_xlarge):
+        assert hourly_price(m5_xlarge, 4) == pytest.approx(4 * m5_xlarge.price_per_hour)
+
+    def test_budget_is_linear_above_minimum(self, m5_xlarge):
+        b1 = budget_for_runtime(m5_xlarge, 3600.0)
+        assert b1 == pytest.approx(m5_xlarge.price_per_hour)
+        assert budget_for_runtime(m5_xlarge, 7200.0) == pytest.approx(2 * b1)
+
+    def test_minimum_billing_applies(self, m5_xlarge):
+        short = budget_for_runtime(m5_xlarge, 10.0)
+        at_min = budget_for_runtime(m5_xlarge, MIN_BILLED_SECONDS)
+        assert short == pytest.approx(at_min)
+
+    def test_zero_runtime_still_billed_minimum(self, m5_xlarge):
+        assert budget_for_runtime(m5_xlarge, 0.0) > 0
+
+    @pytest.mark.parametrize("bad", [-1.0])
+    def test_negative_runtime_rejected(self, m5_xlarge, bad):
+        with pytest.raises(ValidationError):
+            budget_for_runtime(m5_xlarge, bad)
+
+    def test_zero_nodes_rejected(self, m5_xlarge):
+        with pytest.raises(ValidationError):
+            hourly_price(m5_xlarge, 0)
+
+
+class TestNoise:
+    def test_seeded_reproducibility(self):
+        a = CloudNoiseModel(seed=3).sample_multipliers(20)
+        b = CloudNoiseModel(seed=3).sample_multipliers(20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = CloudNoiseModel(seed=3).sample_multipliers(20)
+        b = CloudNoiseModel(seed=4).sample_multipliers(20)
+        assert not np.array_equal(a, b)
+
+    def test_multipliers_positive(self):
+        m = CloudNoiseModel(seed=0).sample_multipliers(500)
+        assert np.all(m > 0)
+
+    def test_mean_near_one_without_stragglers(self):
+        model = CloudNoiseModel(sigma=0.06, straggler_prob=0.0, seed=1)
+        m = model.sample_multipliers(4000)
+        assert m.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_variance_boost_raises_spread(self):
+        base = CloudNoiseModel(straggler_prob=0, seed=5).sample_multipliers(2000)
+        boosted = CloudNoiseModel(straggler_prob=0, seed=5).sample_multipliers(2000, variance_boost=6.0)
+        assert boosted.std() > 3 * base.std()
+
+    def test_stragglers_only_slow_down(self):
+        model = CloudNoiseModel(sigma=0.0, straggler_prob=1.0, seed=2)
+        s = model.sample(1.0)
+        assert s.straggler
+        assert s.multiplier > 1.0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValidationError):
+            CloudNoiseModel(sigma=-1)
+        with pytest.raises(ValidationError):
+            CloudNoiseModel(straggler_prob=1.5)
+        with pytest.raises(ValidationError):
+            CloudNoiseModel().sample(variance_boost=0)
+        with pytest.raises(ValidationError):
+            CloudNoiseModel().sample_multipliers(-1)
+
+
+class TestCluster:
+    def test_aggregate_resources(self, small_cluster, m5_xlarge):
+        assert small_cluster.total_vcpus == 16
+        assert small_cluster.total_mem_gb == pytest.approx(64.0)
+        assert small_cluster.total_disk_mbps == pytest.approx(4 * m5_xlarge.disk_mbps)
+
+    def test_usable_memory_reserves_os(self, small_cluster, m5_xlarge):
+        assert small_cluster.usable_mem_per_node_gb == pytest.approx(
+            m5_xlarge.mem_gb - OS_MEMORY_RESERVE_GB
+        )
+
+    def test_tiny_node_reserve_is_proportional(self):
+        vm = get_vm_type("c4n.small")  # ~0.94 GB node
+        cluster = Cluster(vm=vm, nodes=1)
+        assert 0 < cluster.usable_mem_per_node_gb < vm.mem_gb
+        assert cluster.usable_mem_per_node_gb == pytest.approx(0.75 * vm.mem_gb)
+
+    def test_concurrency_bounded_by_vcpus(self, small_cluster):
+        assert small_cluster.concurrent_tasks_per_node(0.0) == 4
+        assert small_cluster.concurrent_tasks_per_node(0.1) == 4
+
+    def test_concurrency_bounded_by_memory(self, small_cluster):
+        # 15 GB usable, 6 GB tasks -> 2 fit
+        assert small_cluster.concurrent_tasks_per_node(6.0) == 2
+
+    def test_oversized_task_returns_zero(self, small_cluster):
+        assert small_cluster.concurrent_tasks_per_node(100.0) == 0
+
+    def test_budget_matches_pricing(self, small_cluster, m5_xlarge):
+        assert small_cluster.budget(3600.0) == pytest.approx(
+            budget_for_runtime(m5_xlarge, 3600.0, nodes=4)
+        )
+
+    def test_net_mbps_conversion(self, small_cluster, m5_xlarge):
+        assert small_cluster.net_mbps_per_node == pytest.approx(
+            m5_xlarge.net_gbps * 125.0
+        )
+
+    def test_compute_rate(self, small_cluster, m5_xlarge):
+        assert small_cluster.compute_rate == pytest.approx(16 * m5_xlarge.cpu_speed)
+
+    def test_invalid_nodes_rejected(self, m5_xlarge):
+        with pytest.raises(ValidationError):
+            Cluster(vm=m5_xlarge, nodes=0)
+
+    def test_negative_task_mem_rejected(self, small_cluster):
+        with pytest.raises(ValidationError):
+            small_cluster.concurrent_tasks_per_node(-1.0)

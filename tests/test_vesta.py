@@ -1,0 +1,182 @@
+"""Tests for the end-to-end VestaSelector (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.vesta import OnlineSession, Recommendation, VestaSelector
+from repro.errors import ValidationError
+from repro.workloads.catalog import get_workload, training_set
+
+
+class TestOfflineFit:
+    def test_fit_builds_knowledge(self, fitted_vesta):
+        v = fitted_vesta
+        n_src, n_vm = len(v.sources), len(v.vms)
+        assert v.perf.shape == (n_src, n_vm)
+        assert np.all(v.perf > 0)
+        assert v.correlations.shape == (n_src, 10)
+        assert v.U.shape == (n_src, v.label_space.n_labels)
+        assert v.V.shape == (n_vm, v.label_space.n_labels)
+
+    def test_feature_selection_drops_some(self, fitted_vesta):
+        assert 2 <= len(fitted_vesta.kept_features) <= 9
+        assert fitted_vesta.feature_importance.sum() == pytest.approx(1.0)
+
+    def test_near_best_scores_normalized(self, fitted_vesta):
+        nb = fitted_vesta.near_best
+        assert np.all((0 < nb) & (nb <= 1.0 + 1e-12))
+        # Each workload's best VM scores exactly 1.
+        np.testing.assert_allclose(nb.max(axis=1), 1.0)
+
+    def test_kmeans_clusters_cover_catalog(self, fitted_vesta):
+        assert fitted_vesta.vm_clusters.shape == (len(fitted_vesta.vms),)
+        assert len(np.unique(fitted_vesta.vm_clusters)) > 1
+
+    def test_cluster_smoothing_makes_v_constant_within_cluster(self, fitted_vesta):
+        v = fitted_vesta
+        for c in np.unique(v.vm_clusters):
+            members = np.nonzero(v.vm_clusters == c)[0]
+            block = v.V[members]
+            assert np.allclose(block, block[0])
+
+    def test_graph_holds_all_sources(self, fitted_vesta):
+        names = fitted_vesta.graph.workload_names(target=False)
+        assert set(names) == {w.name for w in fitted_vesta.sources}
+
+    def test_defaults_match_paper(self):
+        v = VestaSelector()
+        assert v.k == 9           # Figure 11
+        assert v.lam == 0.75      # Section 5.3
+        assert v.probes == 3      # Section 4.2
+        assert v.collector.repetitions == 10  # Section 4.1
+
+    def test_select_before_fit_rejected(self, spark_lr):
+        with pytest.raises(ValidationError):
+            VestaSelector().select(spark_lr)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            VestaSelector(k=0)
+        with pytest.raises(ValidationError):
+            VestaSelector(probes=-1)
+        with pytest.raises(ValidationError):
+            VestaSelector(vms=())
+
+
+class TestOnlineSession:
+    @pytest.fixture(scope="class")
+    def session(self, fitted_vesta):
+        return fitted_vesta.online(get_workload("spark-lr"))
+
+    def test_initial_reference_vms(self, session):
+        # Sandbox + 3 probes (Section 4.2).
+        assert session.reference_vm_count == 4
+        assert session.sandbox_vm.name in session.observations
+        for vm in session.probe_vms:
+            assert vm.name in session.observations
+
+    def test_completed_row_nonnegative(self, session, fitted_vesta):
+        row = session.completed_row
+        assert row.shape == (fitted_vesta.label_space.n_labels,)
+        assert np.all(row >= 0)
+        assert row.sum() > 0
+
+    def test_predictions_cover_catalog(self, session, fitted_vesta):
+        pred = session.predict_runtimes()
+        assert pred.shape == (len(fitted_vesta.vms),)
+        assert np.all(pred > 0)
+
+    def test_observed_vms_predict_exactly(self, session, fitted_vesta):
+        pred = session.predict_runtimes()
+        for name, obs in session.observations.items():
+            assert pred[fitted_vesta.vm_index(name)] == pytest.approx(obs)
+
+    def test_predict_single_vm_consistent(self, session, fitted_vesta):
+        pred = session.predict_runtimes()
+        assert session.predict_runtime("z1d.xlarge") == pytest.approx(
+            pred[fitted_vesta.vm_index("z1d.xlarge")]
+        )
+
+    def test_budget_predictions_scale_with_price(self, session, fitted_vesta):
+        budgets = session.predict_budgets()
+        assert budgets.shape == (len(fitted_vesta.vms),)
+        assert np.all(budgets > 0)
+
+    def test_recommendation_fields(self, session):
+        rec = session.recommend()
+        assert isinstance(rec, Recommendation)
+        assert rec.workload == "spark-lr"
+        assert rec.objective == "time"
+        assert rec.vm_name in rec.predictions
+        assert rec.predicted_runtime_s > 0
+        assert rec.predicted_budget_usd > 0
+
+    def test_recommend_is_argmin_of_predictions(self, session):
+        rec = session.recommend()
+        assert rec.predicted_runtime_s == pytest.approx(min(rec.predictions.values()))
+
+    def test_budget_objective_prefers_cheaper_vm(self, session):
+        time_rec = session.recommend("time")
+        budget_rec = session.recommend("budget")
+        assert budget_rec.predicted_budget_usd <= time_rec.predicted_budget_usd
+
+    def test_invalid_objective_rejected(self, session):
+        with pytest.raises(ValidationError):
+            session.recommend("carbon")
+
+    def test_step_observes_new_vm(self, fitted_vesta):
+        session = fitted_vesta.online(get_workload("spark-grep"))
+        before = session.reference_vm_count
+        vm_name, runtime = session.step()
+        assert session.reference_vm_count == before + 1
+        assert runtime > 0
+        assert vm_name in session.observations
+
+    def test_observe_is_idempotent(self, fitted_vesta):
+        session = fitted_vesta.online(get_workload("spark-count"))
+        first = session.observe("m5.2xlarge")
+        count = session.reference_vm_count
+        second = session.observe("m5.2xlarge")
+        assert first == second
+        assert session.reference_vm_count == count
+
+    def test_observe_unknown_vm_rejected(self, session):
+        with pytest.raises(ValidationError):
+            session.observe("quantum.42xlarge")
+
+
+class TestTransferBehaviour:
+    def test_reproducible_selection(self):
+        a = VestaSelector(seed=11, sources=training_set()[:6]).fit()
+        b = VestaSelector(seed=11, sources=training_set()[:6]).fit()
+        ra = a.select(get_workload("spark-grep"))
+        rb = b.select(get_workload("spark-grep"))
+        assert ra.vm_name == rb.vm_name
+        assert ra.predicted_runtime_s == rb.predicted_runtime_s
+
+    def test_outlier_target_flagged_non_convergent(self, fitted_vesta):
+        """A synthetic workload with an alien correlation signature should
+        trip the paper's converge limitation (the Spark-CF mechanism)."""
+        session = fitted_vesta.online(get_workload("spark-lr"))
+        # Forge a target row orthogonal to every source: mass on intervals
+        # no source occupies.
+        alien = np.zeros(fitted_vesta.label_space.n_labels)
+        occupied = fitted_vesta.U.sum(axis=0) > 0
+        alien[~occupied] = 1.0
+        sims = fitted_vesta.predictor.similarities(alien)
+        assert sims.max() < fitted_vesta.match_threshold
+
+    def test_selection_quality_vs_ground_truth(self, fitted_vesta, ground_truth):
+        """The headline behaviour: near-best picks from 4 reference VMs."""
+        errors = []
+        for name in ("spark-lr", "spark-kmeans", "spark-pca", "spark-count"):
+            spec = get_workload(name)
+            rec = fitted_vesta.select(spec)
+            errors.append(ground_truth.selection_error(spec, rec.vm_name))
+        assert float(np.mean(errors)) < 0.25
+
+    def test_in_framework_selection_quality(self, fitted_vesta, ground_truth):
+        for name in ("hadoop-nutch", "hive-aggregation"):
+            spec = get_workload(name)
+            rec = fitted_vesta.select(spec)
+            assert ground_truth.selection_error(spec, rec.vm_name) < 0.3

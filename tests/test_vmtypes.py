@@ -1,0 +1,147 @@
+"""Tests for the Table-4 VM catalog."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.vmtypes import (
+    SIZE_LADDER,
+    VMCategory,
+    VMType,
+    catalog,
+    families,
+    get_vm_type,
+    spec_matrix,
+    ten_typical_vm_types,
+    vm_names,
+)
+from repro.errors import CatalogError
+
+
+class TestCatalogStructure:
+    def test_twenty_families_five_sizes(self):
+        fams = families()
+        assert len(fams) == 20
+        assert all(len(f.sizes) == 5 for f in fams.values())
+
+    def test_hundred_concrete_types(self):
+        assert len(catalog()) == 100
+
+    def test_names_unique_and_stable(self):
+        names = vm_names()
+        assert len(set(names)) == len(names)
+        assert names == tuple(vm.name for vm in catalog())
+
+    def test_table4_families_present(self):
+        expected = {
+            "T3", "T3a", "M5", "M5a", "M5n", "C4", "C5", "C5n", "C5d", "C4n",
+            "R4", "R5", "R5a", "R5n", "X1", "z1d", "G3", "G4", "I3", "I3en",
+        }
+        assert set(families()) == expected
+
+    def test_all_five_categories_used(self):
+        cats = {vm.category for vm in catalog()}
+        assert cats == set(VMCategory)
+
+    def test_g4_sizes_match_table4(self):
+        sizes = {vm.size for vm in catalog() if vm.family == "G4"}
+        assert sizes == {"large", "2xlarge", "4xlarge", "8xlarge", "16xlarge"}
+
+    def test_burstable_only_t_family(self):
+        for fam in families().values():
+            if fam.name in ("T3", "T3a"):
+                assert fam.burst_baseline < 1.0
+            else:
+                assert fam.burst_baseline == 1.0
+
+
+class TestVMTypeValues:
+    def test_m5_xlarge_matches_ec2(self):
+        vm = get_vm_type("m5.xlarge")
+        assert vm.vcpus == 4
+        assert vm.mem_gb == pytest.approx(16.0)
+        assert vm.price_per_hour == pytest.approx(0.192)
+
+    def test_r5_has_more_memory_per_vcpu_than_c5(self):
+        assert get_vm_type("r5.large").mem_per_vcpu > get_vm_type("c5.large").mem_per_vcpu
+
+    def test_price_scales_linearly_with_size(self):
+        for fam in ("M5", "C5", "R5"):
+            large = get_vm_type(f"{fam.lower()}.large")
+            x8 = get_vm_type(f"{fam.lower()}.8xlarge")
+            assert x8.price_per_hour == pytest.approx(16 * large.price_per_hour)
+
+    def test_io_scales_sublinearly_with_size(self):
+        large = get_vm_type("i3.large")
+        x8 = get_vm_type("i3.8xlarge")
+        assert large.disk_mbps * 8 < x8.disk_mbps < large.disk_mbps * 16
+
+    def test_t3_throttled_against_m5(self):
+        assert get_vm_type("t3.large").cpu_speed < get_vm_type("m5.large").cpu_speed
+
+    def test_z1d_highest_clock(self):
+        z = get_vm_type("z1d.large").cpu_speed
+        assert all(vm.cpu_speed <= z for vm in catalog())
+
+    def test_storage_optimized_has_most_disk(self):
+        i3en = get_vm_type("i3en.xlarge").disk_mbps
+        for name in ("m5.xlarge", "c5.xlarge", "r5.xlarge"):
+            assert get_vm_type(name).disk_mbps < i3en
+
+    def test_n_families_have_more_network(self):
+        assert get_vm_type("m5n.large").net_gbps > get_vm_type("m5.large").net_gbps
+        assert get_vm_type("c5n.large").net_gbps > get_vm_type("c5.large").net_gbps
+
+    def test_all_resources_positive(self, vms):
+        for vm in vms:
+            assert vm.vcpus > 0
+            assert vm.mem_gb > 0
+            assert vm.cpu_speed > 0
+            assert vm.disk_mbps > 0
+            assert vm.net_gbps > 0
+            assert vm.price_per_hour > 0
+
+
+class TestLookups:
+    def test_get_vm_type_roundtrip(self, vms):
+        for vm in vms:
+            assert get_vm_type(vm.name) is vm
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CatalogError):
+            get_vm_type("m7i.mega")
+
+    def test_family_rejects_unknown_size(self):
+        with pytest.raises(CatalogError):
+            families()["M5"].vm_type("16xlarge")
+
+    def test_negative_resources_rejected(self):
+        with pytest.raises(CatalogError):
+            VMType(
+                name="bad", family="B", category=VMCategory.GENERAL_PURPOSE,
+                size="large", vcpus=0, mem_gb=8, cpu_speed=1, disk_mbps=1,
+                net_gbps=1, price_per_hour=1,
+            )
+
+
+class TestVectors:
+    def test_spec_vector_shape_and_content(self, m5_xlarge):
+        v = m5_xlarge.spec_vector()
+        assert v.shape == (7,)
+        assert v[0] == 4  # vcpus
+        assert v[1] == pytest.approx(16.0)  # mem
+
+    def test_spec_matrix_covers_catalog(self, vms):
+        m = spec_matrix()
+        assert m.shape == (len(vms), 7)
+        assert np.all(m > 0)
+
+    def test_ten_typical_span_all_categories(self):
+        ten = ten_typical_vm_types()
+        assert len(ten) == 10
+        assert len({vm.name for vm in ten}) == 10
+        assert {vm.category for vm in ten} == set(VMCategory)
+
+    def test_size_ladder_monotone(self):
+        scales = [SIZE_LADDER[s]["scale"] for s in
+                  ("small", "medium", "large", "xlarge", "2xlarge", "4xlarge", "8xlarge", "16xlarge")]
+        assert scales == sorted(scales)

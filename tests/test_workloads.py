@@ -1,0 +1,164 @@
+"""Tests for the Table-3 workload suite."""
+
+import pytest
+
+from repro.errors import CatalogError, ValidationError
+from repro.workloads.catalog import (
+    ALGORITHM_PROFILES,
+    SOURCE_TESTING,
+    SOURCE_TRAINING,
+    TARGET_SET,
+    all_workloads,
+    get_workload,
+    source_set,
+    target_set,
+    testing_set as tbl3_testing_set,
+    training_set,
+    workload_names,
+)
+from repro.workloads.datasets import DATASET_SCALES_GB, dataset_gb
+from repro.workloads.spec import DemandProfile, Suite, UseCase, WorkloadSpec
+
+
+class TestTable3Structure:
+    def test_thirty_workloads(self):
+        assert len(all_workloads()) == 30
+
+    def test_split_sizes_match_table3(self):
+        assert len(SOURCE_TRAINING) == 13
+        assert len(SOURCE_TESTING) == 5
+        assert len(TARGET_SET) == 12
+
+    def test_source_is_hadoop_and_hive_only(self):
+        assert {w.framework for w in source_set()} == {"hadoop", "hive"}
+
+    def test_target_is_spark_only(self):
+        assert all(w.framework == "spark" for w in target_set())
+
+    def test_names_unique(self):
+        names = workload_names()
+        assert len(set(names)) == 30
+
+    def test_specific_table3_entries(self):
+        for name in (
+            "hadoop-terasort", "hadoop-identify", "hive-full-join",
+            "hadoop-nutch", "hive-aggregation", "spark-svd++", "spark-cf",
+        ):
+            assert get_workload(name).name == name
+
+    def test_all_use_cases_covered(self):
+        assert {w.use_case for w in all_workloads()} == set(UseCase)
+
+    def test_both_suites_present(self):
+        assert {w.suite for w in all_workloads()} == set(Suite)
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(CatalogError):
+            get_workload("flink-wordcount")
+
+    def test_splits_are_views_of_catalog(self):
+        combined = training_set() + tbl3_testing_set() + target_set()
+        assert combined == all_workloads()
+
+
+class TestDemandProfiles:
+    def test_shared_across_frameworks(self):
+        assert get_workload("hadoop-kmeans").demand is get_workload("spark-kmeans").demand
+        assert get_workload("hadoop-lr").demand is get_workload("spark-lr").demand
+
+    def test_svdpp_carries_variance_boost(self):
+        assert ALGORITHM_PROFILES["svd++"].variance_boost > 1.0
+
+    def test_ml_profiles_are_iterative_and_cacheable(self):
+        for alg in ("lr", "kmeans", "linear", "als", "pca"):
+            p = ALGORITHM_PROFILES[alg]
+            assert p.is_iterative
+            assert p.cacheable_fraction > 0
+
+    def test_micro_profiles_single_pass(self):
+        for alg in ("terasort", "wordcount", "sort", "grep", "count"):
+            assert not ALGORITHM_PROFILES[alg].is_iterative
+
+    def test_compute_intensity_accumulates_iterations(self):
+        p = ALGORITHM_PROFILES["kmeans"]
+        assert p.compute_intensity == pytest.approx(p.compute_per_gb * p.iterations)
+
+    def test_sort_like_profiles_full_shuffle(self):
+        assert ALGORITHM_PROFILES["terasort"].shuffle_fraction == pytest.approx(1.0)
+        assert ALGORITHM_PROFILES["sort"].shuffle_fraction == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"compute_per_gb": 0},
+            {"compute_per_gb": 1, "shuffle_fraction": -0.1},
+            {"compute_per_gb": 1, "iterations": 0},
+            {"compute_per_gb": 1, "mem_blowup": 0},
+            {"compute_per_gb": 1, "cacheable_fraction": 1.5},
+            {"compute_per_gb": 1, "variance_boost": 0},
+        ],
+    )
+    def test_invalid_profiles_rejected(self, kwargs):
+        defaults = {"shuffle_fraction": 0.1}
+        defaults.update(kwargs)
+        with pytest.raises(ValidationError):
+            DemandProfile(**defaults)
+
+
+class TestWorkloadSpec:
+    def test_hive_specs_have_plans(self):
+        for w in all_workloads():
+            if w.framework == "hive":
+                assert w.sql_ops
+
+    def test_hive_without_plan_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(
+                name="hive-x", framework="hive", algorithm="x",
+                use_case=UseCase.SQL, suite=Suite.HIBENCH,
+                demand=ALGORITHM_PROFILES["scan"], input_gb=1.0,
+            )
+
+    def test_unknown_framework_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadSpec(
+                name="tez-x", framework="tez", algorithm="x",
+                use_case=UseCase.MICRO, suite=Suite.HIBENCH,
+                demand=ALGORITHM_PROFILES["sort"], input_gb=1.0,
+            )
+
+    def test_with_input_preserves_everything_else(self, spark_lr):
+        scaled = spark_lr.with_input(1.5)
+        assert scaled.input_gb == 1.5
+        assert scaled.name == spark_lr.name
+        assert scaled.demand is spark_lr.demand
+
+    def test_with_nodes(self, spark_lr):
+        assert spark_lr.with_nodes(8).nodes == 8
+
+    def test_nonpositive_input_rejected(self, spark_lr):
+        with pytest.raises(ValidationError):
+            spark_lr.with_input(0.0)
+
+
+class TestDatasets:
+    def test_paper_quoted_scales(self):
+        # Section 5.1: gigantic = 30 GB, huge = 3 GB, large = 300 MB.
+        assert dataset_gb("gigantic") == pytest.approx(30.0)
+        assert dataset_gb("huge") == pytest.approx(3.0)
+        assert dataset_gb("large") == pytest.approx(0.3)
+
+    def test_explicit_size_passthrough(self):
+        assert dataset_gb(12.5) == 12.5
+
+    def test_scale_ladder_monotone(self):
+        values = list(DATASET_SCALES_GB.values())
+        assert values == sorted(values)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValidationError):
+            dataset_gb("colossal")
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValidationError):
+            dataset_gb(0)
