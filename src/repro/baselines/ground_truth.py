@@ -14,7 +14,7 @@ import numpy as np
 from repro.cloud.cluster import Cluster
 from repro.cloud.vmtypes import VMType, catalog
 from repro.errors import ValidationError
-from repro.telemetry.collector import DataCollector
+from repro.telemetry.campaign import ProfileCache, ProfilingCampaign
 from repro.workloads.spec import WorkloadSpec
 
 __all__ = ["GroundTruth"]
@@ -35,20 +35,25 @@ class GroundTruth:
         *,
         repetitions: int = 10,
         seed: int = 0,
+        jobs: int | None = None,
+        cache: ProfileCache | str | None = None,
     ) -> None:
         self.vms = catalog() if vms is None else tuple(vms)
         if not self.vms:
             raise ValidationError("need at least one VM type")
-        self.collector = DataCollector(repetitions=repetitions, seed=seed)
+        self.campaign = ProfilingCampaign(
+            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache
+        )
+        self.collector = self.campaign.collector
         self._runtime_cache: dict[str, np.ndarray] = {}
         self._vm_index = {vm.name: i for i, vm in enumerate(self.vms)}
 
     def runtimes(self, spec: WorkloadSpec) -> np.ndarray:
         """P90 runtime of ``spec`` on every VM type (cached)."""
         if spec.name not in self._runtime_cache:
-            self._runtime_cache[spec.name] = np.array(
-                [self.collector.runtime_only(spec, vm) for vm in self.vms]
-            )
+            self._runtime_cache[spec.name] = self.campaign.runtime_matrix(
+                (spec,), self.vms
+            )[0]
         return self._runtime_cache[spec.name]
 
     def budgets(self, spec: WorkloadSpec) -> np.ndarray:

@@ -28,7 +28,7 @@ import numpy as np
 from repro.baselines.random_forest import RandomForestRegressor
 from repro.cloud.vmtypes import VMType, catalog, get_vm_type
 from repro.errors import ValidationError
-from repro.telemetry.collector import DataCollector
+from repro.telemetry.campaign import ProfileCache, ProfilingCampaign
 from repro.telemetry.metrics import METRIC_INDEX
 from repro.workloads.spec import WorkloadSpec
 
@@ -69,6 +69,9 @@ class Paris:
         Data Collector repetitions for fingerprinting/training runs.
     seed:
         Master seed.
+    jobs, cache:
+        Profiling-campaign parallelism and persistent profile cache (see
+        :class:`~repro.telemetry.campaign.ProfilingCampaign`).
     """
 
     def __init__(
@@ -79,6 +82,8 @@ class Paris:
         n_estimators: int = 40,
         repetitions: int = 10,
         seed: int = 0,
+        jobs: int | None = None,
+        cache: ProfileCache | str | None = None,
     ) -> None:
         self.vms = catalog() if vms is None else tuple(vms)
         if not self.vms:
@@ -86,7 +91,10 @@ class Paris:
         if not reference_vms:
             raise ValidationError("need at least one reference VM")
         self.reference_vms = tuple(get_vm_type(n) for n in reference_vms)
-        self.collector = DataCollector(repetitions=repetitions, seed=seed)
+        self.campaign = ProfilingCampaign(
+            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache
+        )
+        self.collector = self.campaign.collector
         self.seed = seed
         self._forest = RandomForestRegressor(n_estimators=n_estimators, seed=seed)
         self._fitted = False
@@ -111,10 +119,10 @@ class Paris:
         first reference run — the "low-level metrics" the paper says do
         not transfer across frameworks.
         """
-        profile = self.collector.collect(spec, self.reference_vms[0])
+        profile = self.campaign.collect(spec, self.reference_vms[0])
         runtimes = [profile.runtime_p90]
         runtimes += [
-            self.collector.runtime_only(spec, vm) for vm in self.reference_vms[1:]
+            self.campaign.runtime_only(spec, vm) for vm in self.reference_vms[1:]
         ]
         runtimes = np.asarray(runtimes)
         cols = [METRIC_INDEX[m] for m in _FINGERPRINT_METRICS]
@@ -143,11 +151,9 @@ class Paris:
             raise ValidationError("need at least one training workload")
         X_rows: list[np.ndarray] = []
         y_rows: list[np.ndarray] = []
-        for spec in workloads:
+        label_matrix = self.campaign.runtime_matrix(tuple(workloads), self.vms)
+        for spec, runtimes in zip(workloads, label_matrix):
             fp = self.fingerprint(spec)
-            runtimes = np.array(
-                [self.collector.runtime_only(spec, vm) for vm in self.vms]
-            )
             X_rows.append(self._rows_for(fp))
             y_rows.append(np.log(runtimes))
         self._forest.fit(np.vstack(X_rows), np.concatenate(y_rows))

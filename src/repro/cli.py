@@ -5,6 +5,7 @@ Commands
 ``catalog``       list the Table-4 VM types (optionally one family)
 ``workloads``     list the Table-3 workload suite and its splits
 ``simulate``      run one workload on one VM type and print the profile
+``profile``       run the offline profiling campaign (parallel + cached)
 ``select``        fit Vesta and recommend a VM type for a workload
 ``experiment``    regenerate one paper artifact (``fig06``, ``tab01``, ...)
 ``latency``       batch-latency/throughput report for a workload on VM types
@@ -58,6 +59,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--reps", type=int, default=10, help="repetitions (P90)")
     p_sim.add_argument("--seed", type=int, default=0)
 
+    p_prof = sub.add_parser(
+        "profile", help="run the offline profiling campaign (parallel + cached)"
+    )
+    p_prof.add_argument(
+        "--workloads", nargs="*", metavar="NAME",
+        help="workload names (default: the full source suite)",
+    )
+    p_prof.add_argument(
+        "--vms", nargs="*", metavar="VM",
+        help="VM type names (default: the full Table-4 catalog)",
+    )
+    p_prof.add_argument(
+        "--jobs", type=int, default=None,
+        help="campaign worker processes (default: CPU count)",
+    )
+    p_prof.add_argument(
+        "--cache", default=None,
+        help="persistent profile-cache sqlite path (default: none)",
+    )
+    p_prof.add_argument("--reps", type=int, default=10, help="repetitions (P90)")
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument(
+        "--full", action="store_true",
+        help="collect full 20-metric profiles (default: P90 runtimes only)",
+    )
+
     p_sel = sub.add_parser("select", help="recommend a VM type with Vesta")
     p_sel.add_argument("workload", help="Table-3 name, e.g. spark-lr")
     p_sel.add_argument(
@@ -66,6 +93,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sel.add_argument("--seed", type=int, default=7)
     p_sel.add_argument(
         "--top", type=int, default=5, help="also show the top-N predictions"
+    )
+    p_sel.add_argument(
+        "--jobs", type=int, default=None,
+        help="offline-campaign worker processes (default: CPU count)",
+    )
+    p_sel.add_argument(
+        "--cache", default=None,
+        help="persistent profile-cache sqlite path (default: none)",
     )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -128,6 +163,46 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.cloud.vmtypes import catalog, get_vm_type
+    from repro.telemetry.campaign import ProfilingCampaign
+    from repro.workloads.catalog import get_workload, source_set
+
+    specs = (
+        tuple(get_workload(n) for n in args.workloads)
+        if args.workloads
+        else source_set()
+    )
+    vms = (
+        tuple(get_vm_type(n) for n in args.vms) if args.vms else catalog()
+    )
+    campaign = ProfilingCampaign(
+        repetitions=args.reps, seed=args.seed, jobs=args.jobs, cache=args.cache
+    )
+    print(
+        f"campaign: {len(specs)} workloads x {len(vms)} VM types "
+        f"({campaign.jobs} jobs, cache: {args.cache or 'in-process'})"
+    )
+    if args.full:
+        grid = campaign.collect_grid(specs, vms)
+        matrix = np.array(
+            [[grid[(s.name, vm.name)].runtime_p90 for vm in vms] for s in specs]
+        )
+    else:
+        matrix = campaign.runtime_matrix(specs, vms)
+    print(f"{'workload':20s} {'best VM':16s} {'P90 s':>10s} {'worst/best':>11s}")
+    for spec, row in zip(specs, matrix):
+        best = int(np.argmin(row))
+        print(
+            f"{spec.name:20s} {vms[best].name:16s} {row[best]:>10.1f} "
+            f"{row.max() / row[best]:>11.2f}"
+        )
+    print(campaign.counters.summary())
+    return 0
+
+
 def _cmd_select(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -136,7 +211,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
     spec = get_workload(args.workload)
     print("fitting offline knowledge (source workloads x full catalog)...")
-    vesta = VestaSelector(seed=args.seed).fit()
+    vesta = VestaSelector(seed=args.seed, jobs=args.jobs, cache=args.cache).fit()
     session = vesta.online(spec)
     rec = session.recommend(args.objective)
     print(f"\nrecommended VM type for {spec.name} ({args.objective}): {rec.vm_name}")
@@ -192,6 +267,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "catalog": _cmd_catalog,
         "workloads": _cmd_workloads,
         "simulate": _cmd_simulate,
+        "profile": _cmd_profile,
         "select": _cmd_select,
         "experiment": _cmd_experiment,
         "latency": _cmd_latency,

@@ -51,7 +51,7 @@ from repro.core.labels import LabelSpace
 from repro.core.predictor import SimilarityPredictor
 from repro.core.sandbox import choose_probe_vms, choose_sandbox_vm
 from repro.errors import ValidationError
-from repro.telemetry.collector import DataCollector
+from repro.telemetry.campaign import ProfileCache, ProfilingCampaign
 from repro.workloads.catalog import training_set
 from repro.workloads.spec import WorkloadSpec
 
@@ -112,12 +112,12 @@ class OnlineSession:
 
     def _initialize(self) -> None:
         sel = self._sel
-        profile = sel.collector.collect(self.spec, self.sandbox_vm)
+        profile = sel.campaign.collect(self.spec, self.sandbox_vm)
         corr = sel.signature_from_profile(profile)
         self.correlation_vector = corr
         self.observations[self.sandbox_vm.name] = profile.runtime_p90
         for vm in self.probe_vms:
-            self.observations[vm.name] = sel.collector.runtime_only(self.spec, vm)
+            self.observations[vm.name] = sel.campaign.runtime_only(self.spec, vm)
 
         sparse_row = sel.label_space.membership(corr)
         mask = (sparse_row > 0).astype(float)
@@ -205,7 +205,7 @@ class OnlineSession:
         name = vm if isinstance(vm, str) else vm.name
         self._sel.vm_index(name)  # validates
         if name not in self.observations:
-            self.observations[name] = self._sel.collector.runtime_only(
+            self.observations[name] = self._sel.campaign.runtime_only(
                 self.spec, self._sel.vms[self._sel.vm_index(name)]
             )
         return self.observations[name]
@@ -290,6 +290,13 @@ class VestaSelector:
         prediction (0 = profile transfer only, 1 = affinity only).
     seed:
         Master seed for every stochastic component.
+    jobs:
+        Worker processes for the offline profiling campaign (default:
+        CPU count).  Results are bit-identical for any value.
+    cache:
+        Persistent profile cache — a sqlite path or a ready
+        :class:`~repro.telemetry.campaign.ProfileCache`; ``None`` keeps
+        memoization in-process only.
     """
 
     def __init__(
@@ -309,6 +316,8 @@ class VestaSelector:
         match_threshold: float = 0.35,
         affinity_weight: float = 0.25,
         seed: int = 0,
+        jobs: int | None = None,
+        cache: ProfileCache | str | None = None,
     ) -> None:
         self.vms = catalog() if vms is None else tuple(vms)
         if not self.vms:
@@ -333,7 +342,10 @@ class VestaSelector:
         self.match_threshold = match_threshold
         self.affinity_weight = affinity_weight
         self.seed = seed
-        self.collector = DataCollector(repetitions=repetitions, seed=seed)
+        self.campaign = ProfilingCampaign(
+            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache
+        )
+        self.collector = self.campaign.collector
 
         self._vm_index = {vm.name: i for i, vm in enumerate(self.vms)}
         self._fitted = False
@@ -373,7 +385,7 @@ class VestaSelector:
         correlation vectors over a family-spread VM subset."""
         vectors = np.vstack(
             [
-                correlation_vector(self.collector.collect(spec, vm).timeseries)
+                correlation_vector(self.campaign.collect(spec, vm).timeseries)
                 for vm in vms
             ]
         )
@@ -390,13 +402,17 @@ class VestaSelector:
         n_src, n_vm = len(self.sources), len(self.vms)
 
         # 1. Performance matrix P: P90 runtime of each source on each VM.
-        self.perf = np.empty((n_src, n_vm))
-        for i, spec in enumerate(self.sources):
-            for t, vm in enumerate(self.vms):
-                self.perf[i, t] = self.collector.runtime_only(spec, vm)
+        #    The campaign fans the grid out over worker processes and
+        #    memoizes; per-triple stream seeds keep it bit-identical to
+        #    the serial Data-Collector loop.
+        self.perf = self.campaign.runtime_matrix(self.sources, self.vms)
+        assert self.perf.shape == (n_src, n_vm)
 
-        # 2. Correlation signatures from time-series profiles.
+        # 2. Correlation signatures from time-series profiles.  Prefetch
+        #    the whole (source × probe-VM) grid in parallel so the
+        #    per-source signature loop below is all memo hits.
         corr_vms = self._corr_probe_vms()
+        self.campaign.collect_grid(self.sources, corr_vms)
         corr_matrix = np.empty((n_src, len(self.signature_names())))
         for i, spec in enumerate(self.sources):
             corr_matrix[i] = self._source_signature(spec, corr_vms)

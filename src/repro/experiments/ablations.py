@@ -190,7 +190,7 @@ class RawMetricVesta(VestaSelector):
 
     def _source_signature(self, spec, vms) -> np.ndarray:
         rows = np.vstack(
-            [self._levels(self.collector.collect(spec, vm).timeseries) for vm in vms]
+            [self._levels(self.campaign.collect(spec, vm).timeseries) for vm in vms]
         )
         return np.median(rows, axis=0)
 

@@ -21,6 +21,7 @@ Metrics
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
 
 import numpy as np
@@ -34,6 +35,7 @@ from repro.workloads.spec import WorkloadSpec
 
 __all__ = [
     "DEFAULT_SEED",
+    "campaign_options",
     "ground_truth",
     "fitted_vesta",
     "fitted_paris",
@@ -45,22 +47,41 @@ __all__ = [
 DEFAULT_SEED = 7
 
 
+def campaign_options() -> dict:
+    """Profiling-campaign options shared by every experiment fixture.
+
+    Read from the environment so figure runners and the test suite can
+    opt into parallelism / persistence without touching call sites:
+
+    - ``REPRO_PROFILE_JOBS`` — campaign worker count (default: CPU count;
+      results are bit-identical for any value);
+    - ``REPRO_PROFILE_CACHE`` — persistent profile-cache sqlite path
+      (default: in-process memoization only).
+
+    Note the fixtures below are ``lru_cache``-d: changing the environment
+    after a fixture was built does not refit it.
+    """
+    jobs = os.environ.get("REPRO_PROFILE_JOBS")
+    cache = os.environ.get("REPRO_PROFILE_CACHE")
+    return {"jobs": int(jobs) if jobs else None, "cache": cache or None}
+
+
 @lru_cache(maxsize=4)
 def ground_truth(seed: int = DEFAULT_SEED) -> GroundTruth:
     """Cached exhaustive-search oracle."""
-    return GroundTruth(seed=seed)
+    return GroundTruth(seed=seed, **campaign_options())
 
 
 @lru_cache(maxsize=4)
 def fitted_vesta(seed: int = DEFAULT_SEED, k: int = 9) -> VestaSelector:
     """Cached Vesta selector, offline-fitted on the Table-3 training set."""
-    return VestaSelector(seed=seed, k=k).fit()
+    return VestaSelector(seed=seed, k=k, **campaign_options()).fit()
 
 
 @lru_cache(maxsize=4)
 def fitted_paris(seed: int = DEFAULT_SEED) -> Paris:
     """Cached PARIS baseline trained on the (Hadoop+Hive) training set."""
-    return Paris(seed=seed).fit(training_set())
+    return Paris(seed=seed, **campaign_options()).fit(training_set())
 
 
 @lru_cache(maxsize=4)

@@ -5,10 +5,18 @@
   sampling and conservative P90 aggregation (Section 4.1);
 - :mod:`repro.telemetry.store` — a sqlite-backed run archive standing in
   for the paper's MySQL database;
+- :mod:`repro.telemetry.campaign` — the parallel profiling campaign
+  engine and its content-addressed profile cache;
 - :mod:`repro.telemetry.latency` — latency/throughput metrics for
   latency-sensitive workloads (the Section 7 extension).
 """
 
+from repro.telemetry.campaign import (
+    ProfileCache,
+    ProfilingCampaign,
+    noise_fingerprint,
+    profile_cache_key,
+)
 from repro.telemetry.collector import DataCollector, WorkloadProfile
 from repro.telemetry.latency import LatencyReport, latency_report
 from repro.telemetry.metrics import (
@@ -17,10 +25,12 @@ from repro.telemetry.metrics import (
     METRIC_NAMES,
     NUM_METRICS,
     RESOURCE_METRICS,
+    CampaignCounters,
 )
 from repro.telemetry.store import MetricsStore
 
 __all__ = [
+    "CampaignCounters",
     "DataCollector",
     "EXECUTION_METRICS",
     "LatencyReport",
@@ -29,6 +39,10 @@ __all__ = [
     "METRIC_NAMES",
     "MetricsStore",
     "NUM_METRICS",
+    "ProfileCache",
+    "ProfilingCampaign",
     "RESOURCE_METRICS",
     "WorkloadProfile",
+    "noise_fingerprint",
+    "profile_cache_key",
 ]

@@ -1,0 +1,499 @@
+"""Parallel profiling campaign engine with a content-addressed cache.
+
+The paper's offline phase profiles every source workload on every VM type
+with 10 repetitions each (Section 4.1) — the dominant wall-clock cost of
+the whole reproduction, re-run serially by every consumer of the
+performance matrix.  :class:`ProfilingCampaign` makes that sweep
+
+- **parallel**: the (workload × VM type) grid fans out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Because every
+  (workload, VM, seed) triple derives its own noise stream
+  (:func:`repro.telemetry.collector._stream_seed`), results are
+  bit-identical to the serial path regardless of worker count or
+  completion order — workers return ``(index, result)`` and the grid is
+  reassembled by index;
+- **memoized**: a content-addressed :class:`ProfileCache` layered on
+  :class:`~repro.telemetry.store.MetricsStore` (sqlite, WAL mode when
+  file-backed).  Cache keys are digests over (workload spec, VM, nodes,
+  seed, repetitions, sample period, noise-model fingerprint); a hit skips
+  simulation entirely.  Entries carry their fingerprint, so a changed
+  noise model invalidates the previous generation (pruned at open).
+
+Campaign progress and hit-rate counters are surfaced through
+:class:`repro.telemetry.metrics.CampaignCounters`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.cloud.noise import CloudNoiseModel
+from repro.cloud.vmtypes import VMType, get_vm_type
+from repro.errors import ValidationError
+from repro.telemetry.collector import (
+    DEFAULT_REPETITIONS,
+    DataCollector,
+    WorkloadProfile,
+    _stream_seed,
+)
+from repro.telemetry.metrics import CampaignCounters
+from repro.telemetry.store import MetricsStore
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "ProfilingCampaign",
+    "ProfileCache",
+    "noise_fingerprint",
+    "profile_cache_key",
+]
+
+#: Bump to invalidate every existing cache when the simulator's observable
+#: behaviour changes in ways the fingerprint inputs don't capture.
+CACHE_VERSION = 1
+
+
+def noise_fingerprint(model: CloudNoiseModel | None = None) -> str:
+    """Digest of the noise-model configuration a profile was computed under.
+
+    Covers the log-normal sigma, straggler probability/scale and the cache
+    format version; profiles cached under a different fingerprint are
+    stale and must be recomputed.
+    """
+    m = model if model is not None else CloudNoiseModel()
+    payload = (
+        f"v{CACHE_VERSION}|sigma={m.sigma!r}|straggler_prob={m.straggler_prob!r}"
+        f"|straggler_scale={m.straggler_scale!r}"
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _spec_token(spec: WorkloadSpec) -> str:
+    """Canonical serialization of a workload spec (content, not identity)."""
+    desc = asdict(spec)
+    desc["use_case"] = spec.use_case.value
+    desc["suite"] = spec.suite.value
+    return json.dumps(desc, sort_keys=True, default=str)
+
+
+def _vm_token(vm: VMType) -> str:
+    """Canonical serialization of a VM type — two catalogs reusing a name
+    (e.g. a multi-cloud extension) must not collide in the cache."""
+    desc = asdict(vm)
+    desc["category"] = vm.category.value
+    return json.dumps(desc, sort_keys=True, default=str)
+
+
+def profile_cache_key(
+    spec: WorkloadSpec,
+    vm: VMType | str,
+    nodes: int,
+    seed: int,
+    repetitions: int,
+    sample_period_s: float,
+    fingerprint: str,
+    kind: str = "profile",
+) -> str:
+    """Content address of one profiling result.
+
+    ``kind`` separates full profiles (``"profile"``) from runtime-only P90
+    scalars (``"p90"``), which carry different payloads.  A VM given by
+    name resolves through the Table-4 catalog, so string and
+    :class:`VMType` spellings of the same VM share one address.
+    """
+    if isinstance(vm, str):
+        vm = get_vm_type(vm)
+    payload = "|".join(
+        (
+            kind,
+            fingerprint,
+            _spec_token(spec),
+            _vm_token(vm),
+            str(int(nodes)),
+            str(int(seed)),
+            str(int(repetitions)),
+            repr(float(sample_period_s)),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _stream_seed_batch(triples: list[tuple[str, str, int]]) -> list[int]:
+    """Worker helper: stream seeds for a batch of (workload, vm, seed).
+
+    Module-level so it pickles across process boundaries; the property
+    suite uses it to assert :func:`_stream_seed` stability in spawned
+    interpreters.
+    """
+    return [_stream_seed(w, v, s) for (w, v, s) in triples]
+
+
+class ProfileCache:
+    """Content-addressed, persistent profile cache with corruption fallback.
+
+    Parameters
+    ----------
+    path:
+        sqlite path (``":memory:"`` for a process-local cache).  A
+        corrupted file is moved aside to ``<path>.corrupt`` and recreated;
+        an unopenable path degrades to an in-memory store — either way the
+        campaign falls back to recomputation rather than failing.
+    fingerprint:
+        Noise-model fingerprint of the current generation (default: the
+        fingerprint of the default :class:`CloudNoiseModel`).  Entries
+        from other generations are pruned at open and never returned.
+    """
+
+    def __init__(self, path: str = ":memory:", *, fingerprint: str | None = None) -> None:
+        self.path = path
+        self.fingerprint = fingerprint if fingerprint is not None else noise_fingerprint()
+        self.hits = 0
+        self.misses = 0
+        self.recovered = False
+        self._store = self._open()
+        self.pruned = self._safe_prune()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _open(self) -> MetricsStore:
+        try:
+            return MetricsStore(self.path, wal=self.path != ":memory:")
+        except sqlite3.DatabaseError:
+            self.recovered = True
+            if os.path.isfile(self.path):
+                try:
+                    os.replace(self.path, self.path + ".corrupt")
+                    return MetricsStore(self.path, wal=True)
+                except (OSError, sqlite3.Error):
+                    pass
+            return MetricsStore(":memory:")
+
+    def _safe_prune(self) -> int:
+        try:
+            return self._store.prune_cache(self.fingerprint)
+        except sqlite3.Error:
+            return 0
+
+    def close(self) -> None:
+        self._store.close()
+
+    def __enter__(self) -> "ProfileCache":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        try:
+            return sum(self._store.cache_counts())
+        except sqlite3.Error:
+            return 0
+
+    # -- lookups ----------------------------------------------------------------
+    #
+    # Every read failure is a miss and every write failure is silent: a
+    # broken cache must never break the campaign, only slow it down.
+
+    def get_profile(self, key: str) -> WorkloadProfile | None:
+        try:
+            hit = self._store.get_cached(key)
+        except (sqlite3.Error, ValueError):
+            hit = None
+        self._count(hit is not None)
+        return hit
+
+    def put_profile(self, key: str, profile: WorkloadProfile) -> None:
+        try:
+            self._store.put_cached(key, self.fingerprint, profile)
+        except sqlite3.Error:
+            pass
+
+    def get_runtime(self, key: str) -> float | None:
+        try:
+            hit = self._store.get_cached_scalar(key)
+        except sqlite3.Error:
+            hit = None
+        self._count(hit is not None)
+        return hit
+
+    def put_runtime(self, key: str, value: float) -> None:
+        try:
+            self._store.put_cached_scalar(key, self.fingerprint, value)
+        except sqlite3.Error:
+            pass
+
+    def prune(self) -> int:
+        """Drop entries from other fingerprint generations; returns count."""
+        return self._safe_prune()
+
+    def _count(self, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+
+
+@dataclass(frozen=True)
+class _Task:
+    """One (workload, VM) cell of the campaign grid, picklable for workers."""
+
+    index: int
+    spec: WorkloadSpec
+    vm: VMType
+    nodes: int | None
+    seed: int
+    repetitions: int
+    sample_period_s: float
+    runtime_only: bool
+
+
+def _run_batch(tasks: list[_Task]) -> list[tuple[int, WorkloadProfile | float]]:
+    """Worker entry point: a chunk of grid cells, amortising IPC overhead."""
+    return [_run_task(t) for t in tasks]
+
+
+def _run_task(task: _Task) -> tuple[int, WorkloadProfile | float]:
+    """Worker entry point: profile one grid cell in a fresh collector.
+
+    Each worker builds its own :class:`DataCollector`; the per-triple
+    stream seed makes the result identical to the serial path no matter
+    which process runs it or when.
+    """
+    collector = DataCollector(
+        repetitions=task.repetitions,
+        seed=task.seed,
+        sample_period_s=task.sample_period_s,
+    )
+    if task.runtime_only:
+        return task.index, collector.runtime_only(task.spec, task.vm, nodes=task.nodes)
+    return task.index, collector.collect(task.spec, task.vm, nodes=task.nodes)
+
+
+class ProfilingCampaign:
+    """Fan the offline profiling sweep over a process pool, memoized.
+
+    Drop-in faster equivalent of looping
+    :meth:`DataCollector.collect`/:meth:`DataCollector.runtime_only` over
+    a (workload × VM type) grid: results are bit-identical to the serial
+    path for any ``jobs`` and any grid iteration order.
+
+    Parameters
+    ----------
+    repetitions, seed, sample_period_s:
+        Forwarded to the underlying :class:`DataCollector` protocol.
+    jobs:
+        Worker process count (default: ``os.cpu_count()``).  ``1`` runs
+        serially in-process — the reference path.
+    cache:
+        ``None`` (no persistence), a sqlite path, or a ready
+        :class:`ProfileCache`.  Independent of the persistent layer, the
+        campaign memoizes results in-process so repeated grid requests
+        within one run never recompute.
+    """
+
+    def __init__(
+        self,
+        repetitions: int = DEFAULT_REPETITIONS,
+        seed: int = 0,
+        *,
+        jobs: int | None = None,
+        cache: ProfileCache | str | None = None,
+        sample_period_s: float = 5.0,
+    ) -> None:
+        if repetitions < 1:
+            raise ValidationError("repetitions must be >= 1")
+        jobs = (os.cpu_count() or 1) if jobs is None else int(jobs)
+        if jobs < 1:
+            raise ValidationError("jobs must be >= 1")
+        self.repetitions = repetitions
+        self.seed = seed
+        self.sample_period_s = sample_period_s
+        self.jobs = jobs
+        if cache is None or isinstance(cache, ProfileCache):
+            self.cache = cache
+        else:
+            self.cache = ProfileCache(str(cache))
+        self.counters = CampaignCounters()
+        self.collector = DataCollector(
+            repetitions=repetitions, seed=seed, sample_period_s=sample_period_s
+        )
+        self._memo: dict[str, WorkloadProfile | float] = {}
+
+    # -- single-pair API ---------------------------------------------------------
+
+    def collect(
+        self, spec: WorkloadSpec, vm: VMType | str, *, nodes: int | None = None
+    ) -> WorkloadProfile:
+        """Cached equivalent of :meth:`DataCollector.collect`."""
+        return self._single(spec, vm, nodes, runtime_only=False)
+
+    def runtime_only(
+        self, spec: WorkloadSpec, vm: VMType | str, *, nodes: int | None = None
+    ) -> float:
+        """Cached equivalent of :meth:`DataCollector.runtime_only`."""
+        return self._single(spec, vm, nodes, runtime_only=True)
+
+    # -- grid API ---------------------------------------------------------------------
+
+    def runtime_matrix(
+        self,
+        specs: tuple[WorkloadSpec, ...],
+        vms: tuple[VMType | str, ...],
+        *,
+        nodes: int | None = None,
+    ) -> np.ndarray:
+        """``(len(specs), len(vms))`` P90 runtimes, computed in parallel."""
+        specs, vm_names, results = self._grid(specs, vms, nodes, runtime_only=True)
+        return np.asarray(results, dtype=float).reshape(len(specs), len(vm_names))
+
+    def collect_grid(
+        self,
+        specs: tuple[WorkloadSpec, ...],
+        vms: tuple[VMType | str, ...],
+        *,
+        nodes: int | None = None,
+    ) -> dict[tuple[str, str], WorkloadProfile]:
+        """Full profiles for every grid cell, keyed ``(workload, vm_name)``."""
+        specs, vm_names, results = self._grid(specs, vms, nodes, runtime_only=False)
+        return {
+            (spec.name, vm_name): results[i * len(vm_names) + j]
+            for i, spec in enumerate(specs)
+            for j, vm_name in enumerate(vm_names)
+        }
+
+    # -- internals ---------------------------------------------------------------------
+
+    @staticmethod
+    def _resolve_vm(vm: VMType | str) -> VMType:
+        return get_vm_type(vm) if isinstance(vm, str) else vm
+
+    def _key(self, spec: WorkloadSpec, vm: VMType, nodes: int | None, kind: str) -> str:
+        fingerprint = self.cache.fingerprint if self.cache else noise_fingerprint()
+        return profile_cache_key(
+            spec,
+            vm,
+            nodes if nodes is not None else spec.nodes,
+            self.seed,
+            self.repetitions,
+            self.sample_period_s,
+            fingerprint,
+            kind=kind,
+        )
+
+    def _lookup(self, key: str, runtime_only: bool) -> WorkloadProfile | float | None:
+        if key in self._memo:
+            return self._memo[key]
+        if self.cache is None:
+            return None
+        hit = self.cache.get_runtime(key) if runtime_only else self.cache.get_profile(key)
+        if hit is not None:
+            self._memo[key] = hit
+        return hit
+
+    def _store(self, key: str, value: WorkloadProfile | float, runtime_only: bool) -> None:
+        self._memo[key] = value
+        if self.cache is not None:
+            if runtime_only:
+                self.cache.put_runtime(key, value)
+            else:
+                self.cache.put_profile(key, value)
+
+    def _single(
+        self,
+        spec: WorkloadSpec,
+        vm: VMType | str,
+        nodes: int | None,
+        *,
+        runtime_only: bool,
+    ) -> WorkloadProfile | float:
+        start = time.perf_counter()
+        vm = self._resolve_vm(vm)
+        key = self._key(spec, vm, nodes, "p90" if runtime_only else "profile")
+        self.counters.scheduled += 1
+        hit = self._lookup(key, runtime_only)
+        if hit is not None:
+            self.counters.cache_hits += 1
+            self.counters.elapsed_s += time.perf_counter() - start
+            return hit
+        self.counters.cache_misses += 1
+        if runtime_only:
+            value = self.collector.runtime_only(spec, vm, nodes=nodes)
+        else:
+            value = self.collector.collect(spec, vm, nodes=nodes)
+        self.counters.computed += 1
+        self._store(key, value, runtime_only)
+        self.counters.elapsed_s += time.perf_counter() - start
+        return value
+
+    def _grid(
+        self,
+        specs: tuple[WorkloadSpec, ...],
+        vms: tuple[VMType | str, ...],
+        nodes: int | None,
+        *,
+        runtime_only: bool,
+    ) -> tuple[tuple[WorkloadSpec, ...], list[str], list]:
+        start = time.perf_counter()
+        specs = tuple(specs)
+        resolved = [self._resolve_vm(vm) for vm in vms]
+        vm_names = [vm.name for vm in resolved]
+        kind = "p90" if runtime_only else "profile"
+        results: list[WorkloadProfile | float | None] = [None] * (
+            len(specs) * len(vm_names)
+        )
+        pending: list[tuple[_Task, str]] = []
+        for i, spec in enumerate(specs):
+            for j, vm in enumerate(resolved):
+                idx = i * len(vm_names) + j
+                key = self._key(spec, vm, nodes, kind)
+                self.counters.scheduled += 1
+                hit = self._lookup(key, runtime_only)
+                if hit is not None:
+                    self.counters.cache_hits += 1
+                    results[idx] = hit
+                else:
+                    self.counters.cache_misses += 1
+                    pending.append(
+                        (
+                            _Task(
+                                index=idx,
+                                spec=spec,
+                                vm=vm,
+                                nodes=nodes,
+                                seed=self.seed,
+                                repetitions=self.repetitions,
+                                sample_period_s=self.sample_period_s,
+                                runtime_only=runtime_only,
+                            ),
+                            key,
+                        )
+                    )
+        if pending:
+            key_by_index = {task.index: key for task, key in pending}
+            for idx, value in self._execute([task for task, _ in pending]):
+                results[idx] = value
+                self._store(key_by_index[idx], value, runtime_only)
+                self.counters.computed += 1
+        self.counters.elapsed_s += time.perf_counter() - start
+        return specs, vm_names, results
+
+    def _execute(self, tasks: list[_Task]) -> list[tuple[int, WorkloadProfile | float]]:
+        """Run tasks serially or on the pool; order of returns is arbitrary.
+
+        Tasks ship in chunks (≈4 per worker) so per-submission IPC cost
+        is amortised over many cheap simulations.
+        """
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [_run_task(t) for t in tasks]
+        chunk = max(1, -(-len(tasks) // (self.jobs * 4)))
+        batches = [tasks[i : i + chunk] for i in range(0, len(tasks), chunk)]
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(batches))) as pool:
+            futures = [pool.submit(_run_batch, b) for b in batches]
+            return [pair for f in as_completed(futures) for pair in f.result()]

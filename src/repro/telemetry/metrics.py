@@ -11,10 +11,15 @@ them — ``cpu_wait`` (iowait), ``mem_swap`` (spill pressure) and
 
 Every metric is a per-sample scalar; a run's telemetry is a
 ``(samples, 20)`` array with columns in :data:`METRIC_NAMES` order.
+
+This module also hosts :class:`CampaignCounters`, the progress/hit-rate
+telemetry the profiling campaign engine reports — counters live here so
+any layer can consume them without importing the engine itself.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Final
 
 __all__ = [
@@ -23,6 +28,7 @@ __all__ = [
     "METRIC_NAMES",
     "METRIC_INDEX",
     "NUM_METRICS",
+    "CampaignCounters",
     "metric_column",
 ]
 
@@ -64,6 +70,59 @@ METRIC_INDEX: Final[dict[str, int]] = {name: i for i, name in enumerate(METRIC_N
 
 NUM_METRICS: Final[int] = len(METRIC_NAMES)
 assert NUM_METRICS == 20, "the paper collects exactly 20 low-level metrics"
+
+
+@dataclass
+class CampaignCounters:
+    """Progress and cache-effectiveness counters of a profiling campaign.
+
+    Attributes
+    ----------
+    scheduled:
+        (workload, VM) pair-tasks requested so far.
+    computed:
+        Tasks actually simulated (cache misses that ran).
+    cache_hits, cache_misses:
+        Content-addressed cache lookup outcomes (in-process memo and the
+        persistent store both count).
+    elapsed_s:
+        Wall-clock seconds spent inside campaign calls.
+    """
+
+    scheduled: int = 0
+    computed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        """Tasks resolved so far (served from cache or computed)."""
+        return self.cache_hits + self.computed
+
+    @property
+    def progress(self) -> float:
+        """Fraction of scheduled tasks resolved (1.0 when idle)."""
+        return self.completed / self.scheduled if self.scheduled else 1.0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit fraction over all lookups (0.0 before any lookup)."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def reset(self) -> None:
+        self.scheduled = self.computed = 0
+        self.cache_hits = self.cache_misses = 0
+        self.elapsed_s = 0.0
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        return (
+            f"{self.completed}/{self.scheduled} profiles "
+            f"({self.cache_hits} cached, {self.computed} computed, "
+            f"hit rate {self.hit_rate:.0%}) in {self.elapsed_s:.2f}s"
+        )
 
 
 def metric_column(name: str) -> int:

@@ -5,6 +5,14 @@ same capability — persist profiles, query them back by workload/VM — but
 not a server, so :class:`MetricsStore` wraps :mod:`sqlite3` (in-memory by
 default, file-backed on request).  Time series are persisted as raw
 ``float64`` blobs with their shape, avoiding any serialization dependency.
+
+Beyond the plain ``profiles`` archive the store also hosts the campaign
+engine's **content-addressed profile cache** (see
+:mod:`repro.telemetry.campaign`): two extra tables keyed by opaque digest
+strings, each row tagged with the noise-model fingerprint it was computed
+under so stale generations can be pruned wholesale.  File-backed stores
+can opt into WAL journalling, which lets concurrent campaign workers
+write without corrupting each other.
 """
 
 from __future__ import annotations
@@ -36,6 +44,26 @@ CREATE TABLE IF NOT EXISTS profiles (
 );
 CREATE INDEX IF NOT EXISTS idx_profiles_workload ON profiles (workload);
 CREATE INDEX IF NOT EXISTS idx_profiles_vm ON profiles (vm_name);
+CREATE TABLE IF NOT EXISTS profile_cache (
+    key         TEXT PRIMARY KEY,
+    fingerprint TEXT NOT NULL,
+    workload    TEXT NOT NULL,
+    framework   TEXT NOT NULL,
+    vm_name     TEXT NOT NULL,
+    nodes       INTEGER NOT NULL,
+    spilled     INTEGER NOT NULL,
+    runtimes    BLOB NOT NULL,
+    budgets     BLOB NOT NULL,
+    samples     INTEGER NOT NULL,
+    series      BLOB NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_profile_cache_fp ON profile_cache (fingerprint);
+CREATE TABLE IF NOT EXISTS scalar_cache (
+    key         TEXT PRIMARY KEY,
+    fingerprint TEXT NOT NULL,
+    value       REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_scalar_cache_fp ON scalar_cache (fingerprint);
 """
 
 
@@ -43,10 +71,23 @@ class MetricsStore:
     """Persistent archive of :class:`~repro.telemetry.collector.WorkloadProfile` rows.
 
     Usable as a context manager; ``close()`` is idempotent.
+
+    Parameters
+    ----------
+    path:
+        sqlite database path, ``":memory:"`` for an ephemeral store.
+    wal:
+        Enable write-ahead-log journalling (file-backed stores only).
+        WAL plus a generous busy timeout is what makes concurrent
+        campaign workers safe against each other.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(self, path: str = ":memory:", *, wal: bool = False) -> None:
         self._conn = sqlite3.connect(path)
+        if wal:
+            self._conn.execute("PRAGMA busy_timeout=30000")
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
         self._conn.executescript(_SCHEMA)
 
     # -- lifecycle -----------------------------------------------------------
@@ -64,31 +105,23 @@ class MetricsStore:
 
     def put(self, profile: WorkloadProfile) -> None:
         """Insert or replace the profile for its (workload, vm, nodes) key."""
-        series = np.ascontiguousarray(profile.timeseries, dtype=np.float64)
-        if series.ndim != 2 or series.shape[1] != NUM_METRICS:
-            raise ValidationError(
-                f"profile series must be (samples, {NUM_METRICS}), got {series.shape}"
-            )
+        series = self._validated_series(profile)
         self._conn.execute(
             "INSERT OR REPLACE INTO profiles VALUES (?,?,?,?,?,?,?,?,?)",
-            (
-                profile.workload,
-                profile.framework,
-                profile.vm_name,
-                profile.nodes,
-                int(profile.spilled),
-                np.ascontiguousarray(profile.runtimes, dtype=np.float64).tobytes(),
-                np.ascontiguousarray(profile.budgets, dtype=np.float64).tobytes(),
-                series.shape[0],
-                series.tobytes(),
-            ),
+            self._profile_row(profile, series),
         )
         self._conn.commit()
 
     # -- reads -------------------------------------------------------------------
 
-    def get(self, workload: str, vm_name: str, nodes: int = 4) -> WorkloadProfile | None:
-        """Fetch one profile, or ``None`` when absent."""
+    def get(self, workload: str, vm_name: str, nodes: int) -> WorkloadProfile | None:
+        """Fetch one profile, or ``None`` when absent.
+
+        ``nodes`` is part of the primary key: the same workload profiled on
+        a different cluster size is a different profile, so callers must
+        thread the spec's actual node count through rather than rely on a
+        default that can silently mismatch.
+        """
         row = self._conn.execute(
             "SELECT * FROM profiles WHERE workload=? AND vm_name=? AND nodes=?",
             (workload, vm_name, nodes),
@@ -128,7 +161,90 @@ class MetricsStore:
         finally:
             self._conn.commit()
 
+    # -- content-addressed cache --------------------------------------------------
+    #
+    # The campaign engine addresses entries by an opaque digest covering
+    # (workload spec, vm, nodes, seed, repetitions, noise fingerprint); the
+    # fingerprint is stored alongside so whole stale generations can be
+    # pruned when the noise model changes.
+
+    def put_cached(self, key: str, fingerprint: str, profile: WorkloadProfile) -> None:
+        """Insert or replace a cached profile under ``key``."""
+        series = self._validated_series(profile)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO profile_cache VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+            (key, fingerprint) + self._profile_row(profile, series),
+        )
+        self._conn.commit()
+
+    def get_cached(self, key: str) -> WorkloadProfile | None:
+        """Fetch a cached profile by digest, or ``None`` when absent."""
+        row = self._conn.execute(
+            "SELECT workload, framework, vm_name, nodes, spilled, runtimes,"
+            " budgets, samples, series FROM profile_cache WHERE key=?",
+            (key,),
+        ).fetchone()
+        return self._row_to_profile(row) if row else None
+
+    def put_cached_scalar(self, key: str, fingerprint: str, value: float) -> None:
+        """Insert or replace a cached scalar (e.g. a P90 runtime)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO scalar_cache VALUES (?,?,?)",
+            (key, fingerprint, float(value)),
+        )
+        self._conn.commit()
+
+    def get_cached_scalar(self, key: str) -> float | None:
+        """Fetch a cached scalar by digest, or ``None`` when absent."""
+        row = self._conn.execute(
+            "SELECT value FROM scalar_cache WHERE key=?", (key,)
+        ).fetchone()
+        return float(row[0]) if row else None
+
+    def prune_cache(self, keep_fingerprint: str) -> int:
+        """Delete cache entries from other fingerprint generations.
+
+        Returns the number of rows removed.
+        """
+        removed = 0
+        for table in ("profile_cache", "scalar_cache"):
+            cur = self._conn.execute(
+                f"DELETE FROM {table} WHERE fingerprint != ?", (keep_fingerprint,)
+            )
+            removed += cur.rowcount
+        self._conn.commit()
+        return removed
+
+    def cache_counts(self) -> tuple[int, int]:
+        """(cached profiles, cached scalars) currently stored."""
+        profiles = self._conn.execute("SELECT COUNT(*) FROM profile_cache").fetchone()[0]
+        scalars = self._conn.execute("SELECT COUNT(*) FROM scalar_cache").fetchone()[0]
+        return int(profiles), int(scalars)
+
     # -- helpers -----------------------------------------------------------------
+
+    @staticmethod
+    def _validated_series(profile: WorkloadProfile) -> np.ndarray:
+        series = np.ascontiguousarray(profile.timeseries, dtype=np.float64)
+        if series.ndim != 2 or series.shape[1] != NUM_METRICS:
+            raise ValidationError(
+                f"profile series must be (samples, {NUM_METRICS}), got {series.shape}"
+            )
+        return series
+
+    @staticmethod
+    def _profile_row(profile: WorkloadProfile, series: np.ndarray) -> tuple:
+        return (
+            profile.workload,
+            profile.framework,
+            profile.vm_name,
+            profile.nodes,
+            int(profile.spilled),
+            np.ascontiguousarray(profile.runtimes, dtype=np.float64).tobytes(),
+            np.ascontiguousarray(profile.budgets, dtype=np.float64).tobytes(),
+            series.shape[0],
+            series.tobytes(),
+        )
 
     @staticmethod
     def _row_to_profile(row: tuple) -> WorkloadProfile:

@@ -1,0 +1,127 @@
+"""Determinism of the parallel profiling campaign engine.
+
+The engine's core guarantee: because every (workload, VM, seed) triple
+derives its own noise stream, a campaign is **bit-identical** to the
+serial :class:`DataCollector` path for any worker count, any grid
+iteration order, and any cache state.  These tests assert that guarantee
+element-wise, and that an offline :class:`VestaSelector` fit built on the
+campaign is invariant to ``jobs``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud.vmtypes import catalog
+from repro.core.vesta import VestaSelector
+from repro.telemetry.campaign import ProfilingCampaign
+from repro.telemetry.collector import DataCollector
+from repro.workloads.catalog import training_set
+
+SPECS = training_set()[:3]
+VMS = catalog()[:5]
+REPS = 3
+
+
+def serial_runtime_matrix(seed: int) -> np.ndarray:
+    dc = DataCollector(repetitions=REPS, seed=seed)
+    return np.array([[dc.runtime_only(s, vm) for vm in VMS] for s in SPECS])
+
+
+def assert_profiles_identical(a, b) -> None:
+    assert a.workload == b.workload
+    assert a.vm_name == b.vm_name
+    assert a.nodes == b.nodes
+    assert a.spilled == b.spilled
+    np.testing.assert_array_equal(a.runtimes, b.runtimes)
+    np.testing.assert_array_equal(a.budgets, b.budgets)
+    np.testing.assert_array_equal(a.timeseries, b.timeseries)
+
+
+class TestParallelEqualsSerial:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_runtime_matrix_bit_identical(self, seed, jobs):
+        serial = serial_runtime_matrix(seed)
+        parallel = ProfilingCampaign(repetitions=REPS, seed=seed, jobs=jobs)
+        np.testing.assert_array_equal(parallel.runtime_matrix(SPECS, VMS), serial)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_collect_grid_bit_identical(self, jobs):
+        dc = DataCollector(repetitions=REPS, seed=7)
+        campaign = ProfilingCampaign(repetitions=REPS, seed=7, jobs=jobs)
+        grid = campaign.collect_grid(SPECS, VMS)
+        for spec in SPECS:
+            for vm in VMS:
+                assert_profiles_identical(
+                    grid[(spec.name, vm.name)], dc.collect(spec, vm)
+                )
+
+    def test_single_pair_matches_collector(self):
+        campaign = ProfilingCampaign(repetitions=REPS, seed=11, jobs=2)
+        dc = DataCollector(repetitions=REPS, seed=11)
+        spec, vm = SPECS[0], VMS[0]
+        assert_profiles_identical(campaign.collect(spec, vm), dc.collect(spec, vm))
+        assert campaign.runtime_only(spec, vm) == dc.runtime_only(spec, vm)
+
+
+class TestGridOrderInvariance:
+    def test_runtime_matrix_invariant_to_iteration_order(self):
+        forward = ProfilingCampaign(repetitions=REPS, seed=7, jobs=2)
+        m_fwd = forward.runtime_matrix(SPECS, VMS)
+        reverse = ProfilingCampaign(repetitions=REPS, seed=7, jobs=2)
+        m_rev = reverse.runtime_matrix(tuple(reversed(SPECS)), tuple(reversed(VMS)))
+        np.testing.assert_array_equal(m_fwd, m_rev[::-1, ::-1])
+
+    def test_collect_grid_invariant_to_iteration_order(self):
+        grid_fwd = ProfilingCampaign(repetitions=REPS, seed=3, jobs=2).collect_grid(
+            SPECS, VMS
+        )
+        grid_rev = ProfilingCampaign(repetitions=REPS, seed=3, jobs=3).collect_grid(
+            tuple(reversed(SPECS)), tuple(reversed(VMS))
+        )
+        assert grid_fwd.keys() == grid_rev.keys()
+        for key in grid_fwd:
+            assert_profiles_identical(grid_fwd[key], grid_rev[key])
+
+    def test_warm_cache_does_not_change_results(self, tmp_path):
+        path = str(tmp_path / "cache.sqlite")
+        cold = ProfilingCampaign(repetitions=REPS, seed=7, jobs=2, cache=path)
+        m_cold = cold.runtime_matrix(SPECS, VMS)
+        warm = ProfilingCampaign(repetitions=REPS, seed=7, jobs=2, cache=path)
+        m_warm = warm.runtime_matrix(SPECS, VMS)
+        np.testing.assert_array_equal(m_cold, m_warm)
+        assert warm.counters.cache_hits == len(SPECS) * len(VMS)
+        assert warm.counters.computed == 0
+
+
+@pytest.mark.slow
+class TestFitInvariance:
+    """An offline fit is identical whatever the campaign parallelism."""
+
+    FIT_KWARGS = dict(
+        sources=training_set()[:5],
+        vms=catalog()[:10],
+        repetitions=REPS,
+        k=3,
+        correlation_probe_count=3,
+        seed=7,
+    )
+
+    def test_fit_invariant_to_jobs(self):
+        serial = VestaSelector(jobs=1, **self.FIT_KWARGS).fit()
+        parallel = VestaSelector(jobs=2, **self.FIT_KWARGS).fit()
+        np.testing.assert_array_equal(serial.perf, parallel.perf)
+        np.testing.assert_array_equal(serial.correlations, parallel.correlations)
+        np.testing.assert_array_equal(serial.U, parallel.U)
+        np.testing.assert_array_equal(serial.V, parallel.V)
+        np.testing.assert_array_equal(serial.kept_features, parallel.kept_features)
+
+    def test_fit_predictions_invariant_to_jobs(self):
+        serial = VestaSelector(jobs=1, **self.FIT_KWARGS).fit()
+        parallel = VestaSelector(jobs=3, **self.FIT_KWARGS).fit()
+        spec = training_set()[5]
+        rec_s = serial.select(spec)
+        rec_p = parallel.select(spec)
+        assert rec_s.vm_name == rec_p.vm_name
+        assert rec_s.predicted_runtime_s == rec_p.predicted_runtime_s
+        assert rec_s.predictions == rec_p.predictions

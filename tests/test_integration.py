@@ -74,8 +74,9 @@ class TestOfflinePipelinePersistence:
                     store.put(collector.collect(get_workload(name), "m5.xlarge"))
         with MetricsStore(path) as store:
             assert store.workloads() == sorted(names)
-            back = store.get("spark-lr", "m5.xlarge")
-            fresh = collector.collect(get_workload("spark-lr"), "m5.xlarge")
+            spec = get_workload("spark-lr")
+            back = store.get("spark-lr", "m5.xlarge", nodes=spec.nodes)
+            fresh = collector.collect(spec, "m5.xlarge")
             np.testing.assert_array_equal(back.runtimes, fresh.runtimes)
 
 

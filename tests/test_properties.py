@@ -139,3 +139,127 @@ class TestRunProperties:
         a = simulate_run(spec, vm_name, with_timeseries=False).runtime_s
         b = simulate_run(spec, vm_name, with_timeseries=False).runtime_s
         assert a == b
+
+
+class TestStreamSeedProperties:
+    """The campaign's determinism rests on `_stream_seed` stability."""
+
+    @given(
+        st.text(min_size=1, max_size=30),
+        st.text(min_size=1, max_size=20),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=120, deadline=None, derandomize=True)
+    def test_stable_32bit_and_reproducible(self, workload, vm_name, seed):
+        import zlib
+
+        from repro.telemetry.collector import _stream_seed
+
+        value = _stream_seed(workload, vm_name, seed)
+        assert value == _stream_seed(workload, vm_name, seed)
+        assert 0 <= value < 2**32
+        assert value == zlib.crc32(f"{workload}|{vm_name}|{seed}".encode())
+
+    def test_stable_across_process_boundaries(self):
+        """Seeds computed in a spawned interpreter match in-process values.
+
+        Spawn (not fork) forces a genuine re-import of the module in the
+        child, which is exactly what a campaign worker on a spawn-default
+        platform would do.
+        """
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.telemetry.campaign import _stream_seed_batch
+        from repro.telemetry.collector import _stream_seed
+
+        triples = [
+            (w, v, s)
+            for w in ("spark-lr", "hadoop-terasort", "hive-join", "wl|pipe")
+            for v in ("m5.xlarge", "c5.large")
+            for s in (0, 7, 2**31 - 1)
+        ]
+        ctx = multiprocessing.get_context("spawn")
+        with ProcessPoolExecutor(max_workers=2, mp_context=ctx) as pool:
+            half = len(triples) // 2
+            remote = []
+            for chunk in pool.map(_stream_seed_batch, [triples[:half], triples[half:]]):
+                remote.extend(chunk)
+        assert remote == [_stream_seed(w, v, s) for (w, v, s) in triples]
+
+
+class TestProfileRoundTripProperties:
+    """Randomized WorkloadProfile persistence through MetricsStore."""
+
+    finite = st.floats(
+        min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False
+    )
+
+    @given(
+        runtimes=st.lists(finite, min_size=1, max_size=12),
+        budgets=st.lists(finite, min_size=1, max_size=12),
+        samples=st.integers(0, 6),
+        nodes=st.integers(1, 16),
+        spilled=st.booleans(),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_put_get_roundtrip(self, runtimes, budgets, samples, nodes, spilled, data):
+        from repro.telemetry.collector import WorkloadProfile
+        from repro.telemetry.metrics import NUM_METRICS
+        from repro.telemetry.store import MetricsStore
+
+        series = np.array(
+            [
+                [data.draw(self.finite) for _ in range(NUM_METRICS)]
+                for _ in range(samples)
+            ]
+        ).reshape(samples, NUM_METRICS)
+        profile = WorkloadProfile(
+            workload="prop-wl",
+            framework="spark",
+            vm_name="m5.xlarge",
+            nodes=nodes,
+            runtimes=np.array(runtimes),
+            budgets=np.array(budgets),
+            timeseries=series,
+            spilled=spilled,
+        )
+        with MetricsStore() as store:
+            store.put(profile)
+            back = store.get("prop-wl", "m5.xlarge", nodes=nodes)
+        assert back is not None
+        assert back.nodes == nodes
+        assert back.spilled == spilled
+        np.testing.assert_array_equal(back.runtimes, profile.runtimes)
+        np.testing.assert_array_equal(back.budgets, profile.budgets)
+        np.testing.assert_array_equal(back.timeseries, profile.timeseries)
+
+    @given(
+        runtimes=st.lists(finite, min_size=1, max_size=8),
+        nodes=st.integers(1, 16),
+    )
+    @settings(max_examples=40, deadline=None, derandomize=True)
+    def test_cached_roundtrip(self, runtimes, nodes):
+        """The content-addressed cache tables preserve profiles too."""
+        from repro.telemetry.collector import WorkloadProfile
+        from repro.telemetry.metrics import NUM_METRICS
+        from repro.telemetry.store import MetricsStore
+
+        profile = WorkloadProfile(
+            workload="prop-wl",
+            framework="spark",
+            vm_name="m5.xlarge",
+            nodes=nodes,
+            runtimes=np.array(runtimes),
+            budgets=np.array(runtimes),
+            timeseries=np.zeros((2, NUM_METRICS)),
+            spilled=False,
+        )
+        with MetricsStore() as store:
+            store.put_cached("some-key", "fp", profile)
+            back = store.get_cached("some-key")
+            assert back is not None
+            np.testing.assert_array_equal(back.runtimes, profile.runtimes)
+            assert back.nodes == nodes
+            assert store.get_cached("other-key") is None

@@ -144,9 +144,9 @@ class TestMetricsStore:
         assert back.framework == profile.framework
         assert back.spilled == profile.spilled
 
-    def test_missing_returns_none(self):
+    def test_missing_returns_none(self, spark_lr):
         with MetricsStore() as store:
-            assert store.get("spark-lr", "m5.xlarge") is None
+            assert store.get("spark-lr", "m5.xlarge", nodes=spark_lr.nodes) is None
 
     def test_replace_on_same_key(self, profile, spark_lr):
         with MetricsStore() as store:
