@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cloud.cluster import Cluster
+from repro.cloud.faults import FaultPlan
 from repro.cloud.vmtypes import VMType, catalog
 from repro.errors import ValidationError
 from repro.telemetry.campaign import ProfileCache, ProfilingCampaign
@@ -37,12 +38,13 @@ class GroundTruth:
         seed: int = 0,
         jobs: int | None = None,
         cache: ProfileCache | str | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.vms = catalog() if vms is None else tuple(vms)
         if not self.vms:
             raise ValidationError("need at least one VM type")
         self.campaign = ProfilingCampaign(
-            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache
+            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache, faults=faults
         )
         self.collector = self.campaign.collector
         self._runtime_cache: dict[str, np.ndarray] = {}

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.random_forest import RandomForestRegressor
+from repro.cloud.faults import FaultPlan
 from repro.cloud.vmtypes import VMType, catalog, get_vm_type
 from repro.errors import ValidationError
 from repro.telemetry.campaign import ProfileCache, ProfilingCampaign
@@ -69,8 +70,9 @@ class Paris:
         Data Collector repetitions for fingerprinting/training runs.
     seed:
         Master seed.
-    jobs, cache:
-        Profiling-campaign parallelism and persistent profile cache (see
+    jobs, cache, faults:
+        Profiling-campaign parallelism, persistent profile cache, and
+        optional fault-injection plan (see
         :class:`~repro.telemetry.campaign.ProfilingCampaign`).
     """
 
@@ -84,6 +86,7 @@ class Paris:
         seed: int = 0,
         jobs: int | None = None,
         cache: ProfileCache | str | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.vms = catalog() if vms is None else tuple(vms)
         if not self.vms:
@@ -92,7 +95,7 @@ class Paris:
             raise ValidationError("need at least one reference VM")
         self.reference_vms = tuple(get_vm_type(n) for n in reference_vms)
         self.campaign = ProfilingCampaign(
-            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache
+            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache, faults=faults
         )
         self.collector = self.campaign.collector
         self.seed = seed

@@ -84,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--full", action="store_true",
         help="collect full 20-metric profiles (default: P90 runtimes only)",
     )
+    p_prof.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection plan, e.g. 'transient=0.2,straggle=0.1,seed=3' "
+             "(default: REPRO_FAULT_* environment, else none)",
+    )
 
     p_sel = sub.add_parser("select", help="recommend a VM type with Vesta")
     p_sel.add_argument("workload", help="Table-3 name, e.g. spark-lr")
@@ -101,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sel.add_argument(
         "--cache", default=None,
         help="persistent profile-cache sqlite path (default: none)",
+    )
+    p_sel.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="fault-injection plan, e.g. 'transient=0.2,straggle=0.1,seed=3' "
+             "(default: REPRO_FAULT_* environment, else none)",
     )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -163,6 +173,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_plan(args: argparse.Namespace):
+    """Resolve the fault plan: ``--faults`` spec, else ``REPRO_FAULT_*`` envs."""
+    from repro.cloud.faults import FaultPlan
+
+    if getattr(args, "faults", None):
+        return FaultPlan.from_spec(args.faults)
+    return FaultPlan.from_env()
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -178,12 +197,15 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     vms = (
         tuple(get_vm_type(n) for n in args.vms) if args.vms else catalog()
     )
+    faults = _fault_plan(args)
     campaign = ProfilingCampaign(
-        repetitions=args.reps, seed=args.seed, jobs=args.jobs, cache=args.cache
+        repetitions=args.reps, seed=args.seed, jobs=args.jobs, cache=args.cache,
+        faults=faults,
     )
     print(
         f"campaign: {len(specs)} workloads x {len(vms)} VM types "
-        f"({campaign.jobs} jobs, cache: {args.cache or 'in-process'})"
+        f"({campaign.jobs} jobs, cache: {args.cache or 'in-process'}"
+        f"{', faults on' if campaign.faults is not None else ''})"
     )
     if args.full:
         grid = campaign.collect_grid(specs, vms)
@@ -211,7 +233,9 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
     spec = get_workload(args.workload)
     print("fitting offline knowledge (source workloads x full catalog)...")
-    vesta = VestaSelector(seed=args.seed, jobs=args.jobs, cache=args.cache).fit()
+    vesta = VestaSelector(
+        seed=args.seed, jobs=args.jobs, cache=args.cache, faults=_fault_plan(args)
+    ).fit()
     session = vesta.online(spec)
     rec = session.recommend(args.objective)
     print(f"\nrecommended VM type for {spec.name} ({args.objective}): {rec.vm_name}")
@@ -220,6 +244,11 @@ def _cmd_select(args: argparse.Namespace) -> int:
     print(f"   reference VMs:     {rec.reference_vm_count} "
           f"(sandbox {session.sandbox_vm.name} + probes)")
     print(f"   converged:         {rec.converged}")
+    if rec.degraded:
+        print(f"   DEGRADED: lost probes {', '.join(rec.failed_probes) or '(none)'}; "
+              f"{len(rec.fault_events)} fault events "
+              f"(match threshold widened to "
+              f"{session.effective_match_threshold:.3f})")
     scores = (
         session.predict_runtimes()
         if args.objective == "time"

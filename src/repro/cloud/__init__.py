@@ -8,6 +8,9 @@ Table 4.  This package provides the equivalent substrate offline:
 - :mod:`repro.cloud.pricing` — on-demand hourly prices and budget math;
 - :mod:`repro.cloud.noise` — the cloud performance-variability model that
   motivates the paper's P90-of-10-runs estimator;
+- :mod:`repro.cloud.faults` — deterministic fault injection (transient
+  run failures, stragglers, lost telemetry samples) exercising the
+  collection layer's retry and degradation paths;
 - :mod:`repro.cloud.cluster` — homogeneous clusters of a VM type, the unit
   on which framework engines schedule work;
 - :mod:`repro.cloud.azure` — a second provider catalog for multi-cloud
@@ -16,6 +19,7 @@ Table 4.  This package provides the equivalent substrate offline:
 
 from repro.cloud.azure import azure_catalog, get_azure_vm_type, multi_cloud_catalog
 from repro.cloud.cluster import Cluster
+from repro.cloud.faults import FaultDecision, FaultEvent, FaultPlan
 from repro.cloud.noise import CloudNoiseModel, NoiseSample
 from repro.cloud.pricing import budget_for_runtime, hourly_price
 from repro.cloud.vmtypes import (
@@ -35,6 +39,9 @@ __all__ = [
     "get_azure_vm_type",
     "multi_cloud_catalog",
     "CloudNoiseModel",
+    "FaultDecision",
+    "FaultEvent",
+    "FaultPlan",
     "NoiseSample",
     "VMCategory",
     "VMFamily",

@@ -238,6 +238,7 @@ class CMF:
         history = [self._objective(U, V, Ustar, mask, A, B, Astar, L)]
         converged = False
         window = 8
+        rising = 0
         for _epoch in range(self.max_epochs):
             # Algorithm 1, lines 8-10: fix all factors but one, take an SGD
             # step on the remaining one.  Row-wise gradients, vectorized.
@@ -270,9 +271,19 @@ class CMF:
             if not np.isfinite(obj):
                 return None  # diverged at this learning rate
             history.append(obj)
+            # An epoch where the objective rose is never progress; a
+            # sustained rise is a (finite) divergence, not convergence —
+            # without this, an oscillating-upward run would satisfy
+            # `(past - obj) / past < tol` through its negative
+            # "improvement" and be declared converged, silently skipping
+            # the paper's Spark-CF non-convergence fallback.
+            rising = rising + 1 if obj > history[-2] else 0
+            if rising >= window:
+                break  # objective has risen for a whole window: diverging
             if len(history) > window:
                 past = history[-window - 1]
-                if past > 0 and (past - obj) / past < self.tol:
+                improvement = (past - obj) / past if past > 0 else 0.0
+                if past > 0 and 0.0 <= improvement < self.tol:
                     converged = True
                     break
 

@@ -28,12 +28,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.kmeans import KMeans
+from repro.cloud.faults import FaultPlan
 from repro.cloud.vmtypes import get_vm_type
 from repro.core.graph import KnowledgeGraph
 from repro.core.labels import LabelSpace
 from repro.core.predictor import SimilarityPredictor
 from repro.core.vesta import VestaSelector
 from repro.errors import ValidationError
+from repro.telemetry.campaign import ProfileCache
 from repro.workloads.catalog import get_workload
 
 __all__ = ["save_selector", "load_selector", "FORMAT_VERSION"]
@@ -93,8 +95,20 @@ def save_selector(selector: VestaSelector, path: str | Path) -> Path:
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def load_selector(path: str | Path) -> VestaSelector:
+def load_selector(
+    path: str | Path,
+    *,
+    jobs: int | None = None,
+    cache: ProfileCache | str | None = None,
+    faults: FaultPlan | None = None,
+) -> VestaSelector:
     """Rebuild a fitted :class:`VestaSelector` from a saved archive.
+
+    ``jobs``, ``cache`` and ``faults`` configure the rebuilt selector's
+    profiling campaign (the knowledge itself is restored from the
+    archive): a production deployment loads the fitted knowledge once and
+    serves online sessions under its own parallelism/cache/fault-plan
+    settings.
 
     Raises
     ------
@@ -123,6 +137,9 @@ def load_selector(path: str | Path) -> VestaSelector:
         vms=vms,
         sources=sources,
         repetitions=meta["repetitions"],
+        jobs=jobs,
+        cache=cache,
+        faults=faults,
         **{name: hp[name] for name in _HYPERPARAMS},
     )
 

@@ -44,13 +44,14 @@ from repro.analysis.correlation import (
 from repro.analysis.feature_selection import select_by_importance
 from repro.analysis.kmeans import KMeans
 from repro.cloud.cluster import Cluster
-from repro.cloud.vmtypes import VMType, catalog
+from repro.cloud.faults import FaultEvent, FaultPlan
+from repro.cloud.vmtypes import SIZE_LADDER, VMType, catalog
 from repro.core.cmf import CMF
 from repro.core.graph import KnowledgeGraph
 from repro.core.labels import LabelSpace
 from repro.core.predictor import SimilarityPredictor
 from repro.core.sandbox import choose_probe_vms, choose_sandbox_vm
-from repro.errors import ValidationError
+from repro.errors import ProbeFailedError, ValidationError
 from repro.telemetry.campaign import ProfileCache, ProfilingCampaign
 from repro.workloads.catalog import training_set
 from repro.workloads.spec import WorkloadSpec
@@ -67,6 +68,10 @@ class Recommendation:
 
     ``reference_vm_count`` is the training-overhead currency of Figure 8:
     how many distinct VM types the target workload was actually run on.
+    ``degraded`` flags a selection that survived permanent probe failures
+    by proceeding with the surviving observations (down to sandbox-only);
+    ``failed_probes`` names the lost probes and ``fault_events`` is the
+    fault log of the whole online phase.
     """
 
     workload: str
@@ -77,6 +82,9 @@ class Recommendation:
     reference_vm_count: int
     converged: bool
     predictions: dict[str, float] = field(repr=False)
+    degraded: bool = False
+    failed_probes: tuple[str, ...] = ()
+    fault_events: tuple[FaultEvent, ...] = field(default=(), repr=False)
 
 
 class OnlineSession:
@@ -87,6 +95,16 @@ class OnlineSession:
     incremental refinement: :meth:`observe` adds a measured VM,
     :meth:`step` greedily measures the current predicted-best VM —
     the search progression plotted in Figures 12/13.
+
+    **Graceful degradation.**  Under an enabled fault plan a probe run
+    can fail permanently; the session then proceeds with the surviving
+    probes (down to sandbox-only) instead of crashing: the knowledge
+    match threshold is widened proportionally to the surviving probe
+    fraction (fewer anchors → accept weaker source matches rather than
+    refuse to recommend) and the resulting :class:`Recommendation` is
+    stamped ``degraded=True`` with the fault log attached.  Only a
+    permanently failed *sandbox* run — the one observation nothing can
+    substitute for — still raises :class:`ProbeFailedError`.
     """
 
     def __init__(self, selector: "VestaSelector", spec: WorkloadSpec) -> None:
@@ -105,6 +123,11 @@ class OnlineSession:
         )
         self.observations: dict[str, float] = {}
         self.converged = True
+        self.degraded = False
+        self.failed_probes: tuple[str, ...] = ()
+        self.effective_match_threshold = selector.match_threshold
+        self._failed_observations: set[str] = set()
+        self._fault_log_start = len(selector.campaign.fault_log)
         self._row: np.ndarray | None = None
         self._initialize()
 
@@ -116,8 +139,23 @@ class OnlineSession:
         corr = sel.signature_from_profile(profile)
         self.correlation_vector = corr
         self.observations[self.sandbox_vm.name] = profile.runtime_p90
+        failed: list[str] = []
         for vm in self.probe_vms:
-            self.observations[vm.name] = sel.campaign.runtime_only(self.spec, vm)
+            try:
+                self.observations[vm.name] = sel.campaign.runtime_only(self.spec, vm)
+            except ProbeFailedError:
+                # Permanently lost probe: the run's transient/permanent
+                # events are already in the campaign fault log; proceed
+                # with the surviving observations.
+                failed.append(vm.name)
+        self.failed_probes = tuple(failed)
+        self._failed_observations.update(failed)
+        if failed:
+            self.degraded = True
+            surviving = len(self.probe_vms) - len(failed)
+            self.effective_match_threshold = sel.match_threshold * (
+                surviving / len(self.probe_vms)
+            )
 
         sparse_row = sel.label_space.membership(corr)
         mask = (sparse_row > 0).astype(float)
@@ -138,7 +176,10 @@ class OnlineSession:
         query = completed_raw if completed_raw.sum() > 0 else sparse_row
         sims = sel.predictor.similarities(query)
         self.knowledge_match = float(sims.max()) if sims.size else 0.0
-        self.converged = result.converged and self.knowledge_match >= sel.match_threshold
+        self.converged = (
+            result.converged
+            and self.knowledge_match >= self.effective_match_threshold
+        )
         if self.converged and completed_raw.sum() > 0:
             # CMF output lives in reconstruction space; the clipped
             # reconstruction is the completed membership row.
@@ -162,6 +203,11 @@ class OnlineSession:
         """Distinct VM types this target has been run on (Figure 8)."""
         return len(self.observations)
 
+    @property
+    def fault_events(self) -> tuple[FaultEvent, ...]:
+        """Fault events observed during this session's profiling runs."""
+        return tuple(self._sel.campaign.fault_log[self._fault_log_start:])
+
     def predict_runtimes(self) -> np.ndarray:
         """Predicted P90 runtime on every catalog VM (observed = measured).
 
@@ -170,9 +216,15 @@ class OnlineSession:
         :meth:`SimilarityPredictor.predict`).
         """
         sel = self._sel
-        names = [vm.name for vm in sel.vms]
-        idx = np.array([names.index(n) for n in self.observations], dtype=int)
-        obs = np.array([self.observations[names[i]] for i in idx])
+        vm_index = sel._vm_index
+        idx = np.fromiter(
+            (vm_index[n] for n in self.observations),
+            dtype=int,
+            count=len(self.observations),
+        )
+        obs = np.fromiter(
+            self.observations.values(), dtype=float, count=len(self.observations)
+        )
         affinity = sel.V @ self.completed_row
         return sel.predictor.predict(
             self.completed_row,
@@ -201,28 +253,43 @@ class OnlineSession:
     # -- refinement --------------------------------------------------------------------
 
     def observe(self, vm: VMType | str) -> float:
-        """Measure the target on ``vm`` and fold it into the predictions."""
+        """Measure the target on ``vm`` and fold it into the predictions.
+
+        Raises :class:`ProbeFailedError` when the run fails permanently
+        under the active fault plan.
+        """
         name = vm if isinstance(vm, str) else vm.name
-        self._sel.vm_index(name)  # validates
+        index = self._sel.vm_index(name)  # validates once, reused below
         if name not in self.observations:
-            self.observations[name] = self._sel.campaign.runtime_only(
-                self.spec, self._sel.vms[self._sel.vm_index(name)]
-            )
+            try:
+                self.observations[name] = self._sel.campaign.runtime_only(
+                    self.spec, self._sel.vms[index]
+                )
+            except ProbeFailedError:
+                self._failed_observations.add(name)
+                self.degraded = True
+                raise
         return self.observations[name]
 
     def step(self, objective: str = "time") -> tuple[str, float]:
         """Greedy search step: measure the predicted-best unobserved VM.
 
         Returns ``(vm_name, observed_runtime)``.  Repeated calls trace the
-        Figure 12/13 optimization progressions.
+        Figure 12/13 optimization progressions.  VMs whose measurement
+        fails permanently under the fault plan are skipped (the session
+        degrades) and the next-best candidate is measured instead.
         """
         scores = self._objective_scores(objective)
         order = np.argsort(scores)
         for i in order:
             name = self._sel.vms[i].name
-            if name not in self.observations:
+            if name in self.observations or name in self._failed_observations:
+                continue
+            try:
                 return name, self.observe(name)
-        raise ValidationError("all VM types already observed")
+            except ProbeFailedError:
+                continue
+        raise ValidationError("all VM types already observed or permanently failed")
 
     def _objective_scores(self, objective: str) -> np.ndarray:
         if objective == "time":
@@ -249,6 +316,9 @@ class OnlineSession:
             predictions={
                 vm.name: float(rt) for vm, rt in zip(self._sel.vms, runtimes)
             },
+            degraded=self.degraded,
+            failed_probes=self.failed_probes,
+            fault_events=self.fault_events,
         )
 
 
@@ -297,6 +367,11 @@ class VestaSelector:
         Persistent profile cache — a sqlite path or a ready
         :class:`~repro.telemetry.campaign.ProfileCache`; ``None`` keeps
         memoization in-process only.
+    faults:
+        Optional :class:`~repro.cloud.faults.FaultPlan` injected into the
+        profiling campaign.  The default fault-free plan leaves every
+        result bit-identical; an enabled plan exercises the retry and
+        online-degradation paths (see :class:`OnlineSession`).
     """
 
     def __init__(
@@ -318,6 +393,7 @@ class VestaSelector:
         seed: int = 0,
         jobs: int | None = None,
         cache: ProfileCache | str | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.vms = catalog() if vms is None else tuple(vms)
         if not self.vms:
@@ -343,7 +419,7 @@ class VestaSelector:
         self.affinity_weight = affinity_weight
         self.seed = seed
         self.campaign = ProfilingCampaign(
-            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache
+            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache, faults=faults
         )
         self.collector = self.campaign.collector
 
@@ -358,17 +434,47 @@ class VestaSelector:
         except KeyError:
             raise ValidationError(f"VM type {name!r} not in this selector's set") from None
 
+    @staticmethod
+    def _mid_size_key(vm: VMType) -> tuple[int, int, str]:
+        # Prefer mid-size shapes: they exercise all resources without
+        # degenerate (always-saturated or always-idle) series.  Ranking
+        # by ladder distance from xlarge (ties broken by ladder position,
+        # then name) is a total order, so the pick per family cannot
+        # depend on the iteration order of the candidate set.
+        ladder = list(SIZE_LADDER)
+        mid = ladder.index("xlarge")
+        pos = ladder.index(vm.size) if vm.size in ladder else mid
+        return (abs(pos - mid), pos, vm.name)
+
     def _corr_probe_vms(self) -> tuple[VMType, ...]:
-        """Family-spread VM subset for correlation-signature profiling."""
+        """Family-spread VM subset for correlation-signature profiling.
+
+        Picks one mid-size VM per family, then an evenly spaced subset of
+        exactly ``correlation_probe_count`` families.  When the candidate
+        set has fewer families than that, the subset is topped up with
+        the next-most-mid-size VMs of the already-used families, so the
+        requested size is met whenever ``len(self.vms)`` allows.
+        """
+        count = self.correlation_probe_count
         per_family: dict[str, VMType] = {}
         for vm in self.vms:
-            # Prefer mid-size shapes: they exercise all resources without
-            # degenerate (always-saturated or always-idle) series.
-            if vm.family not in per_family or vm.size == "xlarge":
+            best = per_family.get(vm.family)
+            if best is None or self._mid_size_key(vm) < self._mid_size_key(best):
                 per_family[vm.family] = vm
         spread = sorted(per_family.values(), key=lambda v: v.name)
-        step = max(1, len(spread) // self.correlation_probe_count)
-        return tuple(spread[::step][: self.correlation_probe_count])
+        if len(spread) >= count:
+            # Evenly spaced family subset; linspace over the sorted spread
+            # yields exactly `count` distinct indices covering both ends.
+            idx = np.linspace(0, len(spread) - 1, count).round().astype(int)
+            return tuple(spread[i] for i in idx)
+        chosen = list(spread)
+        chosen_names = {vm.name for vm in chosen}
+        extras = sorted(
+            (vm for vm in self.vms if vm.name not in chosen_names),
+            key=self._mid_size_key,
+        )
+        chosen.extend(extras[: count - len(chosen)])
+        return tuple(chosen)
 
     # -- signature extraction hooks ------------------------------------------------
     #

@@ -44,3 +44,65 @@ class ConvergenceError(ReproError, RuntimeError):
     a convergence limit in the online phase; we surface the same condition
     as a typed error so the online predictor can fall back gracefully.
     """
+
+
+class FaultInjectionError(ReproError, RuntimeError):
+    """Base of the fault/retry taxonomy raised by the fault-injection layer.
+
+    Cloud measurements fail in practice (transient VM errors, stragglers,
+    lost samples); :mod:`repro.cloud.faults` reproduces those failures
+    deterministically and this hierarchy types them so every consumer can
+    distinguish a retryable hiccup from a permanently lost observation.
+    """
+
+
+class TransientRunError(FaultInjectionError):
+    """One profiling attempt failed transiently (retryable).
+
+    Raised per attempt by :meth:`repro.cloud.faults.FaultPlan.check`; the
+    Data Collector's retry loop catches it, backs off, and re-attempts
+    with a derived retry seed until the plan's attempt budget runs out.
+    """
+
+    def __init__(
+        self, workload: str = "", vm_name: str = "", repetition: int = 0, attempt: int = 0
+    ) -> None:
+        super().__init__(
+            f"transient failure running {workload!r} on {vm_name!r} "
+            f"(repetition {repetition}, attempt {attempt})"
+        )
+        self.workload = workload
+        self.vm_name = vm_name
+        self.repetition = repetition
+        self.attempt = attempt
+
+    def __reduce__(self):
+        return type(self), (self.workload, self.vm_name, self.repetition, self.attempt)
+
+
+class ProbeFailedError(FaultInjectionError):
+    """A profiling run failed permanently: every retry attempt was lost.
+
+    Carries the triple that failed and the fault events observed on the
+    way, so the online phase can degrade gracefully (drop the probe,
+    widen its match threshold) instead of crashing.
+    """
+
+    def __init__(
+        self,
+        workload: str = "",
+        vm_name: str = "",
+        attempts: int = 0,
+        events: tuple = (),
+    ) -> None:
+        super().__init__(
+            f"run of {workload!r} on {vm_name!r} failed permanently "
+            f"after {attempts} attempts"
+        )
+        self.workload = workload
+        self.vm_name = vm_name
+        self.attempts = attempts
+        self.events = tuple(events)
+
+    def __reduce__(self):
+        return type(self), (self.workload, self.vm_name, self.attempts, self.events)

@@ -29,6 +29,7 @@ import numpy as np
 from repro.baselines.ernest import Ernest
 from repro.baselines.ground_truth import GroundTruth
 from repro.baselines.paris import Paris
+from repro.cloud.faults import FaultPlan
 from repro.core.vesta import VestaSelector
 from repro.workloads.catalog import training_set
 from repro.workloads.spec import WorkloadSpec
@@ -56,14 +57,20 @@ def campaign_options() -> dict:
     - ``REPRO_PROFILE_JOBS`` — campaign worker count (default: CPU count;
       results are bit-identical for any value);
     - ``REPRO_PROFILE_CACHE`` — persistent profile-cache sqlite path
-      (default: in-process memoization only).
+      (default: in-process memoization only);
+    - ``REPRO_FAULT_*`` — fault-injection plan (see
+      :meth:`repro.cloud.faults.FaultPlan.from_env`; default: none).
 
     Note the fixtures below are ``lru_cache``-d: changing the environment
     after a fixture was built does not refit it.
     """
     jobs = os.environ.get("REPRO_PROFILE_JOBS")
     cache = os.environ.get("REPRO_PROFILE_CACHE")
-    return {"jobs": int(jobs) if jobs else None, "cache": cache or None}
+    return {
+        "jobs": int(jobs) if jobs else None,
+        "cache": cache or None,
+        "faults": FaultPlan.from_env(),
+    }
 
 
 @lru_cache(maxsize=4)

@@ -35,6 +35,7 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.cloud.faults import FaultEvent, FaultPlan
 from repro.cloud.noise import CloudNoiseModel
 from repro.cloud.vmtypes import VMType, get_vm_type
 from repro.errors import ValidationError
@@ -252,28 +253,38 @@ class _Task:
     repetitions: int
     sample_period_s: float
     runtime_only: bool
+    faults: FaultPlan | None = None
 
 
-def _run_batch(tasks: list[_Task]) -> list[tuple[int, WorkloadProfile | float]]:
+def _run_batch(
+    tasks: list[_Task],
+) -> list[tuple[int, WorkloadProfile | float, tuple[FaultEvent, ...]]]:
     """Worker entry point: a chunk of grid cells, amortising IPC overhead."""
     return [_run_task(t) for t in tasks]
 
 
-def _run_task(task: _Task) -> tuple[int, WorkloadProfile | float]:
+def _run_task(task: _Task) -> tuple[int, WorkloadProfile | float, tuple[FaultEvent, ...]]:
     """Worker entry point: profile one grid cell in a fresh collector.
 
     Each worker builds its own :class:`DataCollector`; the per-triple
-    stream seed makes the result identical to the serial path no matter
-    which process runs it or when.
+    stream seed (and, under fault injection, the per-(triple, attempt)
+    retry seeds) makes the result identical to the serial path no matter
+    which process runs it or when.  Observed fault events ride back with
+    the result so the parent campaign's counters stay exact.
     """
     collector = DataCollector(
         repetitions=task.repetitions,
         seed=task.seed,
         sample_period_s=task.sample_period_s,
+        faults=task.faults,
     )
     if task.runtime_only:
-        return task.index, collector.runtime_only(task.spec, task.vm, nodes=task.nodes)
-    return task.index, collector.collect(task.spec, task.vm, nodes=task.nodes)
+        value: WorkloadProfile | float = collector.runtime_only(
+            task.spec, task.vm, nodes=task.nodes
+        )
+    else:
+        value = collector.collect(task.spec, task.vm, nodes=task.nodes)
+    return task.index, value, tuple(collector.drain_fault_events())
 
 
 class ProfilingCampaign:
@@ -296,6 +307,16 @@ class ProfilingCampaign:
         :class:`ProfileCache`.  Independent of the persistent layer, the
         campaign memoizes results in-process so repeated grid requests
         within one run never recompute.
+    faults:
+        Optional :class:`~repro.cloud.faults.FaultPlan`.  The default
+        (``None`` / a disabled plan) leaves every result — and every
+        cache key — bit-identical to a fault-free build.  An enabled plan
+        folds its fingerprint into the cache address (fault-injected
+        results never collide with clean ones), its transient failures
+        are retried inside the collectors, and every observed fault is
+        merged into :attr:`counters` and :attr:`fault_log` regardless of
+        which worker process saw it.  Runs that exhaust the retry budget
+        raise :class:`~repro.errors.ProbeFailedError`.
     """
 
     def __init__(
@@ -306,6 +327,7 @@ class ProfilingCampaign:
         jobs: int | None = None,
         cache: ProfileCache | str | None = None,
         sample_period_s: float = 5.0,
+        faults: FaultPlan | None = None,
     ) -> None:
         if repetitions < 1:
             raise ValidationError("repetitions must be >= 1")
@@ -320,9 +342,14 @@ class ProfilingCampaign:
             self.cache = cache
         else:
             self.cache = ProfileCache(str(cache))
+        self.faults = faults if faults is not None and faults.enabled else None
         self.counters = CampaignCounters()
+        self.fault_log: list[FaultEvent] = []
         self.collector = DataCollector(
-            repetitions=repetitions, seed=seed, sample_period_s=sample_period_s
+            repetitions=repetitions,
+            seed=seed,
+            sample_period_s=sample_period_s,
+            faults=self.faults,
         )
         self._memo: dict[str, WorkloadProfile | float] = {}
 
@@ -374,8 +401,18 @@ class ProfilingCampaign:
     def _resolve_vm(vm: VMType | str) -> VMType:
         return get_vm_type(vm) if isinstance(vm, str) else vm
 
+    def _absorb_events(self, events) -> None:
+        """Merge fault events (from any collector/worker) into the telemetry."""
+        for event in events:
+            self.counters.record_fault(event.kind, event.detail)
+        self.fault_log.extend(events)
+
     def _key(self, spec: WorkloadSpec, vm: VMType, nodes: int | None, kind: str) -> str:
         fingerprint = self.cache.fingerprint if self.cache else noise_fingerprint()
+        if self.faults is not None:
+            # Fault-injected results are a different generation: address
+            # them apart so a clean cache never serves faulted values.
+            fingerprint = f"{fingerprint}+faults:{self.faults.fingerprint()}"
         return profile_cache_key(
             spec,
             vm,
@@ -423,10 +460,15 @@ class ProfilingCampaign:
             self.counters.elapsed_s += time.perf_counter() - start
             return hit
         self.counters.cache_misses += 1
-        if runtime_only:
-            value = self.collector.runtime_only(spec, vm, nodes=nodes)
-        else:
-            value = self.collector.collect(spec, vm, nodes=nodes)
+        try:
+            if runtime_only:
+                value = self.collector.runtime_only(spec, vm, nodes=nodes)
+            else:
+                value = self.collector.collect(spec, vm, nodes=nodes)
+        finally:
+            # Drain even when the run failed permanently: the transient
+            # and permanent events must reach the counters either way.
+            self._absorb_events(self.collector.drain_fault_events())
         self.counters.computed += 1
         self._store(key, value, runtime_only)
         self.counters.elapsed_s += time.perf_counter() - start
@@ -471,20 +513,26 @@ class ProfilingCampaign:
                                 repetitions=self.repetitions,
                                 sample_period_s=self.sample_period_s,
                                 runtime_only=runtime_only,
+                                faults=self.faults,
                             ),
                             key,
                         )
                     )
         if pending:
             key_by_index = {task.index: key for task, key in pending}
-            for idx, value in self._execute([task for task, _ in pending]):
+            # Sorted by grid index so the fault log reads in grid order
+            # whatever the workers' completion order was.
+            for idx, value, events in sorted(self._execute([t for t, _ in pending])):
                 results[idx] = value
                 self._store(key_by_index[idx], value, runtime_only)
+                self._absorb_events(events)
                 self.counters.computed += 1
         self.counters.elapsed_s += time.perf_counter() - start
         return specs, vm_names, results
 
-    def _execute(self, tasks: list[_Task]) -> list[tuple[int, WorkloadProfile | float]]:
+    def _execute(
+        self, tasks: list[_Task]
+    ) -> list[tuple[int, WorkloadProfile | float, tuple[FaultEvent, ...]]]:
         """Run tasks serially or on the pool; order of returns is arbitrary.
 
         Tasks ship in chunks (≈4 per worker) so per-submission IPC cost

@@ -14,18 +14,27 @@ paper records correlation values per run).
 
 Seeding: every (workload, VM, seed) triple derives a stable stream seed,
 so profiles are reproducible independently of collection order.
+
+Fault injection: an optional :class:`~repro.cloud.faults.FaultPlan` makes
+individual run attempts fail transiently (retried with backoff under
+per-triple derived retry seeds), straggle (heavy-tailed runtime
+inflation) or lose telemetry samples.  With the default fault-free plan
+the collector's outputs are bit-identical to a build without the fault
+layer: fault decisions never consume the profiling noise streams.
 """
 
 from __future__ import annotations
 
+import time
 import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cloud.faults import FaultDecision, FaultEvent, FaultPlan
 from repro.cloud.noise import CloudNoiseModel
 from repro.cloud.vmtypes import VMType, get_vm_type
-from repro.errors import ValidationError
+from repro.errors import ProbeFailedError, TransientRunError, ValidationError
 from repro.frameworks.registry import simulate_run
 from repro.workloads.spec import WorkloadSpec
 
@@ -99,6 +108,14 @@ class DataCollector:
         Master seed; all per-pair noise streams derive from it.
     sample_period_s:
         Collector cadence (5 s in the paper).
+    faults:
+        Optional :class:`~repro.cloud.faults.FaultPlan`.  A disabled plan
+        (or ``None``) leaves every output bit-identical to the fault-free
+        path; an enabled plan injects transient failures (retried up to
+        the plan's attempt budget, then raised as
+        :class:`~repro.errors.ProbeFailedError`), straggler inflation and
+        telemetry sample drops.  Observed faults accumulate in
+        :attr:`fault_events` until drained.
     """
 
     def __init__(
@@ -106,12 +123,120 @@ class DataCollector:
         repetitions: int = DEFAULT_REPETITIONS,
         seed: int = 0,
         sample_period_s: float = 5.0,
+        faults: FaultPlan | None = None,
     ) -> None:
         if repetitions < 1:
             raise ValidationError("repetitions must be >= 1")
         self.repetitions = repetitions
         self.seed = seed
         self.sample_period_s = sample_period_s
+        self.faults = faults if faults is not None and faults.enabled else None
+        self.fault_events: list[FaultEvent] = []
+
+    def drain_fault_events(self) -> list[FaultEvent]:
+        """Return and clear the fault events observed since the last drain."""
+        events, self.fault_events = self.fault_events, []
+        return events
+
+    # -- fault handling ----------------------------------------------------------
+
+    def _survive_attempts(
+        self, workload: str, vm_name: str, rep: int
+    ) -> tuple[FaultDecision, int]:
+        """Retry one repetition until an attempt survives its fault draw.
+
+        Returns ``(decision, attempt)`` of the surviving attempt; raises
+        :class:`ProbeFailedError` when the plan's budget is exhausted.
+        Backoff is recorded per retry and only actually slept when the
+        plan configures a nonzero base (simulations keep it at 0).
+        """
+        plan = self.faults
+        assert plan is not None
+        first_event = len(self.fault_events)
+        for attempt in range(plan.max_attempts):
+            try:
+                return plan.check(workload, vm_name, rep, attempt), attempt
+            except TransientRunError:
+                backoff = plan.backoff_s(attempt)
+                self.fault_events.append(
+                    FaultEvent(
+                        kind="transient",
+                        workload=workload,
+                        vm_name=vm_name,
+                        repetition=rep,
+                        attempt=attempt,
+                        backoff_s=backoff,
+                    )
+                )
+                if backoff > 0:
+                    time.sleep(backoff)
+        self.fault_events.append(
+            FaultEvent(
+                kind="permanent",
+                workload=workload,
+                vm_name=vm_name,
+                repetition=rep,
+                attempt=plan.max_attempts,
+            )
+        )
+        raise ProbeFailedError(
+            workload,
+            vm_name,
+            plan.max_attempts,
+            events=tuple(self.fault_events[first_event:]),
+        )
+
+    def _faulted_multiplier(
+        self, spec: WorkloadSpec, vm_name: str, rep: int, mult: float
+    ) -> tuple[float, FaultDecision]:
+        """Apply the fault plan to one repetition's noise multiplier."""
+        plan = self.faults
+        assert plan is not None
+        decision, attempt = self._survive_attempts(spec.name, vm_name, rep)
+        if attempt > 0:
+            # A retry lands on a fresh placement: redraw the multiplier
+            # from a seed derived from the full (triple, attempt)
+            # coordinate, leaving the primary noise stream untouched.
+            retry_noise = CloudNoiseModel(
+                seed=plan.retry_seed(spec.name, vm_name, rep, attempt)
+            )
+            mult = retry_noise.sample(spec.demand.variance_boost).multiplier
+        if decision.straggle_factor > 1.0:
+            mult *= decision.straggle_factor
+            self.fault_events.append(
+                FaultEvent(
+                    kind="straggle",
+                    workload=spec.name,
+                    vm_name=vm_name,
+                    repetition=rep,
+                    attempt=attempt,
+                    detail=decision.straggle_factor,
+                )
+            )
+        return mult, decision
+
+    def _drop_samples(
+        self, series: np.ndarray, workload: str, vm_name: str, rep: int
+    ) -> np.ndarray:
+        plan = self.faults
+        assert plan is not None
+        keep = plan.drop_mask(series.shape[0], workload, vm_name, rep)
+        dropped = int(series.shape[0] - keep.sum())
+        if dropped:
+            self.fault_events.append(
+                FaultEvent(
+                    kind="drop",
+                    workload=workload,
+                    vm_name=vm_name,
+                    repetition=rep,
+                    attempt=0,
+                    detail=float(dropped),
+                )
+            )
+            series = series[keep]
+        return series
+
+    # -- profiling ---------------------------------------------------------------
 
     def collect(
         self,
@@ -133,6 +258,9 @@ class DataCollector:
         spilled = False
         for rep in range(self.repetitions):
             mult = noise.sample(spec.demand.variance_boost).multiplier
+            decision = None
+            if self.faults is not None:
+                mult, decision = self._faulted_multiplier(spec, vm.name, rep, mult)
             result = simulate_run(
                 spec,
                 vm,
@@ -147,6 +275,8 @@ class DataCollector:
             if rep == 0:
                 series = result.timeseries
                 spilled = result.spilled
+                if decision is not None and decision.drop:
+                    series = self._drop_samples(series, spec.name, vm.name, rep)
 
         assert series is not None
         return WorkloadProfile(
@@ -180,4 +310,9 @@ class DataCollector:
             spec, vm, nodes=nodes, noise_multiplier=1.0, with_timeseries=False
         ).runtime_s
         mults = noise.sample_multipliers(self.repetitions, spec.demand.variance_boost)
+        if self.faults is not None:
+            for rep in range(self.repetitions):
+                mults[rep], _ = self._faulted_multiplier(
+                    spec, vm.name, rep, float(mults[rep])
+                )
         return float(np.percentile(base * mults, P90))

@@ -87,6 +87,15 @@ class CampaignCounters:
         persistent store both count).
     elapsed_s:
         Wall-clock seconds spent inside campaign calls.
+    retries:
+        Run attempts lost to injected transient failures and re-tried.
+    permanent_failures:
+        Runs whose whole retry budget was exhausted (surfaced to callers
+        as :class:`~repro.errors.ProbeFailedError`).
+    stragglers:
+        Runs whose runtime was inflated by an injected straggler.
+    dropped_samples:
+        Telemetry rows lost to injected sample drops.
     """
 
     scheduled: int = 0
@@ -94,6 +103,10 @@ class CampaignCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     elapsed_s: float = 0.0
+    retries: int = 0
+    permanent_failures: int = 0
+    stragglers: int = 0
+    dropped_samples: int = 0
 
     @property
     def completed(self) -> int:
@@ -111,18 +124,49 @@ class CampaignCounters:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    @property
+    def fault_count(self) -> int:
+        """Total injected-fault observations across all kinds."""
+        return (
+            self.retries
+            + self.permanent_failures
+            + self.stragglers
+            + self.dropped_samples
+        )
+
+    def record_fault(self, kind: str, detail: float = 0.0) -> None:
+        """Fold one fault event (by its ``kind``) into the counters."""
+        if kind == "transient":
+            self.retries += 1
+        elif kind == "permanent":
+            self.permanent_failures += 1
+        elif kind == "straggle":
+            self.stragglers += 1
+        elif kind == "drop":
+            self.dropped_samples += int(detail)
+
     def reset(self) -> None:
         self.scheduled = self.computed = 0
         self.cache_hits = self.cache_misses = 0
         self.elapsed_s = 0.0
+        self.retries = self.permanent_failures = 0
+        self.stragglers = self.dropped_samples = 0
 
     def summary(self) -> str:
         """One-line human-readable report."""
-        return (
+        line = (
             f"{self.completed}/{self.scheduled} profiles "
             f"({self.cache_hits} cached, {self.computed} computed, "
             f"hit rate {self.hit_rate:.0%}) in {self.elapsed_s:.2f}s"
         )
+        if self.fault_count:
+            line += (
+                f"; faults: {self.retries} retried, "
+                f"{self.permanent_failures} failed, "
+                f"{self.stragglers} straggled, "
+                f"{self.dropped_samples} samples dropped"
+            )
+        return line
 
 
 def metric_column(name: str) -> int:

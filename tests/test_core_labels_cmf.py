@@ -170,3 +170,85 @@ class TestCMF:
     def test_invalid_hyperparams(self, kwargs):
         with pytest.raises(ValidationError):
             CMF(**kwargs)
+
+
+class _ScriptedCMF(CMF):
+    """CMF whose objective replays a scripted sequence.
+
+    Lets the convergence predicate be tested against objective
+    trajectories that are awkward to produce from real gradient steps
+    (e.g. a slow finite rise).
+    """
+
+    def __init__(self, values, **kwargs):
+        super().__init__(**kwargs)
+        self._values = list(values)
+        self._calls = 0
+
+    def _objective(self, *args, **kwargs):
+        value = self._values[min(self._calls, len(self._values) - 1)]
+        self._calls += 1
+        return float(value)
+
+
+class TestCMFFalseConvergenceRegression:
+    """Regression: a *rising* objective must never be declared converged.
+
+    The old predicate was ``(past - obj) / past < tol``: for a rising
+    objective the left side is negative, so any slow finite divergence
+    satisfied it and the fit reported ``converged=True`` — silently
+    skipping the paper's Spark-CF non-convergence fallback.
+    """
+
+    @staticmethod
+    def _rising(n=64, start=100.0, rate=1.001):
+        return [start * rate**i for i in range(n)]
+
+    def test_old_predicate_would_have_accepted_the_rise(self):
+        # Documents the bug being regressed against: on this trajectory
+        # the old relative-improvement test fires as soon as the window
+        # fills, because the "improvement" is negative.
+        values = self._rising()
+        window, tol = 8, 2e-4
+        past, obj = values[0], values[window]
+        assert (past - obj) / past < tol  # old test: "converged"
+
+    def test_rising_objective_is_not_convergence(self):
+        U, V, full, mask = _toy_problem()
+        cmf = _ScriptedCMF(self._rising(), latent_dim=3, seed=1)
+        res = cmf.fit(U, V, full * mask, mask)
+        assert not res.converged
+
+    def test_rising_objective_triggers_divergence_fallback(self):
+        U, V, full, mask = _toy_problem()
+        cmf = _ScriptedCMF(
+            self._rising(), latent_dim=3, seed=1, raise_on_divergence=True
+        )
+        with pytest.raises(ConvergenceError):
+            cmf.fit(U, V, full * mask, mask)
+
+    def test_sustained_rise_stops_early(self):
+        U, V, full, mask = _toy_problem()
+        cmf = _ScriptedCMF(self._rising(), latent_dim=3, seed=1, max_epochs=2000)
+        res = cmf.fit(U, V, full * mask, mask)
+        # A whole window of consecutive rises aborts the attempt rather
+        # than grinding through all max_epochs.
+        assert len(res.objective_history) <= 16
+
+    def test_oscillating_rise_is_not_convergence(self):
+        # Up two, down one — net rising, never monotone for a full window.
+        values = [100.0]
+        for i in range(200):
+            step = 0.4 if i % 3 == 2 else -0.15
+            values.append(values[-1] * (1.0 - step / 100.0))
+        values = [v for v in values]
+        cmf = _ScriptedCMF(values, latent_dim=3, seed=1, max_epochs=150)
+        U, V, full, mask = _toy_problem()
+        res = cmf.fit(U, V, full * mask, mask)
+        assert not res.converged
+
+    def test_genuine_convergence_still_detected(self):
+        U, V, full, mask = _toy_problem()
+        res = CMF(latent_dim=3, seed=1).fit(U, V, full * mask, mask)
+        assert res.converged
+        assert res.objective_history[-1] < res.objective_history[0]

@@ -180,3 +180,65 @@ class TestTransferBehaviour:
             spec = get_workload(name)
             rec = fitted_vesta.select(spec)
             assert ground_truth.selection_error(spec, rec.vm_name) < 0.3
+
+
+class TestCorrelationProbeSelection:
+    """The family-spread subset used for correlation-signature profiling."""
+
+    def test_exact_count_when_enough_families(self):
+        from repro.cloud.vmtypes import catalog
+
+        vms = catalog()
+        sel = VestaSelector(vms=vms, correlation_probe_count=8)
+        picked = sel._corr_probe_vms()
+        assert len(picked) == 8
+        # One VM per family: with >= 8 families no family repeats.
+        assert len({vm.family for vm in picked}) == 8
+
+    @pytest.mark.parametrize("count", [1, 3, 5, 8, 12])
+    def test_exact_count_across_requests(self, count):
+        from repro.cloud.vmtypes import catalog
+
+        sel = VestaSelector(vms=catalog(), correlation_probe_count=count)
+        assert len(sel._corr_probe_vms()) == count
+
+    def test_topped_up_when_fewer_families_than_count(self):
+        from repro.cloud.vmtypes import catalog
+
+        # Restrict to two families; ask for more probes than families.
+        vms = tuple(vm for vm in catalog() if vm.family in ("M5", "C4"))
+        assert len({vm.family for vm in vms}) == 2
+        sel = VestaSelector(vms=vms, correlation_probe_count=5)
+        picked = sel._corr_probe_vms()
+        assert len(picked) == 5
+        assert len({vm.name for vm in picked}) == 5
+        # Every family is still represented before any is repeated.
+        assert {vm.family for vm in picked} == {"M5", "C4"}
+
+    def test_order_independent(self):
+        from repro.cloud.vmtypes import catalog
+
+        vms = catalog()
+        forward = VestaSelector(vms=vms, correlation_probe_count=8)
+        reverse = VestaSelector(
+            vms=tuple(reversed(vms)), correlation_probe_count=8
+        )
+        shuffled = VestaSelector(
+            vms=tuple(np.random.default_rng(3).permutation(np.array(vms, dtype=object))),
+            correlation_probe_count=8,
+        )
+        names = {vm.name for vm in forward._corr_probe_vms()}
+        assert {vm.name for vm in reverse._corr_probe_vms()} == names
+        assert {vm.name for vm in shuffled._corr_probe_vms()} == names
+
+    def test_prefers_mid_sizes(self):
+        from repro.cloud.vmtypes import SIZE_LADDER, catalog
+
+        sel = VestaSelector(vms=catalog(), correlation_probe_count=8)
+        ladder = list(SIZE_LADDER)
+        mid = ladder.index("xlarge")
+        for vm in sel._corr_probe_vms():
+            # Each pick is its family's closest-to-xlarge shape.
+            family = [v for v in catalog() if v.family == vm.family]
+            best = min(abs(ladder.index(v.size) - mid) for v in family)
+            assert abs(ladder.index(vm.size) - mid) == best
