@@ -9,7 +9,6 @@ headline claim: a warm cache beats the cold serial sweep by ≥2×.
 import time
 
 import numpy as np
-import pytest
 
 from repro.cloud.vmtypes import catalog
 from repro.telemetry.campaign import ProfilingCampaign

@@ -15,4 +15,7 @@ REPRO_PROFILE_JOBS=2 python -m pytest -q \
     tests/test_campaign_determinism.py \
     tests/test_profile_cache.py
 
+echo "== staged pipeline refit (warm-store >= 3x cold) =="
+python -m pytest -q benchmarks/bench_perf_refit.py
+
 echo "smoke OK"

@@ -98,5 +98,6 @@ def exhaustive_search(
         score = float(score_fn(subset))
         if score > best_score:
             best_subset, best_score = subset, score
-    assert best_subset is not None
+    if best_subset is None:
+        raise ValidationError("feature search scored no candidate subset")
     return best_subset, best_score

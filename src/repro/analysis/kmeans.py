@@ -143,7 +143,8 @@ class KMeans:
             result = self._lloyd(X, centers)
             if best is None or result[2] < best[2]:
                 best = result
-        assert best is not None
+        if best is None:
+            raise ValidationError("K-Means produced no candidate clustering (n_init < 1)")
         self.centers_, self.labels_, self.inertia_, self.n_iter_ = best
         return self
 

@@ -14,6 +14,8 @@ import numpy as np
 from repro.cloud.cluster import Cluster
 from repro.cloud.faults import FaultPlan
 from repro.cloud.vmtypes import VMType, catalog
+from repro.core.artifacts import ArtifactStore
+from repro.core.pipeline import shared_perf_rows
 from repro.errors import ValidationError
 from repro.telemetry.campaign import ProfileCache, ProfilingCampaign
 from repro.workloads.spec import WorkloadSpec
@@ -28,6 +30,11 @@ class GroundTruth:
     analytic simulator a full 100-type sweep costs tens of milliseconds,
     where the paper spent real EC2 hours — the one place the substitution
     buys tractability without changing semantics.
+
+    When an :class:`~repro.core.artifacts.ArtifactStore` is shared with a
+    fitted Vesta of the same campaign configuration and VM tuple, the
+    surfaces are served from the stored PerfMatrix artifact — identical
+    bytes, zero duplicate campaign runs.
     """
 
     def __init__(
@@ -39,6 +46,7 @@ class GroundTruth:
         jobs: int | None = None,
         cache: ProfileCache | str | None = None,
         faults: FaultPlan | None = None,
+        store: ArtifactStore | str | None = None,
     ) -> None:
         self.vms = catalog() if vms is None else tuple(vms)
         if not self.vms:
@@ -47,15 +55,21 @@ class GroundTruth:
             repetitions=repetitions, seed=seed, jobs=jobs, cache=cache, faults=faults
         )
         self.collector = self.campaign.collector
+        self.store = ArtifactStore(store) if isinstance(store, str) else store
         self._runtime_cache: dict[str, np.ndarray] = {}
         self._vm_index = {vm.name: i for i, vm in enumerate(self.vms)}
 
     def runtimes(self, spec: WorkloadSpec) -> np.ndarray:
-        """P90 runtime of ``spec`` on every VM type (cached)."""
+        """P90 runtime of ``spec`` on every VM type (cached).
+
+        Resolution order: the per-instance cache, a compatible PerfMatrix
+        artifact from the shared store, then the profiling campaign.
+        """
         if spec.name not in self._runtime_cache:
-            self._runtime_cache[spec.name] = self.campaign.runtime_matrix(
-                (spec,), self.vms
-            )[0]
+            row = shared_perf_rows(self.store, self.campaign, self.vms).get(spec.name)
+            if row is None:
+                row = self.campaign.runtime_matrix((spec,), self.vms)[0]
+            self._runtime_cache[spec.name] = row
         return self._runtime_cache[spec.name]
 
     def budgets(self, spec: WorkloadSpec) -> np.ndarray:

@@ -28,6 +28,8 @@ import numpy as np
 from repro.baselines.random_forest import RandomForestRegressor
 from repro.cloud.faults import FaultPlan
 from repro.cloud.vmtypes import VMType, catalog, get_vm_type
+from repro.core.artifacts import ArtifactStore
+from repro.core.pipeline import shared_perf_rows
 from repro.errors import ValidationError
 from repro.telemetry.campaign import ProfileCache, ProfilingCampaign
 from repro.telemetry.metrics import METRIC_INDEX
@@ -74,6 +76,11 @@ class Paris:
         Profiling-campaign parallelism, persistent profile cache, and
         optional fault-injection plan (see
         :class:`~repro.telemetry.campaign.ProfilingCampaign`).
+    store:
+        Optional :class:`~repro.core.artifacts.ArtifactStore` (or path)
+        shared with a fitted Vesta: training label rows and reference-VM
+        runtimes covered by a compatible PerfMatrix artifact are served
+        from the store instead of re-running the campaign.
     """
 
     def __init__(
@@ -87,6 +94,7 @@ class Paris:
         jobs: int | None = None,
         cache: ProfileCache | str | None = None,
         faults: FaultPlan | None = None,
+        store: ArtifactStore | str | None = None,
     ) -> None:
         self.vms = catalog() if vms is None else tuple(vms)
         if not self.vms:
@@ -98,6 +106,7 @@ class Paris:
             repetitions=repetitions, seed=seed, jobs=jobs, cache=cache, faults=faults
         )
         self.collector = self.campaign.collector
+        self.store = ArtifactStore(store) if isinstance(store, str) else store
         self.seed = seed
         self._forest = RandomForestRegressor(n_estimators=n_estimators, seed=seed)
         self._fitted = False
@@ -120,13 +129,20 @@ class Paris:
         Components: log-runtimes on the reference VMs, runtime ratios
         (shape of the response), and mean low-level utilizations from the
         first reference run — the "low-level metrics" the paper says do
-        not transfer across frameworks.
+        not transfer across frameworks.  The first reference needs a full
+        profile (timeseries); the remaining runtime-only references are
+        served from a shared PerfMatrix artifact when one covers them.
         """
         profile = self.campaign.collect(spec, self.reference_vms[0])
+        shared_row = shared_perf_rows(self.store, self.campaign, self.vms).get(
+            spec.name
+        )
         runtimes = [profile.runtime_p90]
-        runtimes += [
-            self.campaign.runtime_only(spec, vm) for vm in self.reference_vms[1:]
-        ]
+        for vm in self.reference_vms[1:]:
+            if shared_row is not None and vm.name in self._vm_index:
+                runtimes.append(float(shared_row[self._vm_index[vm.name]]))
+            else:
+                runtimes.append(self.campaign.runtime_only(spec, vm))
         runtimes = np.asarray(runtimes)
         cols = [METRIC_INDEX[m] for m in _FINGERPRINT_METRICS]
         utils = profile.timeseries[:, cols].mean(axis=0)
@@ -154,7 +170,18 @@ class Paris:
             raise ValidationError("need at least one training workload")
         X_rows: list[np.ndarray] = []
         y_rows: list[np.ndarray] = []
-        label_matrix = self.campaign.runtime_matrix(tuple(workloads), self.vms)
+        # Label rows covered by a shared PerfMatrix artifact are reused
+        # verbatim (the campaign is deterministic, so the bytes match);
+        # only the remainder is profiled.
+        shared = shared_perf_rows(self.store, self.campaign, self.vms)
+        rows = {name: row for name, row in shared.items()}
+        missing = tuple(spec for spec in workloads if spec.name not in rows)
+        if missing:
+            for spec, row in zip(
+                missing, self.campaign.runtime_matrix(missing, self.vms)
+            ):
+                rows[spec.name] = row
+        label_matrix = np.vstack([rows[spec.name] for spec in workloads])
         for spec, runtimes in zip(workloads, label_matrix):
             fp = self.fingerprint(spec)
             X_rows.append(self._rows_for(fp))

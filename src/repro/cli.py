@@ -9,6 +9,7 @@ Commands
 ``select``        fit Vesta and recommend a VM type for a workload
 ``experiment``    regenerate one paper artifact (``fig06``, ``tab01``, ...)
 ``latency``       batch-latency/throughput report for a workload on VM types
+``stages``        inspect or invalidate stage artifacts in an artifact store
 
 The CLI is a thin shell over the library — every command maps to public
 API calls documented in the README.
@@ -112,9 +113,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection plan, e.g. 'transient=0.2,straggle=0.1,seed=3' "
              "(default: REPRO_FAULT_* environment, else none)",
     )
+    p_sel.add_argument(
+        "--store", default=None,
+        help="stage-artifact store sqlite path: pipeline stages unchanged "
+             "since the last fit against this store are reused (default: none)",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     p_exp.add_argument("id", choices=sorted(EXPERIMENT_IDS), help="artifact id")
+    p_exp.add_argument(
+        "--store", default=None,
+        help="stage-artifact store sqlite path shared by the experiment "
+             "fixtures (default: REPRO_ARTIFACT_STORE environment, else "
+             "one in-memory store per process)",
+    )
+
+    p_stage = sub.add_parser(
+        "stages", help="inspect or invalidate stage artifacts in a store"
+    )
+    p_stage.add_argument("--store", required=True, help="artifact store sqlite path")
+    p_stage.add_argument(
+        "--invalidate", nargs="?", const="all", default=None, metavar="STAGE",
+        help="delete stored artifacts: a stage name (e.g. affinity_v) "
+             "or, with no value, every stage",
+    )
 
     p_lat = sub.add_parser(
         "latency", help="batch-latency/throughput report (Section 7 extension)"
@@ -234,8 +256,14 @@ def _cmd_select(args: argparse.Namespace) -> int:
     spec = get_workload(args.workload)
     print("fitting offline knowledge (source workloads x full catalog)...")
     vesta = VestaSelector(
-        seed=args.seed, jobs=args.jobs, cache=args.cache, faults=_fault_plan(args)
+        seed=args.seed, jobs=args.jobs, cache=args.cache, faults=_fault_plan(args),
+        store=args.store,
     ).fit()
+    if args.store:
+        reused = [
+            name for name, r in vesta.stage_report.items() if r.action != "computed"
+        ]
+        print(f"   stages reused from store: {', '.join(reused) or '(none)'}")
     session = vesta.online(spec)
     rec = session.recommend(args.objective)
     print(f"\nrecommended VM type for {spec.name} ({args.objective}): {rec.vm_name}")
@@ -280,12 +308,52 @@ def _cmd_latency(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     import importlib
+    import os
 
+    if args.store:
+        # The experiment fixtures key on the resolved environment, so
+        # this takes effect even if fixtures were already built.
+        os.environ["REPRO_ARTIFACT_STORE"] = args.store
     module = importlib.import_module(
         f"repro.experiments.{EXPERIMENT_IDS[args.id]}"
     )
     result = module.run()
     print(module.format_table(result))
+    return 0
+
+
+def _cmd_stages(args: argparse.Namespace) -> int:
+    from repro.core.artifacts import ArtifactStore
+    from repro.core.pipeline import STAGES
+
+    if args.invalidate is not None and args.invalidate not in ("all", *STAGES):
+        print(
+            f"unknown stage {args.invalidate!r}; "
+            f"expected one of: {', '.join(STAGES)}",
+            file=sys.stderr,
+        )
+        return 2
+    with ArtifactStore(args.store) as store:
+        if store.recovered:
+            print(f"note: store at {args.store} was corrupt and has been reset")
+        if args.invalidate is not None:
+            stage = None if args.invalidate == "all" else args.invalidate
+            removed = store.invalidate(stage)
+            print(f"invalidated {removed} artifact(s)"
+                  f"{'' if stage is None else f' of stage {stage}'}")
+            return 0
+        entries = store.entries()
+        print(f"store: {args.store} ({len(entries)} artifact(s))")
+        print(f"{'stage':18s} {'artifacts':>9s} {'bytes':>10s}")
+        by_stage = {name: [] for name in STAGES}
+        for entry in entries:
+            by_stage.setdefault(entry.stage, []).append(entry)
+        for stage, rows in by_stage.items():
+            if not rows:
+                continue
+            print(f"{stage:18s} {len(rows):>9d} {sum(r.nbytes for r in rows):>10d}")
+            for row in rows:
+                print(f"   {row.key[:16]}...  {row.nbytes:>8d} B")
     return 0
 
 
@@ -300,6 +368,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "select": _cmd_select,
         "experiment": _cmd_experiment,
         "latency": _cmd_latency,
+        "stages": _cmd_stages,
     }[args.command]
     return handler(args)
 

@@ -18,11 +18,13 @@
   selection, the Table-1 iteration-to-parallelism extension.
 """
 
+from repro.core.artifacts import Artifact, ArtifactInfo, ArtifactStore
 from repro.core.cluster_sizing import ClusterChoice, ClusterSizer
 from repro.core.cmf import CMF, CMFResult
 from repro.core.continual import ContinualVesta
 from repro.core.graph import KnowledgeGraph
 from repro.core.labels import LabelSpace
+from repro.core.pipeline import KnowledgePipeline, StageResult
 from repro.core.predictor import SimilarityPredictor
 from repro.core.sandbox import choose_probe_vms, choose_sandbox_vm
 from repro.core.vesta import OnlineSession, Recommendation, VestaSelector
@@ -31,6 +33,11 @@ from repro.core.persistence import load_selector, save_selector
 __all__ = [
     "load_selector",
     "save_selector",
+    "Artifact",
+    "ArtifactInfo",
+    "ArtifactStore",
+    "KnowledgePipeline",
+    "StageResult",
     "CMF",
     "ClusterChoice",
     "ClusterSizer",

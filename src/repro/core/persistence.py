@@ -14,6 +14,16 @@ from the stored knowledge.  This module saves/loads everything
 Format: a single ``.npz`` archive (NumPy arrays + a JSON metadata blob),
 no pickling — loadable across Python versions and safe to share.
 
+Version 2 archives mirror the staged pipeline of
+:mod:`repro.core.pipeline`: arrays are namespaced per stage
+(``"affinity_v.V"``) and the metadata records each stage's
+content fingerprint at save time.  Loading routes every stage through
+the pipeline's own apply-time validation and *adopts* the artifacts
+under their archived fingerprints, so a
+:meth:`~repro.core.vesta.VestaSelector.refit` right after a load reuses
+the archived stages instead of re-running the profiling campaign.
+Version 1 archives (flat array names, pre-pipeline) remain loadable.
+
 Loading re-binds the stored workload/VM names against the current
 catalogs and rebuilds the knowledge graph and predictor; a mismatch (e.g.
 a VM type missing from the catalog) fails loudly rather than silently
@@ -30,8 +40,10 @@ import numpy as np
 from repro.analysis.kmeans import KMeans
 from repro.cloud.faults import FaultPlan
 from repro.cloud.vmtypes import get_vm_type
+from repro.core.artifacts import ArtifactStore
 from repro.core.graph import KnowledgeGraph
 from repro.core.labels import LabelSpace
+from repro.core.pipeline import CACHED_STAGES, STAGES
 from repro.core.predictor import SimilarityPredictor
 from repro.core.vesta import VestaSelector
 from repro.errors import ValidationError
@@ -40,9 +52,9 @@ from repro.workloads.catalog import get_workload
 
 __all__ = ["save_selector", "load_selector", "FORMAT_VERSION"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
-_HYPERPARAMS = (
+_HYPERPARAMS_V1 = (
     "k",
     "lam",
     "latent_dim",
@@ -55,6 +67,27 @@ _HYPERPARAMS = (
     "affinity_weight",
     "seed",
 )
+
+_HYPERPARAMS = _HYPERPARAMS_V1 + ("label_width", "label_softness")
+
+
+def _stage_arrays(selector: VestaSelector) -> dict[str, dict[str, np.ndarray]]:
+    """The fitted selector's state, bundled per pipeline stage."""
+    return {
+        "perf_matrix": {"perf": selector.perf},
+        "corr_signatures": {"correlations": selector.correlations},
+        "feature_selection": {
+            "kept_features": np.asarray(selector.kept_features, dtype=np.int64),
+            "feature_importance": selector.feature_importance,
+        },
+        "labels_u": {"U": selector.U},
+        "affinity_v": {
+            "near_best": selector.near_best,
+            "V": selector.V,
+            "kmeans_centers": selector.kmeans.centers_,
+            "vm_clusters": np.asarray(selector.vm_clusters, dtype=np.int64),
+        },
+    }
 
 
 def save_selector(selector: VestaSelector, path: str | Path) -> Path:
@@ -75,73 +108,27 @@ def save_selector(selector: VestaSelector, path: str | Path) -> Path:
         "sources": [w.name for w in selector.sources],
         "vms": [vm.name for vm in selector.vms],
         "label_features": list(selector.label_space.feature_names),
-        "label_width": selector.label_space.width,
-        "label_softness": selector.label_space.softness,
+        "stage_fingerprints": selector.pipeline.fingerprints(),
     }
     np.savez_compressed(
         path,
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        perf=selector.perf,
-        correlations=selector.correlations,
-        kept_features=np.asarray(selector.kept_features, dtype=np.int64),
-        feature_importance=selector.feature_importance,
-        U=selector.U,
-        V=selector.V,
-        near_best=selector.near_best,
-        kmeans_centers=selector.kmeans.centers_,
-        vm_clusters=np.asarray(selector.vm_clusters, dtype=np.int64),
+        **{
+            f"{stage}.{name}": array
+            for stage, bundle in _stage_arrays(selector).items()
+            for name, array in bundle.items()
+        },
     )
     # np.savez appends .npz when missing; normalise the returned path.
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
 
 
-def load_selector(
-    path: str | Path,
-    *,
-    jobs: int | None = None,
-    cache: ProfileCache | str | None = None,
-    faults: FaultPlan | None = None,
-) -> VestaSelector:
-    """Rebuild a fitted :class:`VestaSelector` from a saved archive.
-
-    ``jobs``, ``cache`` and ``faults`` configure the rebuilt selector's
-    profiling campaign (the knowledge itself is restored from the
-    archive): a production deployment loads the fitted knowledge once and
-    serves online sessions under its own parallelism/cache/fault-plan
-    settings.
-
-    Raises
-    ------
-    ValidationError
-        On format-version mismatch or when a stored workload/VM name is
-        absent from the current catalogs.
-    """
-    path = Path(path)
-    with np.load(path) as data:
-        meta = json.loads(bytes(data["meta"]).decode())
-        if meta.get("format_version") != FORMAT_VERSION:
-            raise ValidationError(
-                f"unsupported archive version {meta.get('format_version')!r}; "
-                f"this build reads version {FORMAT_VERSION}"
-            )
-        arrays = {key: data[key] for key in data.files if key != "meta"}
-
-    try:
-        sources = tuple(get_workload(name) for name in meta["sources"])
-        vms = tuple(get_vm_type(name) for name in meta["vms"])
-    except Exception as exc:
-        raise ValidationError(f"archive references unknown catalog entries: {exc}") from exc
-
-    hp = meta["hyperparams"]
-    selector = VestaSelector(
-        vms=vms,
-        sources=sources,
-        repetitions=meta["repetitions"],
-        jobs=jobs,
-        cache=cache,
-        faults=faults,
-        **{name: hp[name] for name in _HYPERPARAMS},
-    )
+def _restore_v1(
+    selector: VestaSelector, meta: dict, arrays: dict[str, np.ndarray]
+) -> None:
+    """Flat pre-pipeline layout: rebind arrays directly onto the selector."""
+    selector.label_width = float(meta["label_width"])
+    selector.label_softness = int(meta["label_softness"])
 
     selector.perf = arrays["perf"]
     selector.correlations = arrays["correlations"]
@@ -157,19 +144,20 @@ def load_selector(
         width=meta["label_width"],
         softness=meta["label_softness"],
     )
-    if selector.U.shape != (len(sources), selector.label_space.n_labels):
+    if selector.U.shape != (len(selector.sources), selector.label_space.n_labels):
         raise ValidationError(
             f"archive U shape {selector.U.shape} inconsistent with "
-            f"{len(sources)} sources x {selector.label_space.n_labels} labels"
+            f"{len(selector.sources)} sources x "
+            f"{selector.label_space.n_labels} labels"
         )
 
-    kmeans = KMeans(arrays["kmeans_centers"].shape[0], seed=hp["seed"])
+    kmeans = KMeans(arrays["kmeans_centers"].shape[0], seed=selector.seed)
     kmeans.centers_ = arrays["kmeans_centers"]
     kmeans.labels_ = selector.vm_clusters
     selector.kmeans = kmeans
 
     selector.graph = KnowledgeGraph(
-        selector.label_space, tuple(vm.name for vm in vms)
+        selector.label_space, tuple(vm.name for vm in selector.vms)
     )
     for spec, row in zip(selector.sources, selector.U):
         selector.graph.add_source_workload(spec.name, row)
@@ -181,5 +169,89 @@ def load_selector(
         top_m=selector.top_m,
         temperature=selector.temperature,
     )
+
+
+def _restore_v2(
+    selector: VestaSelector, meta: dict, arrays: dict[str, np.ndarray]
+) -> None:
+    """Staged layout: route every stage through the pipeline's validation
+    and adopt the artifacts under their archived fingerprints."""
+    fingerprints = meta.get("stage_fingerprints", {})
+    for stage in STAGES:
+        if stage in CACHED_STAGES:
+            prefix = stage + "."
+            bundle = {
+                name[len(prefix):]: array
+                for name, array in arrays.items()
+                if name.startswith(prefix)
+            }
+            if not bundle:
+                raise ValidationError(f"archive has no arrays for stage {stage!r}")
+        else:
+            bundle = {}
+        selector.pipeline.restore(
+            stage, bundle, fingerprint=fingerprints.get(stage)
+        )
+
+
+def load_selector(
+    path: str | Path,
+    *,
+    jobs: int | None = None,
+    cache: ProfileCache | str | None = None,
+    faults: FaultPlan | None = None,
+    store: ArtifactStore | str | None = None,
+) -> VestaSelector:
+    """Rebuild a fitted :class:`VestaSelector` from a saved archive.
+
+    ``jobs``, ``cache``, ``faults`` and ``store`` configure the rebuilt
+    selector's profiling campaign and artifact store (the knowledge
+    itself is restored from the archive): a production deployment loads
+    the fitted knowledge once and serves online sessions under its own
+    parallelism/cache/fault-plan settings.  With a version-2 archive the
+    restored stage artifacts are adopted into the selector's pipeline
+    (and ``store``, when given), so a subsequent
+    :meth:`~repro.core.vesta.VestaSelector.refit` reuses them.
+
+    Raises
+    ------
+    ValidationError
+        On format-version mismatch or when a stored workload/VM name is
+        absent from the current catalogs.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        version = meta.get("format_version")
+        if version not in (1, FORMAT_VERSION):
+            raise ValidationError(
+                f"unsupported archive version {version!r}; "
+                f"this build reads versions 1..{FORMAT_VERSION}"
+            )
+        arrays = {key: data[key] for key in data.files if key != "meta"}
+
+    try:
+        sources = tuple(get_workload(name) for name in meta["sources"])
+        vms = tuple(get_vm_type(name) for name in meta["vms"])
+    except Exception as exc:
+        raise ValidationError(f"archive references unknown catalog entries: {exc}") from exc
+
+    hp = meta["hyperparams"]
+    names = _HYPERPARAMS if version == FORMAT_VERSION else _HYPERPARAMS_V1
+    selector = VestaSelector(
+        vms=vms,
+        sources=sources,
+        repetitions=meta["repetitions"],
+        jobs=jobs,
+        cache=cache,
+        faults=faults,
+        store=store,
+        **{name: hp[name] for name in names},
+    )
+
+    if version == 1:
+        _restore_v1(selector, meta, arrays)
+    else:
+        _restore_v2(selector, meta, arrays)
     selector._fitted = True
     return selector

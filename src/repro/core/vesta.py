@@ -41,25 +41,41 @@ from repro.analysis.correlation import (
     aggregate_correlation_vectors,
     correlation_vector,
 )
-from repro.analysis.feature_selection import select_by_importance
-from repro.analysis.kmeans import KMeans
+from repro.analysis.intervals import INTERVAL_WIDTH
 from repro.cloud.cluster import Cluster
 from repro.cloud.faults import FaultEvent, FaultPlan
 from repro.cloud.vmtypes import SIZE_LADDER, VMType, catalog
+from repro.core.artifacts import ArtifactStore
 from repro.core.cmf import CMF
-from repro.core.graph import KnowledgeGraph
-from repro.core.labels import LabelSpace
-from repro.core.predictor import SimilarityPredictor
+from repro.core.pipeline import NEAR_BEST_TAU, KnowledgePipeline
 from repro.core.sandbox import choose_probe_vms, choose_sandbox_vm
 from repro.errors import ProbeFailedError, ValidationError
 from repro.telemetry.campaign import ProfileCache, ProfilingCampaign
 from repro.workloads.catalog import training_set
 from repro.workloads.spec import WorkloadSpec
 
-__all__ = ["VestaSelector", "OnlineSession", "Recommendation"]
+__all__ = ["VestaSelector", "OnlineSession", "Recommendation", "NEAR_BEST_TAU"]
 
-#: Softness of the near-best score: nb = exp(-slowdown / NEAR_BEST_TAU).
-NEAR_BEST_TAU = 0.3
+#: Hyperparameters :meth:`VestaSelector.refit` may change.  Everything
+#: that defines the profiling campaign itself (seed, repetitions, VM and
+#: source sets, fault plan) is fixed at construction: changing those is a
+#: new selector, not a refit.
+REFIT_PARAMS: frozenset[str] = frozenset(
+    {
+        "k",
+        "lam",
+        "latent_dim",
+        "keep_mass",
+        "probes",
+        "correlation_probe_count",
+        "top_m",
+        "temperature",
+        "match_threshold",
+        "affinity_weight",
+        "label_width",
+        "label_softness",
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -195,7 +211,8 @@ class OnlineSession:
 
     @property
     def completed_row(self) -> np.ndarray:
-        assert self._row is not None
+        if self._row is None:
+            raise ValidationError("online session is not initialized")
         return self._row
 
     @property
@@ -358,6 +375,9 @@ class VestaSelector:
     affinity_weight:
         Log-space weight of the label→VM affinity path in runtime
         prediction (0 = profile transfer only, 1 = affinity only).
+    label_width, label_softness:
+        Interval width (paper: 0.05) and soft-membership kernel radius of
+        the label universe (see :class:`~repro.core.labels.LabelSpace`).
     seed:
         Master seed for every stochastic component.
     jobs:
@@ -372,6 +392,12 @@ class VestaSelector:
         profiling campaign.  The default fault-free plan leaves every
         result bit-identical; an enabled plan exercises the retry and
         online-degradation paths (see :class:`OnlineSession`).
+    store:
+        Optional :class:`~repro.core.artifacts.ArtifactStore` (or sqlite
+        path) holding content-addressed stage artifacts.  :meth:`fit`
+        reuses any stored stage whose fingerprint matches and persists
+        the stages it computes, so fitted knowledge is shared across
+        processes and :meth:`refit` sweeps stay warm across runs.
     """
 
     def __init__(
@@ -390,10 +416,13 @@ class VestaSelector:
         temperature: float = 0.3,
         match_threshold: float = 0.35,
         affinity_weight: float = 0.25,
+        label_width: float = INTERVAL_WIDTH,
+        label_softness: int = 2,
         seed: int = 0,
         jobs: int | None = None,
         cache: ProfileCache | str | None = None,
         faults: FaultPlan | None = None,
+        store: ArtifactStore | str | None = None,
     ) -> None:
         self.vms = catalog() if vms is None else tuple(vms)
         if not self.vms:
@@ -401,12 +430,13 @@ class VestaSelector:
         self.sources = training_set() if sources is None else tuple(sources)
         if not self.sources:
             raise ValidationError("need at least one source workload")
-        if k < 1:
-            raise ValidationError("k must be >= 1")
-        if probes < 0:
-            raise ValidationError("probes must be >= 0")
-        if correlation_probe_count < 1:
-            raise ValidationError("correlation_probe_count must be >= 1")
+        self._validate_hyperparams(
+            k=k,
+            probes=probes,
+            correlation_probe_count=correlation_probe_count,
+            label_width=label_width,
+            label_softness=label_softness,
+        )
         self.k = k
         self.lam = lam
         self.latent_dim = latent_dim
@@ -417,14 +447,44 @@ class VestaSelector:
         self.temperature = temperature
         self.match_threshold = match_threshold
         self.affinity_weight = affinity_weight
+        self.label_width = label_width
+        self.label_softness = label_softness
         self.seed = seed
         self.campaign = ProfilingCampaign(
             repetitions=repetitions, seed=seed, jobs=jobs, cache=cache, faults=faults
         )
         self.collector = self.campaign.collector
+        if store is None or isinstance(store, ArtifactStore):
+            self.store = store
+        else:
+            self.store = ArtifactStore(str(store))
+        self.pipeline = KnowledgePipeline(self)
 
         self._vm_index = {vm.name: i for i, vm in enumerate(self.vms)}
         self._fitted = False
+
+    @staticmethod
+    def _validate_hyperparams(**params) -> None:
+        """Shared precondition checks for ``__init__`` and :meth:`refit`."""
+        checks = {
+            "k": lambda v: v >= 1,
+            "probes": lambda v: v >= 0,
+            "correlation_probe_count": lambda v: v >= 1,
+            "label_width": lambda v: 0 < v <= 2.0,
+            "label_softness": lambda v: v >= 0,
+            "keep_mass": lambda v: 0 < v <= 1.0,
+        }
+        bounds = {
+            "k": "k must be >= 1",
+            "probes": "probes must be >= 0",
+            "correlation_probe_count": "correlation_probe_count must be >= 1",
+            "label_width": "label_width must be in (0, 2]",
+            "label_softness": "label_softness must be >= 0",
+            "keep_mass": "keep_mass must be in (0, 1]",
+        }
+        for name, value in params.items():
+            if name in checks and not checks[name](value):
+                raise ValidationError(bounds[name])
 
     # -- helpers ----------------------------------------------------------------
 
@@ -504,64 +564,46 @@ class VestaSelector:
     # -- offline phase ---------------------------------------------------------------
 
     def fit(self) -> "VestaSelector":
-        """Run the offline profiling + knowledge-abstraction pipeline."""
-        n_src, n_vm = len(self.sources), len(self.vms)
+        """Run the offline profiling + knowledge-abstraction pipeline.
 
-        # 1. Performance matrix P: P90 runtime of each source on each VM.
-        #    The campaign fans the grid out over worker processes and
-        #    memoizes; per-triple stream seeds keep it bit-identical to
-        #    the serial Data-Collector loop.
-        self.perf = self.campaign.runtime_matrix(self.sources, self.vms)
-        assert self.perf.shape == (n_src, n_vm)
+        Executes the staged knowledge pipeline (see
+        :class:`~repro.core.pipeline.KnowledgePipeline`): performance
+        matrix P → correlation signatures → PCA feature selection →
+        label matrix U → K-Means-smoothed affinity matrix V → knowledge
+        graph and predictor.  Stages whose content-addressed fingerprints
+        match an artifact in :attr:`store` (or the in-process cache) are
+        reused; outputs are bit-identical to running every stage fresh.
+        :attr:`stage_report` records how each stage was satisfied.
+        """
+        self.stage_report = self.pipeline.run()
+        self._fitted = True
+        return self
 
-        # 2. Correlation signatures from time-series profiles.  Prefetch
-        #    the whole (source × probe-VM) grid in parallel so the
-        #    per-source signature loop below is all memo hits.
-        corr_vms = self._corr_probe_vms()
-        self.campaign.collect_grid(self.sources, corr_vms)
-        corr_matrix = np.empty((n_src, len(self.signature_names())))
-        for i, spec in enumerate(self.sources):
-            corr_matrix[i] = self._source_signature(spec, corr_vms)
-        self.correlations = corr_matrix
+    def refit(self, **hyperparams) -> "VestaSelector":
+        """Change downstream hyperparameters and rebuild only what moved.
 
-        # 3. PCA importance filtering (Figure 9).
-        kept, importance = select_by_importance(corr_matrix, keep_mass=self.keep_mass)
-        self.kept_features = kept
-        self.feature_importance = importance
-        kept_names = tuple(self.signature_names()[i] for i in kept)
+        Accepts any subset of :data:`REFIT_PARAMS` as keyword arguments
+        (e.g. ``refit(k=7)`` for the Figure 11 sweep, or
+        ``refit(keep_mass=0.6)``, ``refit(label_width=0.1)`` for the
+        ablations) and re-executes the stage graph: only the stages whose
+        fingerprints changed are recomputed — a new ``k`` reuses P, the
+        correlations, the PCA selection and U; a purely-online knob such
+        as ``lam`` or ``probes`` recomputes no cached stage at all (only
+        the cheap in-memory graph and predictor are rebuilt).
 
-        # 4. Label universe and source workload-label matrix U.
-        self.label_space = LabelSpace(kept_names)
-        self.U = self.label_space.membership_matrix(corr_matrix[:, kept])
-
-        # 5. Near-best scores and the K-Means-smoothed label-VM matrix V.
-        best = self.perf.min(axis=1, keepdims=True)
-        slowdown = self.perf / best - 1.0
-        self.near_best = np.exp(-slowdown / NEAR_BEST_TAU)  # (sources, vms)
-
-        label_mass = self.U.sum(axis=0)  # (labels,)
-        v_raw = (self.near_best.T @ self.U) / np.where(label_mass > 0, label_mass, 1.0)
-
-        km_features = self.near_best.T  # VM described by how it serves sources
-        self.kmeans = KMeans(min(self.k, n_vm), seed=self.seed).fit(km_features)
-        self.vm_clusters = self.kmeans.labels_
-        self.V = np.empty_like(v_raw)
-        for c in range(self.kmeans.k):
-            members = self.vm_clusters == c
-            if members.any():
-                self.V[members] = v_raw[members].mean(axis=0)
-
-        # 6. Knowledge graph (Figure 4) and the similarity predictor.
-        self.graph = KnowledgeGraph(
-            self.label_space, tuple(vm.name for vm in self.vms)
-        )
-        for spec, row in zip(self.sources, self.U):
-            self.graph.add_source_workload(spec.name, row)
-        self.graph.set_label_vm_matrix(self.V)
-
-        self.predictor = SimilarityPredictor(
-            self.perf, self.U, top_m=self.top_m, temperature=self.temperature
-        )
+        Campaign-defining parameters (seed, repetitions, sources, VM set,
+        fault plan) cannot be refit: construct a new selector instead.
+        """
+        unknown = set(hyperparams) - REFIT_PARAMS
+        if unknown:
+            raise ValidationError(
+                f"cannot refit {sorted(unknown)}; refittable hyperparameters "
+                f"are {sorted(REFIT_PARAMS)}"
+            )
+        self._validate_hyperparams(**hyperparams)
+        for name, value in hyperparams.items():
+            setattr(self, name, value)
+        self.stage_report = self.pipeline.run()
         self._fitted = True
         return self
 

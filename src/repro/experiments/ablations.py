@@ -11,6 +11,10 @@ panel:
 - ``compare_feature_sets``: the paper's core claim — correlation-similarity
   features vs raw low-level-metric features for the cross-framework
   transfer.
+
+Every sweep fits one selector and steps it through the values with
+:meth:`~repro.core.vesta.VestaSelector.refit`, so the profiling campaign
+and every stage upstream of the varied knob run once per sweep.
 """
 
 from __future__ import annotations
@@ -19,9 +23,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.labels import LabelSpace
 from repro.core.vesta import VestaSelector
-from repro.experiments.common import DEFAULT_SEED, mape_vs_best
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    campaign_options,
+    mape_vs_best,
+    shared_store,
+)
 from repro.telemetry.metrics import METRIC_NAMES
 from repro.workloads.catalog import target_set
 
@@ -71,15 +79,24 @@ def _panel_mape(vesta: VestaSelector, seed: int) -> float:
     )
 
 
+def _sweep(label: str, param: str, values: tuple, seed: int) -> SweepResult:
+    """Fit once, then step ``param`` through ``values`` via ``refit``."""
+    vesta = VestaSelector(
+        seed=seed, store=shared_store(), **campaign_options(), **{param: values[0]}
+    ).fit()
+    scores = [_panel_mape(vesta, seed)]
+    for value in values[1:]:
+        vesta.refit(**{param: value})
+        scores.append(_panel_mape(vesta, seed))
+    return SweepResult(label, values, tuple(scores))
+
+
 def sweep_lambda(
     values: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
     seed: int = DEFAULT_SEED,
 ) -> SweepResult:
     """CMF λ: the paper's tradeoff between U- and V-knowledge fidelity."""
-    scores = [
-        _panel_mape(VestaSelector(seed=seed, lam=lam).fit(), seed) for lam in values
-    ]
-    return SweepResult("lambda", values, tuple(scores))
+    return _sweep("lambda", "lam", values, seed)
 
 
 def sweep_probes(
@@ -87,10 +104,7 @@ def sweep_probes(
     seed: int = DEFAULT_SEED,
 ) -> SweepResult:
     """Online probe count: accuracy vs the Figure-8 overhead currency."""
-    scores = [
-        _panel_mape(VestaSelector(seed=seed, probes=p).fit(), seed) for p in values
-    ]
-    return SweepResult("probes", values, tuple(scores))
+    return _sweep("probes", "probes", values, seed)
 
 
 def sweep_latent_dim(
@@ -98,52 +112,7 @@ def sweep_latent_dim(
     seed: int = DEFAULT_SEED,
 ) -> SweepResult:
     """CMF latent feature count g (Section 3.3's shared representation)."""
-    scores = [
-        _panel_mape(VestaSelector(seed=seed, latent_dim=g).fit(), seed) for g in values
-    ]
-    return SweepResult("latent_dim", values, tuple(scores))
-
-
-class _WidthVesta(VestaSelector):
-    """Vesta with a non-default label interval width."""
-
-    def __init__(self, width: float, **kwargs) -> None:
-        self._width = width
-        super().__init__(**kwargs)
-
-    def fit(self) -> "VestaSelector":
-        super().fit()
-        # Rebuild the label layer at the requested width and refit the
-        # downstream knowledge on the already-collected profiling data.
-        self.label_space = LabelSpace(
-            tuple(self.label_space.feature_names), width=self._width
-        )
-        self._rebuild_knowledge()
-        return self
-
-    def _rebuild_knowledge(self) -> None:
-        from repro.core.graph import KnowledgeGraph
-        from repro.core.predictor import SimilarityPredictor
-
-        self.U = self.label_space.membership_matrix(
-            self.correlations[:, self.kept_features]
-        )
-        label_mass = self.U.sum(axis=0)
-        v_raw = (self.near_best.T @ self.U) / np.where(label_mass > 0, label_mass, 1.0)
-        self.V = v_raw.copy()
-        for c in range(self.kmeans.k):
-            members = self.vm_clusters == c
-            if members.any():
-                self.V[members] = v_raw[members].mean(axis=0)
-        self.graph = KnowledgeGraph(
-            self.label_space, tuple(vm.name for vm in self.vms)
-        )
-        for spec, row in zip(self.sources, self.U):
-            self.graph.add_source_workload(spec.name, row)
-        self.graph.set_label_vm_matrix(self.V)
-        self.predictor = SimilarityPredictor(
-            self.perf, self.U, top_m=self.top_m, temperature=self.temperature
-        )
+    return _sweep("latent_dim", "latent_dim", values, seed)
 
 
 def sweep_interval_width(
@@ -151,10 +120,7 @@ def sweep_interval_width(
     seed: int = DEFAULT_SEED,
 ) -> SweepResult:
     """Label interval width: finer labels are more specific but sparser."""
-    scores = [
-        _panel_mape(_WidthVesta(width=w, seed=seed).fit(), seed) for w in values
-    ]
-    return SweepResult("interval_width", values, tuple(scores))
+    return _sweep("interval_width", "label_width", values, seed)
 
 
 class RawMetricVesta(VestaSelector):
@@ -199,9 +165,20 @@ class RawMetricVesta(VestaSelector):
 
 
 def compare_feature_sets(seed: int = DEFAULT_SEED) -> SweepResult:
-    """Correlation-similarity features vs raw low-level metric levels."""
-    corr_score = _panel_mape(VestaSelector(seed=seed).fit(), seed)
-    raw_score = _panel_mape(RawMetricVesta(seed=seed).fit(), seed)
+    """Correlation-similarity features vs raw low-level metric levels.
+
+    Both variants share the artifact store: the PerfMatrix stage is
+    signature-independent, so the raw-metric fit reuses the stock fit's
+    performance matrix and only re-runs the correlation stage onward.
+    """
+    options = campaign_options()
+    store = shared_store()
+    corr_score = _panel_mape(
+        VestaSelector(seed=seed, store=store, **options).fit(), seed
+    )
+    raw_score = _panel_mape(
+        RawMetricVesta(seed=seed, store=store, **options).fit(), seed
+    )
     return SweepResult(
         "features", ("correlation-labels", "raw-low-level"), (corr_score, raw_score)
     )

@@ -30,6 +30,7 @@ from repro.baselines.ernest import Ernest
 from repro.baselines.ground_truth import GroundTruth
 from repro.baselines.paris import Paris
 from repro.cloud.faults import FaultPlan
+from repro.core.artifacts import ArtifactStore
 from repro.core.vesta import VestaSelector
 from repro.workloads.catalog import training_set
 from repro.workloads.spec import WorkloadSpec
@@ -37,6 +38,7 @@ from repro.workloads.spec import WorkloadSpec
 __all__ = [
     "DEFAULT_SEED",
     "campaign_options",
+    "shared_store",
     "ground_truth",
     "fitted_vesta",
     "fitted_paris",
@@ -59,10 +61,13 @@ def campaign_options() -> dict:
     - ``REPRO_PROFILE_CACHE`` — persistent profile-cache sqlite path
       (default: in-process memoization only);
     - ``REPRO_FAULT_*`` — fault-injection plan (see
-      :meth:`repro.cloud.faults.FaultPlan.from_env`; default: none).
+      :meth:`repro.cloud.faults.FaultPlan.from_env`; default: none);
+    - ``REPRO_ARTIFACT_STORE`` — stage-artifact store sqlite path for
+      :func:`shared_store` (default: one in-memory store per process).
 
-    Note the fixtures below are ``lru_cache``-d: changing the environment
-    after a fixture was built does not refit it.
+    The fixtures below are memoized **per resolved option set**: changing
+    the environment mid-process builds fresh fixtures under the new
+    options instead of silently serving ones fitted under the old.
     """
     jobs = os.environ.get("REPRO_PROFILE_JOBS")
     cache = os.environ.get("REPRO_PROFILE_CACHE")
@@ -73,22 +78,74 @@ def campaign_options() -> dict:
     }
 
 
+def _options_key() -> tuple:
+    """Hashable identity of the resolved environment options.
+
+    Fixture memoization keys on this, so a fixture is only reused while
+    the campaign options (and artifact-store path) that built it are
+    still in force.
+    """
+    opts = campaign_options()
+    return (
+        opts["jobs"],
+        opts["cache"],
+        opts["faults"],
+        os.environ.get("REPRO_ARTIFACT_STORE") or None,
+    )
+
+
+def _options_from_key(key: tuple) -> dict:
+    return {"jobs": key[0], "cache": key[1], "faults": key[2]}
+
+
 @lru_cache(maxsize=4)
+def _store_for(key: tuple) -> ArtifactStore:
+    return ArtifactStore(key[3] or ":memory:")
+
+
+def shared_store() -> ArtifactStore:
+    """The stage-artifact store every experiment fixture shares.
+
+    One store per resolved option set: Vesta fits publish their stage
+    artifacts here, the baselines read the PerfMatrix artifact back, and
+    the sweep runners reuse unchanged stages across hyperparameter
+    values.
+    """
+    return _store_for(_options_key())
+
+
 def ground_truth(seed: int = DEFAULT_SEED) -> GroundTruth:
     """Cached exhaustive-search oracle."""
-    return GroundTruth(seed=seed, **campaign_options())
+    return _ground_truth(seed, _options_key())
 
 
-@lru_cache(maxsize=4)
+@lru_cache(maxsize=8)
+def _ground_truth(seed: int, key: tuple) -> GroundTruth:
+    return GroundTruth(seed=seed, store=_store_for(key), **_options_from_key(key))
+
+
 def fitted_vesta(seed: int = DEFAULT_SEED, k: int = 9) -> VestaSelector:
     """Cached Vesta selector, offline-fitted on the Table-3 training set."""
-    return VestaSelector(seed=seed, k=k, **campaign_options()).fit()
+    return _fitted_vesta(seed, k, _options_key())
 
 
-@lru_cache(maxsize=4)
+@lru_cache(maxsize=8)
+def _fitted_vesta(seed: int, k: int, key: tuple) -> VestaSelector:
+    return VestaSelector(
+        seed=seed, k=k, store=_store_for(key), **_options_from_key(key)
+    ).fit()
+
+
 def fitted_paris(seed: int = DEFAULT_SEED) -> Paris:
     """Cached PARIS baseline trained on the (Hadoop+Hive) training set."""
-    return Paris(seed=seed, **campaign_options()).fit(training_set())
+    return _fitted_paris(seed, _options_key())
+
+
+@lru_cache(maxsize=8)
+def _fitted_paris(seed: int, key: tuple) -> Paris:
+    return Paris(seed=seed, store=_store_for(key), **_options_from_key(key)).fit(
+        training_set()
+    )
 
 
 @lru_cache(maxsize=4)

@@ -8,7 +8,10 @@ We regenerate the sweep: for each k, fit Vesta's offline model at that k
 and measure the Equation-7 MAPE of its predictions on every testing-set
 workload across several cross-validation seeds (the seeds shuffle probe
 choices and noise streams, playing the folds' role on the simulated
-cloud).
+cloud).  One selector is fitted per fold and stepped through the k
+values with :meth:`~repro.core.vesta.VestaSelector.refit`: only the
+K-Means smoothing stage reruns per k, the profiling campaign and the
+label knowledge are fitted once per fold.
 """
 
 from __future__ import annotations
@@ -18,7 +21,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.vesta import VestaSelector
-from repro.experiments.common import DEFAULT_SEED, mape_vs_best
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    campaign_options,
+    mape_vs_best,
+    shared_store,
+)
 from repro.workloads.catalog import testing_set
 
 __all__ = ["KSweepResult", "run", "format_table", "K_SWEEP"]
@@ -54,9 +62,13 @@ def run(
 ) -> KSweepResult:
     specs = testing_set()
     mape = np.empty((len(ks), len(specs), folds))
-    for ki, k in enumerate(ks):
-        for fold in range(folds):
-            vesta = VestaSelector(seed=seed + fold, k=k).fit()
+    for fold in range(folds):
+        vesta = VestaSelector(
+            seed=seed + fold, k=ks[0], store=shared_store(), **campaign_options()
+        ).fit()
+        for ki, k in enumerate(ks):
+            if k != vesta.k:
+                vesta.refit(k=k)
             for wi, spec in enumerate(specs):
                 session = vesta.online(spec)
                 mape[ki, wi, fold] = mape_vs_best(

@@ -407,12 +407,29 @@ class ProfilingCampaign:
             self.counters.record_fault(event.kind, event.detail)
         self.fault_log.extend(events)
 
-    def _key(self, spec: WorkloadSpec, vm: VMType, nodes: int | None, kind: str) -> str:
+    def _generation_fingerprint(self) -> str:
         fingerprint = self.cache.fingerprint if self.cache else noise_fingerprint()
         if self.faults is not None:
             # Fault-injected results are a different generation: address
             # them apart so a clean cache never serves faulted values.
             fingerprint = f"{fingerprint}+faults:{self.faults.fingerprint()}"
+        return fingerprint
+
+    def config_fingerprint(self) -> str:
+        """Digest of everything that determines this campaign's outputs.
+
+        Two campaigns with equal config fingerprints produce bit-identical
+        results for the same (workload, VM) grid, whatever their ``jobs``
+        or cache settings; the knowledge pipeline folds this into every
+        stage artifact address.
+        """
+        return (
+            f"{self._generation_fingerprint()}|seed={int(self.seed)}"
+            f"|reps={int(self.repetitions)}|period={float(self.sample_period_s)!r}"
+        )
+
+    def _key(self, spec: WorkloadSpec, vm: VMType, nodes: int | None, kind: str) -> str:
+        fingerprint = self._generation_fingerprint()
         return profile_cache_key(
             spec,
             vm,

@@ -151,7 +151,8 @@ class DataCollector:
         plan configures a nonzero base (simulations keep it at 0).
         """
         plan = self.faults
-        assert plan is not None
+        if plan is None:
+            raise ValidationError("fault handling invoked without a fault plan")
         first_event = len(self.fault_events)
         for attempt in range(plan.max_attempts):
             try:
@@ -191,7 +192,8 @@ class DataCollector:
     ) -> tuple[float, FaultDecision]:
         """Apply the fault plan to one repetition's noise multiplier."""
         plan = self.faults
-        assert plan is not None
+        if plan is None:
+            raise ValidationError("fault handling invoked without a fault plan")
         decision, attempt = self._survive_attempts(spec.name, vm_name, rep)
         if attempt > 0:
             # A retry lands on a fresh placement: redraw the multiplier
@@ -219,7 +221,8 @@ class DataCollector:
         self, series: np.ndarray, workload: str, vm_name: str, rep: int
     ) -> np.ndarray:
         plan = self.faults
-        assert plan is not None
+        if plan is None:
+            raise ValidationError("fault handling invoked without a fault plan")
         keep = plan.drop_mask(series.shape[0], workload, vm_name, rep)
         dropped = int(series.shape[0] - keep.sum())
         if dropped:
@@ -278,7 +281,8 @@ class DataCollector:
                 if decision is not None and decision.drop:
                     series = self._drop_samples(series, spec.name, vm.name, rep)
 
-        assert series is not None
+        if series is None:
+            raise ValidationError("no repetition produced a telemetry series")
         return WorkloadProfile(
             workload=spec.name,
             framework=spec.framework,

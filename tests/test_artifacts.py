@@ -1,0 +1,143 @@
+"""Tests for the content-addressed stage-artifact store."""
+
+import numpy as np
+import pytest
+
+from repro.core.artifacts import ArtifactStore, content_fingerprint
+
+
+@pytest.fixture()
+def arrays():
+    return {
+        "perf": np.arange(12, dtype=float).reshape(3, 4),
+        "kept": np.array([0, 2], dtype=np.int64),
+    }
+
+
+class TestContentFingerprint:
+    def test_deterministic(self):
+        assert content_fingerprint(a=1, b="x") == content_fingerprint(a=1, b="x")
+
+    def test_field_order_irrelevant(self):
+        assert content_fingerprint(a=1, b=2) == content_fingerprint(b=2, a=1)
+
+    def test_nested_dict_order_irrelevant(self):
+        assert content_fingerprint(cfg={"a": 1, "b": 2.5}) == content_fingerprint(
+            cfg={"b": 2.5, "a": 1}
+        )
+
+    def test_distinct_inputs_distinct_digests(self):
+        assert content_fingerprint(a=1) != content_fingerprint(a=2)
+        assert content_fingerprint(a=1) != content_fingerprint(b=1)
+
+    def test_float_repr_exact(self):
+        # Round-trip-exact float hashing: nearby floats do not collide.
+        assert content_fingerprint(x=0.1) != content_fingerprint(
+            x=0.1 + 2.0**-55
+        )
+
+    def test_containers_canonicalized(self):
+        assert content_fingerprint(v=[1.5, 2.5]) == content_fingerprint(
+            v=(1.5, 2.5)
+        )
+
+
+class TestArtifactStoreRoundtrip:
+    def test_put_get_roundtrip(self, arrays):
+        store = ArtifactStore(":memory:")
+        store.put("fp1", "perf_matrix", arrays, meta={"campaign": "c1"})
+        artifact = store.get("fp1")
+        assert artifact is not None
+        assert artifact.stage == "perf_matrix"
+        assert artifact.meta == {"campaign": "c1"}
+        np.testing.assert_array_equal(artifact.arrays["perf"], arrays["perf"])
+        np.testing.assert_array_equal(artifact.arrays["kept"], arrays["kept"])
+        assert artifact.arrays["kept"].dtype == np.int64
+
+    def test_miss_returns_none_and_counts(self, arrays):
+        store = ArtifactStore(":memory:")
+        assert store.get("absent") is None
+        store.put("fp1", "labels_u", arrays)
+        assert store.get("fp1") is not None
+        assert store.misses == 1
+        assert store.hits == 1
+
+    def test_replace_same_key(self, arrays):
+        store = ArtifactStore(":memory:")
+        store.put("fp1", "labels_u", arrays)
+        store.put("fp1", "labels_u", {"U": np.ones(2)})
+        assert len(store) == 1
+        np.testing.assert_array_equal(store.get("fp1").arrays["U"], np.ones(2))
+
+    def test_file_store_persists_across_opens(self, tmp_path, arrays):
+        path = str(tmp_path / "store.sqlite")
+        first = ArtifactStore(path)
+        first.put("fp1", "perf_matrix", arrays)
+        first.close()
+        second = ArtifactStore(path)
+        artifact = second.get("fp1")
+        assert artifact is not None
+        np.testing.assert_array_equal(artifact.arrays["perf"], arrays["perf"])
+
+
+class TestArtifactStoreListing:
+    def test_entries_and_stage_filter(self, arrays):
+        store = ArtifactStore(":memory:")
+        store.put("fp1", "perf_matrix", arrays)
+        store.put("fp2", "labels_u", arrays)
+        store.put("fp3", "labels_u", arrays)
+        assert len(store) == 3
+        assert {e.key for e in store.entries()} == {"fp1", "fp2", "fp3"}
+        labels = store.entries(stage="labels_u")
+        assert {e.key for e in labels} == {"fp2", "fp3"}
+        assert all(e.nbytes > 0 for e in labels)
+
+    def test_invalidate_one_stage(self, arrays):
+        store = ArtifactStore(":memory:")
+        store.put("fp1", "perf_matrix", arrays)
+        store.put("fp2", "labels_u", arrays)
+        assert store.invalidate("labels_u") == 1
+        assert len(store) == 1
+        assert store.get("fp1") is not None
+
+    def test_invalidate_all(self, arrays):
+        store = ArtifactStore(":memory:")
+        store.put("fp1", "perf_matrix", arrays)
+        store.put("fp2", "labels_u", arrays)
+        assert store.invalidate() == 2
+        assert len(store) == 0
+
+
+class TestArtifactStoreResilience:
+    def test_corrupt_file_moved_aside_and_recreated(self, tmp_path, arrays):
+        path = tmp_path / "store.sqlite"
+        path.write_bytes(b"this is not a sqlite database, not even close")
+        store = ArtifactStore(str(path))
+        assert store.recovered
+        assert (tmp_path / "store.sqlite.corrupt").exists()
+        store.put("fp1", "perf_matrix", arrays)
+        assert store.get("fp1") is not None
+
+    def test_unopenable_path_degrades_to_memory(self, tmp_path, arrays):
+        # A directory path cannot be opened as sqlite; the store must
+        # still work (in-memory) instead of raising.
+        store = ArtifactStore(str(tmp_path))
+        assert store.recovered
+        store.put("fp1", "perf_matrix", arrays)
+        assert store.get("fp1") is not None
+
+    def test_reads_and_writes_after_close_never_raise(self, arrays):
+        store = ArtifactStore(":memory:")
+        store.put("fp1", "perf_matrix", arrays)
+        store.close()
+        store.put("fp2", "labels_u", arrays)  # silent no-op
+        assert store.get("fp1") is None  # miss, not an exception
+        assert store.entries() == []
+        assert store.invalidate() == 0
+        assert len(store) == 0
+
+    def test_context_manager(self, tmp_path, arrays):
+        path = str(tmp_path / "store.sqlite")
+        with ArtifactStore(path) as store:
+            store.put("fp1", "perf_matrix", arrays)
+        assert ArtifactStore(path).get("fp1") is not None

@@ -1,0 +1,347 @@
+"""Tests for the staged knowledge pipeline and incremental refit.
+
+The regression bar for the refactor: a staged fit must be bit-identical
+to the old monolithic offline phase (replicated inline as
+``_monolithic_fit``), whether stages were computed, served from the
+in-process cache, or loaded from a store — and ``refit`` must re-run
+exactly the stages downstream of the changed hyperparameter, with zero
+profiling-campaign runs when the upstream artifacts are warm.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.feature_selection import select_by_importance
+from repro.analysis.kmeans import KMeans
+from repro.baselines.ground_truth import GroundTruth
+from repro.baselines.paris import Paris
+from repro.cloud.vmtypes import catalog
+from repro.core.artifacts import ArtifactStore
+from repro.core.persistence import FORMAT_VERSION, load_selector, save_selector
+from repro.core.pipeline import CACHED_STAGES, NEAR_BEST_TAU, STAGES
+from repro.core.labels import LabelSpace
+from repro.core.vesta import VestaSelector
+from repro.errors import ValidationError
+from repro.workloads.catalog import training_set
+
+SEED = 3
+K = 3
+V1_ARCHIVE = Path(__file__).parent / "data" / "vesta_v1.npz"
+
+
+@pytest.fixture(scope="module")
+def sources():
+    return training_set()[:3]
+
+
+@pytest.fixture(scope="module")
+def vms():
+    return catalog()[:8]
+
+
+@pytest.fixture(scope="module")
+def target():
+    return training_set()[4]
+
+
+def small_vesta(sources, vms, store=None, **overrides):
+    params = dict(seed=SEED, k=K)
+    params.update(overrides)
+    return VestaSelector(sources=sources, vms=vms, store=store, **params)
+
+
+def _monolithic_fit(sel: VestaSelector) -> dict[str, np.ndarray]:
+    """The pre-pipeline offline phase, replicated step for step."""
+    perf = sel.campaign.runtime_matrix(sel.sources, sel.vms)
+    corr_vms = sel._corr_probe_vms()
+    sel.campaign.collect_grid(sel.sources, corr_vms)
+    correlations = np.empty((len(sel.sources), len(sel.signature_names())))
+    for i, spec in enumerate(sel.sources):
+        correlations[i] = sel._source_signature(spec, corr_vms)
+    kept, importance = select_by_importance(correlations, keep_mass=sel.keep_mass)
+    label_space = LabelSpace(
+        tuple(sel.signature_names()[i] for i in kept),
+        width=sel.label_width,
+        softness=sel.label_softness,
+    )
+    U = label_space.membership_matrix(correlations[:, kept])
+    best = perf.min(axis=1, keepdims=True)
+    near_best = np.exp(-(perf / best - 1.0) / NEAR_BEST_TAU)
+    label_mass = U.sum(axis=0)
+    v_raw = (near_best.T @ U) / np.where(label_mass > 0, label_mass, 1.0)
+    kmeans = KMeans(min(sel.k, len(sel.vms)), seed=sel.seed).fit(near_best.T)
+    V = np.empty_like(v_raw)
+    for c in range(kmeans.k):
+        members = kmeans.labels_ == c
+        if members.any():
+            V[members] = v_raw[members].mean(axis=0)
+    return {
+        "perf": perf,
+        "correlations": correlations,
+        "kept_features": np.asarray(kept, dtype=np.int64),
+        "feature_importance": np.asarray(importance, dtype=float),
+        "U": U,
+        "near_best": near_best,
+        "V": V,
+        "vm_clusters": np.asarray(kmeans.labels_, dtype=np.int64),
+    }
+
+
+class TestStagedFitBitIdentity:
+    def test_matches_monolithic_reference(self, sources, vms):
+        staged = small_vesta(sources, vms).fit()
+        reference = _monolithic_fit(small_vesta(sources, vms))
+        for name, expected in reference.items():
+            np.testing.assert_array_equal(
+                getattr(staged, name), expected, err_msg=name
+            )
+
+    def test_stage_report_covers_all_stages(self, sources, vms):
+        staged = small_vesta(sources, vms).fit()
+        assert tuple(staged.stage_report) == STAGES
+        assert all(r.action == "computed" for r in staged.stage_report.values())
+
+    def test_store_served_fit_bit_identical(self, sources, vms, target, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        cold = small_vesta(sources, vms, store=path).fit()
+        warm = small_vesta(sources, vms, store=path).fit()
+        assert all(
+            warm.stage_report[name].action == "store" for name in CACHED_STAGES
+        )
+        assert warm.campaign.counters.computed == 0
+        for name in ("perf", "correlations", "U", "V", "vm_clusters", "near_best"):
+            np.testing.assert_array_equal(
+                getattr(warm, name), getattr(cold, name), err_msg=name
+            )
+        a = cold.online(target).recommend()
+        b = warm.online(target).recommend()
+        assert a.vm_name == b.vm_name
+        assert a.predicted_runtime_s == b.predicted_runtime_s
+        np.testing.assert_array_equal(
+            cold.online(target).predict_runtimes(),
+            warm.online(target).predict_runtimes(),
+        )
+
+    def test_memory_served_refit_identical_predictions(self, sources, vms, target):
+        sel = small_vesta(sources, vms).fit()
+        before = sel.online(target).predict_runtimes()
+        sel.refit()  # no hyperparameter change: everything from memory
+        assert all(
+            sel.stage_report[name].action == "memory" for name in CACHED_STAGES
+        )
+        np.testing.assert_array_equal(sel.online(target).predict_runtimes(), before)
+
+    def test_close_to_prerefactor_archive(self, sources, vms):
+        """Continuity with the checked-in pre-refactor (v1) fit.
+
+        Exact equality holds on the platform that wrote the archive;
+        a tight allclose keeps the check meaningful where libm details
+        differ.
+        """
+        archived = load_selector(V1_ARCHIVE)
+        staged = small_vesta(sources, vms).fit()
+        for name in ("perf", "correlations", "U", "V", "near_best"):
+            np.testing.assert_allclose(
+                getattr(staged, name),
+                getattr(archived, name),
+                rtol=1e-10,
+                err_msg=name,
+            )
+        np.testing.assert_array_equal(staged.vm_clusters, archived.vm_clusters)
+
+
+class TestRefit:
+    def test_refit_k_reuses_upstream_zero_campaign_runs(self, sources, vms):
+        sel = small_vesta(sources, vms).fit()
+        computed_after_fit = sel.campaign.counters.computed
+        sel.refit(k=5)
+        actions = {name: r.action for name, r in sel.stage_report.items()}
+        assert actions["perf_matrix"] == "memory"
+        assert actions["corr_signatures"] == "memory"
+        assert actions["feature_selection"] == "memory"
+        assert actions["labels_u"] == "memory"
+        assert actions["affinity_v"] == "computed"
+        assert sel.campaign.counters.computed == computed_after_fit
+        fresh = small_vesta(sources, vms, k=5).fit()
+        np.testing.assert_array_equal(sel.V, fresh.V)
+        np.testing.assert_array_equal(sel.vm_clusters, fresh.vm_clusters)
+        np.testing.assert_array_equal(sel.U, fresh.U)
+
+    def test_k_sweep_zero_campaign_runs_after_first_fit(self, sources, vms):
+        sel = small_vesta(sources, vms, k=2).fit()
+        computed_after_fit = sel.campaign.counters.computed
+        for k in (3, 4, 5):
+            sel.refit(k=k)
+            assert sel.stage_report["labels_u"].action == "memory"
+        assert sel.campaign.counters.computed == computed_after_fit
+
+    def test_refit_lambda_recomputes_no_cached_stage(self, sources, vms):
+        sel = small_vesta(sources, vms).fit()
+        sel.refit(lam=0.5)
+        assert all(
+            sel.stage_report[name].action == "memory" for name in CACHED_STAGES
+        )
+        assert sel.lam == 0.5
+
+    def test_refit_keep_mass_recomputes_selection_onward(self, sources, vms):
+        sel = small_vesta(sources, vms).fit()
+        computed_after_fit = sel.campaign.counters.computed
+        sel.refit(keep_mass=0.6)
+        actions = {name: r.action for name, r in sel.stage_report.items()}
+        assert actions["perf_matrix"] == "memory"
+        assert actions["corr_signatures"] == "memory"
+        assert actions["feature_selection"] == "computed"
+        assert actions["labels_u"] == "computed"
+        assert actions["affinity_v"] == "computed"
+        assert sel.campaign.counters.computed == computed_after_fit
+
+    def test_refit_label_width_matches_fresh_fit(self, sources, vms):
+        sel = small_vesta(sources, vms).fit()
+        sel.refit(label_width=0.1)
+        fresh = small_vesta(sources, vms, label_width=0.1).fit()
+        np.testing.assert_array_equal(sel.U, fresh.U)
+        np.testing.assert_array_equal(sel.V, fresh.V)
+
+    def test_refit_unknown_param_rejected(self, sources, vms):
+        sel = small_vesta(sources, vms).fit()
+        with pytest.raises(ValidationError):
+            sel.refit(bogus=1)
+
+    def test_refit_invalid_value_rejected(self, sources, vms):
+        sel = small_vesta(sources, vms).fit()
+        with pytest.raises(ValidationError):
+            sel.refit(k=0)
+
+
+class TestSharedPerfMatrixArtifact:
+    def test_ground_truth_zero_duplicate_runs(self, sources, vms):
+        store = ArtifactStore(":memory:")
+        fitted = small_vesta(sources, vms, store=store).fit()
+        gt = GroundTruth(vms=vms, seed=SEED, store=store)
+        for i, spec in enumerate(sources):
+            np.testing.assert_array_equal(gt.runtimes(spec), fitted.perf[i])
+        assert gt.campaign.counters.computed == 0
+
+    def test_ground_truth_uncovered_workload_still_computes(self, sources, vms):
+        store = ArtifactStore(":memory:")
+        small_vesta(sources, vms, store=store).fit()
+        gt = GroundTruth(vms=vms, seed=SEED, store=store)
+        uncovered = training_set()[5]
+        bare = GroundTruth(vms=vms, seed=SEED)
+        np.testing.assert_array_equal(gt.runtimes(uncovered), bare.runtimes(uncovered))
+        assert gt.campaign.counters.computed == len(vms)
+
+    def test_paris_reuses_label_matrix(self, sources, vms, target):
+        store = ArtifactStore(":memory:")
+        small_vesta(sources, vms, store=store).fit()
+        shared = Paris(vms=vms, seed=SEED, store=store).fit(sources)
+        bare = Paris(vms=vms, seed=SEED).fit(sources)
+        # The (workload x VM) label grid is owned by the PerfMatrix
+        # artifact; only the reference-VM fingerprint runs remain.
+        assert (
+            shared.campaign.counters.computed
+            < bare.campaign.counters.computed - len(sources) * len(vms) // 2
+        )
+        assert shared.select(target) == bare.select(target)
+        np.testing.assert_array_equal(
+            shared.predict_runtimes(target), bare.predict_runtimes(target)
+        )
+
+    def test_mismatched_campaign_not_reused(self, sources, vms):
+        store = ArtifactStore(":memory:")
+        small_vesta(sources, vms, store=store).fit()
+        gt = GroundTruth(vms=vms, seed=SEED + 1, store=store)  # different seed
+        gt.runtimes(sources[0])
+        assert gt.campaign.counters.computed == len(vms)
+
+
+class TestPersistenceCompat:
+    def test_v1_archive_loads(self, target):
+        sel = load_selector(V1_ARCHIVE)
+        assert sel._fitted
+        assert sel.perf.shape == (len(sel.sources), len(sel.vms))
+        assert sel.U.shape[0] == len(sel.sources)
+        rec = sel.online(target).recommend()
+        assert rec.vm_name in {vm.name for vm in sel.vms}
+
+    def test_v2_roundtrip_bit_identical(self, sources, vms, target, tmp_path):
+        sel = small_vesta(sources, vms).fit()
+        path = save_selector(sel, tmp_path / "model.npz")
+        loaded = load_selector(path)
+        for name in ("perf", "correlations", "U", "V", "near_best", "vm_clusters"):
+            np.testing.assert_array_equal(
+                getattr(loaded, name), getattr(sel, name), err_msg=name
+            )
+        a = sel.online(target).recommend()
+        b = loaded.online(target).recommend()
+        assert (a.vm_name, a.predicted_runtime_s) == (b.vm_name, b.predicted_runtime_s)
+
+    def test_v2_archive_records_stage_fingerprints(self, sources, vms, tmp_path):
+        import json
+
+        sel = small_vesta(sources, vms).fit()
+        path = save_selector(sel, tmp_path / "model.npz")
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+        assert meta["format_version"] == FORMAT_VERSION
+        assert set(meta["stage_fingerprints"]) == set(STAGES)
+        assert meta["stage_fingerprints"] == {
+            name: r.fingerprint for name, r in sel.stage_report.items()
+        }
+
+    def test_refit_after_load_reuses_archived_stages(self, sources, vms, tmp_path):
+        path = save_selector(
+            small_vesta(sources, vms).fit(), tmp_path / "model.npz"
+        )
+        loaded = load_selector(path)
+        loaded.refit(k=5)
+        actions = {name: r.action for name, r in loaded.stage_report.items()}
+        assert actions["perf_matrix"] == "memory"
+        assert actions["labels_u"] == "memory"
+        assert actions["affinity_v"] == "computed"
+        assert loaded.campaign.counters.computed == 0
+        fresh = small_vesta(sources, vms, k=5).fit()
+        np.testing.assert_array_equal(loaded.V, fresh.V)
+
+    def test_future_version_rejected(self, sources, vms, tmp_path):
+        import json
+
+        path = save_selector(small_vesta(sources, vms).fit(), tmp_path / "m.npz")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        meta = json.loads(bytes(arrays["meta"]).decode())
+        meta["format_version"] = FORMAT_VERSION + 1
+        arrays["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez_compressed(tmp_path / "future.npz", **arrays)
+        with pytest.raises(ValidationError):
+            load_selector(tmp_path / "future.npz")
+
+
+class TestStoreResilienceInFit:
+    def test_corrupt_store_file_recomputes_never_crashes(
+        self, sources, vms, tmp_path
+    ):
+        path = tmp_path / "store.sqlite"
+        path.write_bytes(b"garbage" * 64)
+        sel = small_vesta(sources, vms, store=str(path)).fit()
+        assert sel.store.recovered
+        assert all(r.action == "computed" for r in sel.stage_report.values())
+        reference = _monolithic_fit(small_vesta(sources, vms))
+        np.testing.assert_array_equal(sel.perf, reference["perf"])
+        np.testing.assert_array_equal(sel.V, reference["V"])
+
+    def test_corrupt_artifact_treated_as_miss(self, sources, vms, tmp_path):
+        path = str(tmp_path / "store.sqlite")
+        cold = small_vesta(sources, vms, store=path).fit()
+        # Overwrite one stage's artifact with inconsistent arrays under
+        # the same fingerprint: apply-time validation must reject it and
+        # the pipeline recompute, not crash or serve bad shapes.
+        store = ArtifactStore(path)
+        key = cold.stage_report["labels_u"].fingerprint
+        store.put(key, "labels_u", {"U": np.zeros((1, 1))})
+        store.close()
+        warm = small_vesta(sources, vms, store=path).fit()
+        assert warm.stage_report["labels_u"].action == "computed"
+        np.testing.assert_array_equal(warm.U, cold.U)
