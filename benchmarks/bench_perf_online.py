@@ -1,0 +1,120 @@
+"""Performance benches: the low-latency online serving path.
+
+Before the offline/online CMF split, every online session re-ran the
+full collective factorization (SGD over U, V and the target row) just to
+complete one sparse row, and serving a batch of targets meant one such
+session after another.  With ``cmf_mode="foldin"`` the offline
+``source_factors`` stage is solved once at fit() time and each target
+row is an exact closed-form ridge fold-in; :meth:`select_many` serves a
+whole batch with one profiling wave and one batched solve.
+
+These benches measure both claims against the same fitted knowledge —
+fold-in session latency vs the full-CMF session (≥ 3×) and
+``select_many`` batch throughput vs sequential ``select`` serving
+(≥ 2× on 8 targets) — and append the numbers to ``BENCH_online.json``
+at the repo root so future PRs can compare.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cloud.vmtypes import catalog
+from repro.core.persistence import load_selector, save_selector
+from repro.core.vesta import VestaSelector
+from repro.workloads.catalog import target_set, training_set
+
+SOURCES = training_set()[:6]
+VMS = catalog()[:14]
+SEED = 7
+TARGETS = target_set()[:8]
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_online.json"
+
+
+def _timed(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record(**fields) -> None:
+    """Merge measurements into BENCH_online.json (the perf trajectory)."""
+    results = {}
+    if RESULTS_PATH.is_file():
+        try:
+            results = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            results = {}
+    results.update(fields)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def serving(tmp_path_factory):
+    """One fitted knowledge base, served in both modes.
+
+    The fold-in selector shares the full selector's fitted stages via a
+    save/load round-trip (cmf_mode is in no stage fingerprint, so the
+    mode switch recomputes nothing).  Both campaigns' profiling memos are
+    warmed first: the benches measure serving compute, not the simulator.
+    """
+    full = VestaSelector(vms=VMS, sources=SOURCES, seed=SEED).fit()
+    path = tmp_path_factory.mktemp("bench-online") / "knowledge.npz"
+    save_selector(full, path)
+    foldin = load_selector(path).refit(cmf_mode="foldin")
+    for spec in TARGETS:
+        full.online(spec)
+        foldin.online(spec)
+    return full, foldin
+
+
+def test_foldin_session_at_least_3x_faster(serving):
+    """Per-session serving latency: closed-form fold-in vs full CMF."""
+    full, foldin = serving
+    full_s = _timed(lambda: [full.online(s).recommend("time") for s in TARGETS])
+    foldin_s = _timed(lambda: [foldin.online(s).recommend("time") for s in TARGETS])
+    speedup = full_s / foldin_s
+    _record(
+        targets=len(TARGETS),
+        session_full_ms=round(full_s / len(TARGETS) * 1e3, 3),
+        session_foldin_ms=round(foldin_s / len(TARGETS) * 1e3, 3),
+        session_speedup=round(speedup, 2),
+    )
+    print(
+        f"\nsession latency: full {full_s / len(TARGETS) * 1e3:.1f} ms   "
+        f"fold-in {foldin_s / len(TARGETS) * 1e3:.2f} ms   "
+        f"speedup: {speedup:.1f}x"
+    )
+    assert speedup >= 3.0
+
+
+def test_select_many_at_least_2x_sequential(serving):
+    """Batch throughput: one select_many wave vs sequential serving."""
+    full, foldin = serving
+    # Correctness guard before the clocks: the batch must pick the same
+    # VMs as one-at-a-time fold-in sessions.
+    batch_recs = foldin.select_many(TARGETS)
+    assert [r.vm_name for r in batch_recs] == [
+        foldin.select(s).vm_name for s in TARGETS
+    ]
+
+    sequential_s = _timed(lambda: [full.select(s) for s in TARGETS])
+    batch_s = _timed(lambda: foldin.select_many(TARGETS))
+    foldin_sequential_s = _timed(lambda: [foldin.select(s) for s in TARGETS])
+    speedup = sequential_s / batch_s
+    _record(
+        batch_sequential_ms=round(sequential_s * 1e3, 3),
+        batch_select_many_ms=round(batch_s * 1e3, 3),
+        batch_foldin_sequential_ms=round(foldin_sequential_s * 1e3, 3),
+        batch_speedup=round(speedup, 2),
+    )
+    print(
+        f"\nbatch of {len(TARGETS)}: sequential {sequential_s * 1e3:.1f} ms   "
+        f"select_many {batch_s * 1e3:.2f} ms   speedup: {speedup:.1f}x"
+    )
+    assert speedup >= 2.0

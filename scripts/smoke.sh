@@ -18,4 +18,7 @@ REPRO_PROFILE_JOBS=2 python -m pytest -q \
 echo "== staged pipeline refit (warm-store >= 3x cold) =="
 python -m pytest -q benchmarks/bench_perf_refit.py
 
+echo "== online serving (fold-in >= 3x, select_many >= 2x) =="
+python -m pytest -q benchmarks/bench_perf_online.py
+
 echo "smoke OK"

@@ -119,6 +119,14 @@ def _split_pair(name: str) -> tuple[str, str]:
     return left, right
 
 
+#: Derived-series names appearing in the Table-1 pairs, in first-use order.
+_PAIR_MEMBERS: Final[tuple[str, ...]] = tuple(
+    dict.fromkeys(
+        member for name in CORRELATION_NAMES for member in _split_pair(name)
+    )
+)
+
+
 def _check_series(series: np.ndarray) -> np.ndarray:
     series = np.asarray(series, dtype=float)
     if series.ndim != 2 or series.shape[1] != NUM_METRICS:
@@ -135,10 +143,30 @@ def correlation_vector(series: np.ndarray) -> np.ndarray:
     [-1, 1] (0 for degenerate series).
     """
     series = _check_series(series)
+    if series.shape[0] < 2:
+        return np.zeros(NUM_CORRELATIONS)
+    # Several derived series appear in multiple pairs (and "cpu"/"cycle"
+    # are the same reduction); build each one — and its centered form and
+    # sum of squares — exactly once, then evaluate the ten pairs with the
+    # same contractions :func:`pearson` uses, so results stay bit-identical
+    # with the pairwise definition.
+    centered: dict[str, np.ndarray] = {}
+    sumsq: dict[str, float] = {}
+    for member in _PAIR_MEMBERS:
+        derived = _DERIVED[member](series)
+        c = derived - derived.mean()
+        centered[member] = c
+        sumsq[member] = float(c @ c)
     out = np.empty(NUM_CORRELATIONS)
     for i, name in enumerate(CORRELATION_NAMES):
         left, right = _split_pair(name)
-        out[i] = pearson(_DERIVED[left](series), _DERIVED[right](series))
+        denom = float(np.sqrt(sumsq[left] * sumsq[right]))
+        if denom <= 1e-12:
+            out[i] = 0.0
+        else:
+            out[i] = float(
+                np.clip((centered[left] @ centered[right]) / denom, -1.0, 1.0)
+            )
     return out
 
 

@@ -92,9 +92,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_sel = sub.add_parser("select", help="recommend a VM type with Vesta")
-    p_sel.add_argument("workload", help="Table-3 name, e.g. spark-lr")
+    p_sel.add_argument(
+        "workload", nargs="+",
+        help="Table-3 name(s), e.g. spark-lr (several require --many)",
+    )
     p_sel.add_argument(
         "--objective", choices=("time", "budget"), default="time"
+    )
+    p_sel.add_argument(
+        "--many", action="store_true",
+        help="batch mode: profile all workloads in one campaign wave and "
+             "solve their completions together (select_many)",
+    )
+    p_sel.add_argument(
+        "--cmf-mode", choices=("full", "foldin"), default="full",
+        help="online completion: 'full' re-runs the joint factorization per "
+             "target, 'foldin' reuses precomputed source factors (low latency)",
     )
     p_sel.add_argument("--seed", type=int, default=7)
     p_sel.add_argument(
@@ -253,17 +266,39 @@ def _cmd_select(args: argparse.Namespace) -> int:
     from repro.core.vesta import VestaSelector
     from repro.workloads.catalog import get_workload
 
-    spec = get_workload(args.workload)
+    specs = [get_workload(name) for name in args.workload]
+    if len(specs) > 1 and not args.many:
+        print(
+            f"{len(specs)} workloads given; pass --many for batch selection",
+            file=sys.stderr,
+        )
+        return 2
     print("fitting offline knowledge (source workloads x full catalog)...")
     vesta = VestaSelector(
         seed=args.seed, jobs=args.jobs, cache=args.cache, faults=_fault_plan(args),
-        store=args.store,
+        store=args.store, cmf_mode=args.cmf_mode,
     ).fit()
     if args.store:
         reused = [
             name for name, r in vesta.stage_report.items() if r.action != "computed"
         ]
         print(f"   stages reused from store: {', '.join(reused) or '(none)'}")
+
+    if args.many:
+        recs = vesta.select_many(specs, objective=args.objective)
+        print(
+            f"\nbatch selection ({args.objective}, cmf_mode={vesta.cmf_mode}):"
+        )
+        print(f"{'workload':20s} {'VM type':16s} {'runtime s':>10s} "
+              f"{'budget $':>9s} {'flags':8s}")
+        for spec, rec in zip(specs, recs):
+            flags = "degraded" if rec.degraded else ""
+            print(f"{spec.name:20s} {rec.vm_name:16s} "
+                  f"{rec.predicted_runtime_s:>10.1f} "
+                  f"{rec.predicted_budget_usd:>9.4f} {flags:8s}")
+        return 0
+
+    spec = specs[0]
     session = vesta.online(spec)
     rec = session.recommend(args.objective)
     print(f"\nrecommended VM type for {spec.name} ({args.objective}): {rec.vm_name}")

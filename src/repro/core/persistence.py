@@ -68,7 +68,7 @@ _HYPERPARAMS_V1 = (
     "seed",
 )
 
-_HYPERPARAMS = _HYPERPARAMS_V1 + ("label_width", "label_softness")
+_HYPERPARAMS = _HYPERPARAMS_V1 + ("label_width", "label_softness", "cmf_mode")
 
 
 def _stage_arrays(selector: VestaSelector) -> dict[str, dict[str, np.ndarray]]:
@@ -86,6 +86,12 @@ def _stage_arrays(selector: VestaSelector) -> dict[str, dict[str, np.ndarray]]:
             "V": selector.V,
             "kmeans_centers": selector.kmeans.centers_,
             "vm_clusters": np.asarray(selector.vm_clusters, dtype=np.int64),
+        },
+        "source_factors": {
+            "A": selector.source_factors.A,
+            "B": selector.source_factors.B,
+            "L": selector.source_factors.L,
+            "converged": np.asarray([selector.source_factors.converged]),
         },
     }
 
@@ -170,6 +176,12 @@ def _restore_v1(
         temperature=selector.temperature,
     )
 
+    # Pre-pipeline archives predate the offline/online CMF split; the
+    # source factors are a deterministic function of the restored U/V.
+    selector.pipeline._apply_source_factors(
+        selector.pipeline._compute_source_factors()
+    )
+
 
 def _restore_v2(
     selector: VestaSelector, meta: dict, arrays: dict[str, np.ndarray]
@@ -186,6 +198,18 @@ def _restore_v2(
                 if name.startswith(prefix)
             }
             if not bundle:
+                if stage == "source_factors":
+                    # Version-2 archive from before the offline/online CMF
+                    # split: derive the factors from the restored U/V (a
+                    # deterministic function of stages already applied).
+                    # Applied directly, not adopted — the live upstream
+                    # fingerprints need not match the archived content,
+                    # so adopting could mislabel a store artifact.
+                    pipeline = selector.pipeline
+                    pipeline._apply_source_factors(
+                        pipeline._compute_source_factors()
+                    )
+                    continue
                 raise ValidationError(f"archive has no arrays for stage {stage!r}")
         else:
             bundle = {}
@@ -246,7 +270,10 @@ def load_selector(
         cache=cache,
         faults=faults,
         store=store,
-        **{name: hp[name] for name in names},
+        # Tolerant of archives written before a hyperparameter existed
+        # (e.g. pre-serving v2 archives have no cmf_mode): constructor
+        # defaults cover the gap.
+        **{name: hp[name] for name in names if name in hp},
     )
 
     if version == 1:

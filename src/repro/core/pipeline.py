@@ -4,7 +4,7 @@
 expensive part of Vesta, weeks of EC2 time in the original — as one
 opaque block, so changing a single downstream knob (``k`` for Figure 11,
 ``keep_mass`` or the label width for the ablations) refit everything
-from profiling up.  :class:`KnowledgePipeline` decomposes it into six
+from profiling up.  :class:`KnowledgePipeline` decomposes it into seven
 explicit stages::
 
     PerfMatrix ──────────────────────────────┐
@@ -12,6 +12,8 @@ explicit stages::
     CorrSignatures → FeatureSelection → LabelMatrixU
                                              │
                                       AffinityMatrixV
+                                             │
+                                      SourceFactors
                                              │
                                          Knowledge
 
@@ -80,6 +82,7 @@ STAGES: tuple[str, ...] = (
     "feature_selection",
     "labels_u",
     "affinity_v",
+    "source_factors",
     "knowledge",
 )
 
@@ -238,6 +241,15 @@ class KnowledgePipeline:
             k=sel.k,
             seed=sel.seed,
         )
+        fp["source_factors"] = content_fingerprint(
+            pipeline_version=PIPELINE_VERSION,
+            stage="source_factors",
+            labels=fp["labels_u"],
+            affinity=fp["affinity_v"],
+            lam=sel.lam,
+            latent_dim=sel.latent_dim,
+            seed=sel.seed,
+        )
         fp["knowledge"] = content_fingerprint(
             pipeline_version=PIPELINE_VERSION,
             stage="knowledge",
@@ -391,6 +403,41 @@ class KnowledgePipeline:
         kmeans.centers_ = centers
         kmeans.labels_ = vm_clusters
         sel.kmeans = kmeans
+
+    def _compute_source_factors(self) -> dict[str, np.ndarray]:
+        sel = self.sel
+        # The offline half of the online/offline CMF split: factorize the
+        # source knowledge once so online sessions can complete target
+        # rows with a closed-form fold-in against the frozen L.
+        factors = sel._cmf().factor_sources(sel.U, sel.V)
+        return {
+            "A": factors.A,
+            "B": factors.B,
+            "L": factors.L,
+            "converged": np.asarray([factors.converged]),
+        }
+
+    def _apply_source_factors(self, arrays: dict[str, np.ndarray]) -> None:
+        sel = self.sel
+        from repro.core.cmf import SourceFactors
+
+        A = np.asarray(arrays["A"], dtype=float)
+        B = np.asarray(arrays["B"], dtype=float)
+        L = np.asarray(arrays["L"], dtype=float)
+        g = sel.latent_dim
+        j = sel.U.shape[1]
+        if (
+            A.shape != (len(sel.sources), g)
+            or B.shape != (len(sel.vms), g)
+            or L.shape != (j, g)
+        ):
+            raise ValidationError(
+                f"source-factor shapes A{A.shape} B{B.shape} L{L.shape} "
+                f"inconsistent with {len(sel.sources)} sources x "
+                f"{len(sel.vms)} VM types x {j} labels x latent dim {g}"
+            )
+        converged = bool(np.asarray(arrays["converged"]).ravel()[0])
+        sel.source_factors = SourceFactors(A=A, B=B, L=L, converged=converged)
 
     def _apply_knowledge(self, arrays: dict[str, np.ndarray]) -> None:
         sel = self.sel

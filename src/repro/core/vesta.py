@@ -42,11 +42,11 @@ from repro.analysis.correlation import (
     correlation_vector,
 )
 from repro.analysis.intervals import INTERVAL_WIDTH
-from repro.cloud.cluster import Cluster
 from repro.cloud.faults import FaultEvent, FaultPlan
+from repro.cloud.pricing import MIN_BILLED_SECONDS
 from repro.cloud.vmtypes import SIZE_LADDER, VMType, catalog
 from repro.core.artifacts import ArtifactStore
-from repro.core.cmf import CMF
+from repro.core.cmf import CMF, CMFResult
 from repro.core.pipeline import NEAR_BEST_TAU, KnowledgePipeline
 from repro.core.sandbox import choose_probe_vms, choose_sandbox_vm
 from repro.errors import ProbeFailedError, ValidationError
@@ -74,8 +74,32 @@ REFIT_PARAMS: frozenset[str] = frozenset(
         "affinity_weight",
         "label_width",
         "label_softness",
+        "cmf_mode",
     }
 )
+
+
+def _probe_plan(
+    selector: "VestaSelector", spec: WorkloadSpec
+) -> tuple[VMType, tuple[VMType, ...]]:
+    """Deterministic sandbox + probe VM choice for one target workload.
+
+    Shared by :class:`OnlineSession` and the batched
+    :meth:`VestaSelector.online_many` prefetch, so a batch profiles
+    exactly the cells a sequence of individual sessions would.
+    """
+    sandbox = choose_sandbox_vm(spec, selector.vms)
+    # zlib.crc32, not hash(): Python string hashing is randomized per
+    # process and would make probe choices unreproducible.
+    probe_seed = selector.seed ^ zlib.crc32(spec.name.encode())
+    probes = choose_probe_vms(
+        spec,
+        count=selector.probes,
+        seed=probe_seed,
+        vms=selector.vms,
+        exclude=(sandbox.name,),
+    )
+    return sandbox, probes
 
 
 @dataclass(frozen=True)
@@ -123,20 +147,16 @@ class OnlineSession:
     substitute for — still raises :class:`ProbeFailedError`.
     """
 
-    def __init__(self, selector: "VestaSelector", spec: WorkloadSpec) -> None:
+    def __init__(
+        self,
+        selector: "VestaSelector",
+        spec: WorkloadSpec,
+        *,
+        _defer_completion: bool = False,
+    ) -> None:
         self._sel = selector
         self.spec = spec
-        self.sandbox_vm = choose_sandbox_vm(spec, selector.vms)
-        # zlib.crc32, not hash(): Python string hashing is randomized per
-        # process and would make probe choices unreproducible.
-        probe_seed = selector.seed ^ zlib.crc32(spec.name.encode())
-        self.probe_vms = choose_probe_vms(
-            spec,
-            count=selector.probes,
-            seed=probe_seed,
-            vms=selector.vms,
-            exclude=(self.sandbox_vm.name,),
-        )
+        self.sandbox_vm, self.probe_vms = _probe_plan(selector, spec)
         self.observations: dict[str, float] = {}
         self.converged = True
         self.degraded = False
@@ -145,11 +165,19 @@ class OnlineSession:
         self._failed_observations: set[str] = set()
         self._fault_log_start = len(selector.campaign.fault_log)
         self._row: np.ndarray | None = None
-        self._initialize()
+        self._predicted_runtimes: np.ndarray | None = None
+        self._predicted_budgets: np.ndarray | None = None
+        self._collect_observations()
+        if not _defer_completion:
+            result = selector.complete_rows(
+                self._sparse_row[None, :], self._mask[None, :]
+            )[0]
+            self._complete_row(result)
 
     # -- initialization -----------------------------------------------------------
 
-    def _initialize(self) -> None:
+    def _collect_observations(self) -> None:
+        """Sandbox + probe profiling: build the sparse target row."""
         sel = self._sel
         profile = sel.campaign.collect(self.spec, self.sandbox_vm)
         corr = sel.signature_from_profile(profile)
@@ -172,17 +200,13 @@ class OnlineSession:
             self.effective_match_threshold = sel.match_threshold * (
                 surviving / len(self.probe_vms)
             )
+        self._sparse_row = sel.label_space.membership(corr)
+        self._mask = (self._sparse_row > 0).astype(float)
 
-        sparse_row = sel.label_space.membership(corr)
-        mask = (sparse_row > 0).astype(float)
-        cmf = CMF(
-            latent_dim=sel.latent_dim,
-            lam=sel.lam,
-            seed=sel.seed,
-        )
-        result = cmf.fit(
-            sel.U, sel.V, sparse_row[None, :], mask[None, :]
-        )
+    def _complete_row(self, result: CMFResult) -> None:
+        """Adopt one completed-row CMF result (full fit or fold-in)."""
+        sel = self._sel
+        sparse_row = self._sparse_row
         # Knowledge-match score: how similar the completed target row is to
         # its nearest source workload in label space.  An outlier target
         # (the paper's Spark-CF) has no matching source knowledge — the
@@ -206,6 +230,7 @@ class OnlineSession:
             self._row = sparse_row
             self.converged = False
         self.cmf_result = result
+        self._invalidate_predictions()
 
     # -- predictions -------------------------------------------------------------------
 
@@ -225,32 +250,43 @@ class OnlineSession:
         """Fault events observed during this session's profiling runs."""
         return tuple(self._sel.campaign.fault_log[self._fault_log_start:])
 
+    def _invalidate_predictions(self) -> None:
+        """Drop memoized prediction vectors (new observation or new row)."""
+        self._predicted_runtimes = None
+        self._predicted_budgets = None
+
     def predict_runtimes(self) -> np.ndarray:
         """Predicted P90 runtime on every catalog VM (observed = measured).
 
         Blends the probe-calibrated source-profile transfer with the
         bipartite graph's label→VM affinity path (see
-        :meth:`SimilarityPredictor.predict`).
+        :meth:`SimilarityPredictor.predict`).  The vector is memoized —
+        :meth:`recommend` and the :meth:`step` loops reuse it — and
+        invalidated whenever a new observation changes the inputs.
         """
-        sel = self._sel
-        vm_index = sel._vm_index
-        idx = np.fromiter(
-            (vm_index[n] for n in self.observations),
-            dtype=int,
-            count=len(self.observations),
-        )
-        obs = np.fromiter(
-            self.observations.values(), dtype=float, count=len(self.observations)
-        )
-        affinity = sel.V @ self.completed_row
-        return sel.predictor.predict(
-            self.completed_row,
-            idx,
-            obs,
-            affinity=affinity,
-            affinity_tau=NEAR_BEST_TAU,
-            affinity_weight=sel.affinity_weight,
-        )
+        if self._predicted_runtimes is None:
+            sel = self._sel
+            vm_index = sel._vm_index
+            idx = np.fromiter(
+                (vm_index[n] for n in self.observations),
+                dtype=int,
+                count=len(self.observations),
+            )
+            obs = np.fromiter(
+                self.observations.values(), dtype=float, count=len(self.observations)
+            )
+            affinity = sel.V @ self.completed_row
+            pred = sel.predictor.predict(
+                self.completed_row,
+                idx,
+                obs,
+                affinity=affinity,
+                affinity_tau=NEAR_BEST_TAU,
+                affinity_weight=sel.affinity_weight,
+            )
+            pred.setflags(write=False)
+            self._predicted_runtimes = pred
+        return self._predicted_runtimes
 
     def predict_runtime(self, vm: VMType | str) -> float:
         """Predicted runtime on one VM type (Figure 7's quantity)."""
@@ -258,14 +294,19 @@ class OnlineSession:
         return float(self.predict_runtimes()[self._sel.vm_index(name)])
 
     def predict_budgets(self) -> np.ndarray:
-        """Predicted budget (USD) on every catalog VM."""
-        runtimes = self.predict_runtimes()
-        return np.array(
-            [
-                Cluster(vm=vm, nodes=self.spec.nodes).budget(rt)
-                for vm, rt in zip(self._sel.vms, runtimes)
-            ]
-        )
+        """Predicted budget (USD) on every catalog VM.
+
+        Vectorized over the selector's precomputed price array — the
+        billing arithmetic matches
+        :func:`repro.cloud.pricing.budget_for_runtime` bit for bit.
+        """
+        if self._predicted_budgets is None:
+            runtimes = self.predict_runtimes()
+            billed = np.maximum(runtimes, MIN_BILLED_SECONDS)
+            budgets = (self._sel._prices * self.spec.nodes) * billed / 3600.0
+            budgets.setflags(write=False)
+            self._predicted_budgets = budgets
+        return self._predicted_budgets
 
     # -- refinement --------------------------------------------------------------------
 
@@ -286,6 +327,7 @@ class OnlineSession:
                 self._failed_observations.add(name)
                 self.degraded = True
                 raise
+            self._invalidate_predictions()
         return self.observations[name]
 
     def step(self, objective: str = "time") -> tuple[str, float]:
@@ -318,10 +360,10 @@ class OnlineSession:
     def recommend(self, objective: str = "time") -> Recommendation:
         """Current best VM under ``objective``."""
         runtimes = self.predict_runtimes()
-        scores = self._objective_scores(objective)
+        scores = self._objective_scores(objective)  # memo hit for "time"
         best = int(np.argmin(scores))
         vm = self._sel.vms[best]
-        budget = Cluster(vm=vm, nodes=self.spec.nodes).budget(float(runtimes[best]))
+        budget = float(self.predict_budgets()[best])
         return Recommendation(
             workload=self.spec.name,
             objective=objective,
@@ -378,6 +420,15 @@ class VestaSelector:
     label_width, label_softness:
         Interval width (paper: 0.05) and soft-membership kernel radius of
         the label universe (see :class:`~repro.core.labels.LabelSpace`).
+    cmf_mode:
+        How online sessions complete the sparse target row.  ``"full"``
+        (default) re-runs the full collective factorization per target —
+        the paper-faithful reproduction path, bit-identical to every
+        historical experiment.  ``"foldin"`` freezes the offline
+        ``source_factors`` stage (U ≈ A Lᵀ, V ≈ B Lᵀ, computed once at
+        :meth:`fit` time) and solves each target row as an exact
+        closed-form masked ridge fold-in against L — the low-latency
+        serving path.
     seed:
         Master seed for every stochastic component.
     jobs:
@@ -418,6 +469,7 @@ class VestaSelector:
         affinity_weight: float = 0.25,
         label_width: float = INTERVAL_WIDTH,
         label_softness: int = 2,
+        cmf_mode: str = "full",
         seed: int = 0,
         jobs: int | None = None,
         cache: ProfileCache | str | None = None,
@@ -436,6 +488,7 @@ class VestaSelector:
             correlation_probe_count=correlation_probe_count,
             label_width=label_width,
             label_softness=label_softness,
+            cmf_mode=cmf_mode,
         )
         self.k = k
         self.lam = lam
@@ -449,6 +502,7 @@ class VestaSelector:
         self.affinity_weight = affinity_weight
         self.label_width = label_width
         self.label_softness = label_softness
+        self.cmf_mode = cmf_mode
         self.seed = seed
         self.campaign = ProfilingCampaign(
             repetitions=repetitions, seed=seed, jobs=jobs, cache=cache, faults=faults
@@ -461,6 +515,8 @@ class VestaSelector:
         self.pipeline = KnowledgePipeline(self)
 
         self._vm_index = {vm.name: i for i, vm in enumerate(self.vms)}
+        self._prices = np.array([vm.price_per_hour for vm in self.vms])
+        self._prices.setflags(write=False)
         self._fitted = False
 
     @staticmethod
@@ -473,6 +529,7 @@ class VestaSelector:
             "label_width": lambda v: 0 < v <= 2.0,
             "label_softness": lambda v: v >= 0,
             "keep_mass": lambda v: 0 < v <= 1.0,
+            "cmf_mode": lambda v: v in ("full", "foldin"),
         }
         bounds = {
             "k": "k must be >= 1",
@@ -481,12 +538,62 @@ class VestaSelector:
             "label_width": "label_width must be in (0, 2]",
             "label_softness": "label_softness must be >= 0",
             "keep_mass": "keep_mass must be in (0, 1]",
+            "cmf_mode": "cmf_mode must be 'full' or 'foldin'",
         }
         for name, value in params.items():
             if name in checks and not checks[name](value):
                 raise ValidationError(bounds[name])
 
     # -- helpers ----------------------------------------------------------------
+
+    def _cmf(self) -> CMF:
+        """The CMF instance shared by offline factorization and online
+        completion — one construction site so both halves agree on every
+        hyperparameter."""
+        return CMF(latent_dim=self.latent_dim, lam=self.lam, seed=self.seed)
+
+    def complete_rows(
+        self, rows: np.ndarray, masks: np.ndarray
+    ) -> tuple[CMFResult, ...]:
+        """Complete sparse target rows per the selector's ``cmf_mode``.
+
+        ``"full"`` re-runs the collective factorization per row (the
+        reproduction path, bit-identical to the historical inline fit);
+        ``"foldin"`` solves all rows in one exact closed-form batch
+        against the offline ``source_factors`` stage.  Fold-in rows are
+        independent, so batch and one-at-a-time completion agree bit for
+        bit.
+        """
+        rows = np.asarray(rows, dtype=float)
+        masks = np.asarray(masks, dtype=float)
+        if rows.ndim != 2 or masks.shape != rows.shape:
+            raise ValidationError(
+                f"rows {rows.shape} and masks {masks.shape} must be "
+                "matching 2-D arrays"
+            )
+        if self.cmf_mode == "foldin":
+            factors = getattr(self, "source_factors", None)
+            if factors is None:
+                raise ValidationError(
+                    "cmf_mode='foldin' needs the offline source_factors "
+                    "stage; call fit() first"
+                )
+            astar = self._cmf().fold_in(factors.L, rows, masks)
+            return tuple(
+                CMFResult(
+                    A=factors.A,
+                    B=factors.B,
+                    Astar=astar[i : i + 1],
+                    L=factors.L,
+                    objective_history=np.empty(0),
+                    converged=factors.converged,
+                )
+                for i in range(rows.shape[0])
+            )
+        return tuple(
+            self._cmf().fit(self.U, self.V, rows[i : i + 1], masks[i : i + 1])
+            for i in range(rows.shape[0])
+        )
 
     def vm_index(self, name: str) -> int:
         try:
@@ -621,3 +728,49 @@ class VestaSelector:
     def select(self, spec: WorkloadSpec, objective: str = "time") -> Recommendation:
         """One-shot best-VM selection (sandbox + probes + CMF + predict)."""
         return self.online(spec).recommend(objective)
+
+    def online_many(self, specs) -> tuple[OnlineSession, ...]:
+        """Open online sessions for a batch of targets in one wave.
+
+        All sandbox and probe profiling runs of the whole batch are fanned
+        through the campaign's process pool in a single prefetch (one
+        serial session profiles 1 + ``probes`` cells at a time), then
+        every target row is completed in one :meth:`complete_rows` call —
+        a single batched solve under ``cmf_mode="foldin"``.  Results are
+        bit-identical to opening the sessions one by one, at any ``jobs``.
+        """
+        if not self._fitted:
+            raise ValidationError("VestaSelector is not fitted; call fit() first")
+        specs = tuple(specs)
+        cells: list[tuple[WorkloadSpec, VMType, bool]] = []
+        for spec in specs:
+            sandbox, probes = _probe_plan(self, spec)
+            cells.append((spec, sandbox, False))
+            cells.extend((spec, vm, True) for vm in probes)
+        self.campaign.prefetch(cells)
+        sessions = tuple(
+            OnlineSession(self, spec, _defer_completion=True) for spec in specs
+        )
+        if sessions:
+            rows = np.vstack([s._sparse_row for s in sessions])
+            masks = np.vstack([s._mask for s in sessions])
+            results = self.complete_rows(rows, masks)
+            for session, result in zip(sessions, results):
+                session._complete_row(result)
+                if session.converged:
+                    self.graph.add_target_workload(
+                        session.spec.name, session.completed_row
+                    )
+        return sessions
+
+    def select_many(
+        self, specs, objective: str = "time"
+    ) -> tuple[Recommendation, ...]:
+        """Batched one-shot selection: one recommendation per target.
+
+        The batched counterpart of :meth:`select` — same results, one
+        profiling wave and one row-completion solve for the whole batch.
+        """
+        return tuple(
+            session.recommend(objective) for session in self.online_many(specs)
+        )

@@ -38,7 +38,7 @@ import numpy as np
 from repro.cloud.faults import FaultEvent, FaultPlan
 from repro.cloud.noise import CloudNoiseModel
 from repro.cloud.vmtypes import VMType, get_vm_type
-from repro.errors import ValidationError
+from repro.errors import ProbeFailedError, ValidationError
 from repro.telemetry.collector import (
     DEFAULT_REPETITIONS,
     DataCollector,
@@ -254,6 +254,11 @@ class _Task:
     sample_period_s: float
     runtime_only: bool
     faults: FaultPlan | None = None
+    #: Capture mode (speculative prefetch): a permanently failed run
+    #: returns ``(index, None, ())`` instead of raising, leaving the cell
+    #: uncomputed so the consumer's own retry reproduces the failure (and
+    #: its fault events) exactly where the serial path would have seen it.
+    capture: bool = False
 
 
 def _run_batch(
@@ -278,12 +283,17 @@ def _run_task(task: _Task) -> tuple[int, WorkloadProfile | float, tuple[FaultEve
         sample_period_s=task.sample_period_s,
         faults=task.faults,
     )
-    if task.runtime_only:
-        value: WorkloadProfile | float = collector.runtime_only(
-            task.spec, task.vm, nodes=task.nodes
-        )
-    else:
-        value = collector.collect(task.spec, task.vm, nodes=task.nodes)
+    try:
+        if task.runtime_only:
+            value: WorkloadProfile | float | None = collector.runtime_only(
+                task.spec, task.vm, nodes=task.nodes
+            )
+        else:
+            value = collector.collect(task.spec, task.vm, nodes=task.nodes)
+    except ProbeFailedError:
+        if not task.capture:
+            raise
+        return task.index, None, ()
     return task.index, value, tuple(collector.drain_fault_events())
 
 
@@ -394,6 +404,79 @@ class ProfilingCampaign:
             for i, spec in enumerate(specs)
             for j, vm_name in enumerate(vm_names)
         }
+
+    def prefetch(
+        self,
+        cells,
+        *,
+        nodes: int | None = None,
+    ) -> int:
+        """Warm the memo/cache for a heterogeneous batch of cells.
+
+        ``cells`` is an iterable of ``(spec, vm, runtime_only)`` — unlike
+        the rectangular grid API, each cell chooses its own kind, which is
+        exactly the shape of a batched online wave (one full sandbox
+        profile plus ``probes`` runtime-only cells per target).  Misses
+        fan out over the process pool in a single wave; subsequent
+        :meth:`collect`/:meth:`runtime_only` calls for the same cells are
+        pure memo hits, so results stay bit-identical to the serial path.
+
+        Runs speculatively under a fault plan: a cell whose run fails
+        permanently is left uncomputed (its fault events are dropped) so
+        the consumer's own retry reproduces the failure — and its events
+        — deterministically.  Returns the number of cells computed.
+        """
+        start = time.perf_counter()
+        pending: list[tuple[_Task, str]] = []
+        seen: set[str] = set()
+        for spec, vm, runtime_only in cells:
+            vm = self._resolve_vm(vm)
+            kind = "p90" if runtime_only else "profile"
+            key = self._key(spec, vm, nodes, kind)
+            if key in seen:
+                continue
+            seen.add(key)
+            self.counters.scheduled += 1
+            if self._lookup(key, runtime_only) is not None:
+                self.counters.cache_hits += 1
+                continue
+            self.counters.cache_misses += 1
+            pending.append(
+                (
+                    _Task(
+                        index=len(pending),
+                        spec=spec,
+                        vm=vm,
+                        nodes=nodes,
+                        seed=self.seed,
+                        repetitions=self.repetitions,
+                        sample_period_s=self.sample_period_s,
+                        runtime_only=runtime_only,
+                        faults=self.faults,
+                        capture=True,
+                    ),
+                    key,
+                )
+            )
+        computed = 0
+        if pending:
+            key_by_index = {task.index: key for task, key in pending}
+            task_by_index = {task.index: task for task, _ in pending}
+            # Sorted by cell index so the fault log reads in request order
+            # whatever the workers' completion order was.
+            for idx, value, events in sorted(
+                self._execute([t for t, _ in pending]), key=lambda r: r[0]
+            ):
+                if value is None:
+                    continue  # failed speculative run: consumer retries
+                self._store(
+                    key_by_index[idx], value, task_by_index[idx].runtime_only
+                )
+                self._absorb_events(events)
+                self.counters.computed += 1
+                computed += 1
+        self.counters.elapsed_s += time.perf_counter() - start
+        return computed
 
     # -- internals ---------------------------------------------------------------------
 

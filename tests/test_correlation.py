@@ -131,6 +131,33 @@ class TestCorrelationVector:
         v = correlation_vector(series)
         assert v[CORRELATION_NAMES.index("cpu-to-network")] == pytest.approx(-1.0)
 
+    def test_bit_identical_to_pairwise_definition(self, rng):
+        """The shared-series fast path must reproduce the definitional
+        pair-at-a-time evaluation bit for bit."""
+        from repro.analysis.correlation import _DERIVED, _split_pair
+
+        def reference(series):
+            out = np.empty(NUM_CORRELATIONS)
+            for i, name in enumerate(CORRELATION_NAMES):
+                left, right = _split_pair(name)
+                out[i] = pearson(_DERIVED[left](series), _DERIVED[right](series))
+            return out
+
+        real = simulate_run(
+            get_workload("spark-lr"), "m5.xlarge", rng=np.random.default_rng(1)
+        ).timeseries
+        cases = [real, np.zeros((10, NUM_METRICS)), np.ones((1, NUM_METRICS))]
+        cases += [
+            rng.normal(size=(rng.integers(2, 40), NUM_METRICS))
+            * rng.choice([0.0, 1e-9, 1.0, 1e6], size=NUM_METRICS)
+            for _ in range(20)
+        ]
+        for series in cases:
+            assert (
+                correlation_vector(series).tobytes()
+                == reference(series).tobytes()
+            )
+
     def test_cross_framework_same_algorithm_similar(self, rng):
         """The paper's core observation: correlation similarities transfer."""
         def sig(name):

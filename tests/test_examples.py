@@ -56,3 +56,21 @@ def test_cli_select_command(capsys):
     assert main(["select", "spark-grep", "--objective", "budget", "--top", "3"]) == 0
     out = capsys.readouterr().out
     assert "recommended VM type" in out and "top 3 predictions" in out
+
+
+def test_cli_select_many(capsys):
+    from repro.cli import main
+
+    assert main(
+        ["select", "--many", "--cmf-mode", "foldin", "spark-grep", "spark-sort"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "batch selection" in out
+    assert "spark-grep" in out and "spark-sort" in out
+
+
+def test_cli_select_multiple_without_many_rejected(capsys):
+    from repro.cli import main
+
+    assert main(["select", "spark-grep", "spark-sort"]) == 2
+    assert "--many" in capsys.readouterr().err

@@ -177,12 +177,20 @@ class TestRefit:
             assert sel.stage_report["labels_u"].action == "memory"
         assert sel.campaign.counters.computed == computed_after_fit
 
-    def test_refit_lambda_recomputes_no_cached_stage(self, sources, vms):
+    def test_refit_lambda_recomputes_only_source_factors(self, sources, vms):
+        # λ feeds the offline CMF factorization (the source_factors
+        # stage) but no profiling-derived stage: a λ refit re-solves the
+        # factorization and serves everything else from memory.
         sel = small_vesta(sources, vms).fit()
+        computed_after_fit = sel.campaign.counters.computed
         sel.refit(lam=0.5)
+        actions = {name: r.action for name, r in sel.stage_report.items()}
+        assert actions["source_factors"] == "computed"
         assert all(
-            sel.stage_report[name].action == "memory" for name in CACHED_STAGES
+            actions[name] == "memory"
+            for name in CACHED_STAGES - {"source_factors"}
         )
+        assert sel.campaign.counters.computed == computed_after_fit
         assert sel.lam == 0.5
 
     def test_refit_keep_mass_recomputes_selection_onward(self, sources, vms):
