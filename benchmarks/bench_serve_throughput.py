@@ -1,0 +1,164 @@
+"""Performance bench: concurrent-client throughput of the selection service.
+
+The micro-batching scheduler exists to turn client concurrency into
+batched online waves: N clients hammering the service should coalesce
+into ``select_many`` solves instead of N one-at-a-time sessions.  This
+bench drives the scheduler with a pool of concurrent clients and
+compares sustained throughput against the one-request-at-a-time
+baseline (sequential ``select`` calls — exactly what looping
+``repro select`` does), asserting the micro-batched service is at least
+2× faster.  It also exercises admission control: a burst larger than
+the queue bound must yield explicit rejections, not latency collapse.
+
+Numbers land in ``BENCH_serve.json`` at the repo root (same trajectory
+convention as ``BENCH_online.json``) so future PRs can compare.
+"""
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.cloud.vmtypes import catalog
+from repro.core.persistence import load_selector, save_selector
+from repro.core.vesta import VestaSelector
+from repro.errors import ServiceOverloadedError
+from repro.service import MicroBatchScheduler, SelectorRegistry
+from repro.workloads.catalog import target_set, training_set
+
+SOURCES = training_set()[:6]
+VMS = catalog()[:14]
+SEED = 7
+TARGETS = target_set()[:8]
+CLIENTS = 8
+REQUESTS = 64  # per measured round
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+
+def _timed(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _record(**fields) -> None:
+    """Merge measurements into BENCH_serve.json (the perf trajectory)."""
+    results = {}
+    if RESULTS_PATH.is_file():
+        try:
+            results = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            results = {}
+    results.update(fields)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    """Baseline selector + a registry serving its fold-in twin.
+
+    The baseline is the fitted full-CMF selector that one-at-a-time
+    ``repro select`` serves from; the service serves the same knowledge
+    through the fold-in archive twin (the deployment configuration).
+    Profiling memos are warmed for both so the clocks measure serving
+    compute, not the simulator.
+    """
+    baseline = VestaSelector(vms=VMS, sources=SOURCES, seed=SEED).fit()
+    path = tmp_path_factory.mktemp("bench-serve") / "knowledge.npz"
+    save_selector(baseline, path)
+    foldin = load_selector(path).refit(cmf_mode="foldin")
+    for spec in TARGETS:
+        baseline.online(spec)
+        foldin.online(spec)
+    registry = SelectorRegistry()
+    registry.register("default", foldin)
+    return baseline, registry
+
+
+def _drive(scheduler: MicroBatchScheduler, requests: int) -> None:
+    names = [TARGETS[i % len(TARGETS)].name for i in range(requests)]
+    with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+        for response in pool.map(scheduler.select, names):
+            assert response.recommendation.vm_name
+
+
+def test_service_throughput_at_least_2x_sequential(served):
+    """Concurrent micro-batched serving vs one-request-at-a-time."""
+    baseline, registry = served
+
+    # Correctness guard before the clocks: the service must answer
+    # exactly what sequential serving answers.
+    with MicroBatchScheduler(registry, max_batch=16, max_wait_ms=2.0) as sched:
+        for spec in TARGETS:
+            assert sched.select(spec.name).recommendation.vm_name == (
+                baseline.select(spec).vm_name
+            )
+
+    sequential_s = _timed(
+        lambda: [
+            baseline.select(TARGETS[i % len(TARGETS)]) for i in range(REQUESTS)
+        ]
+    )
+
+    with MicroBatchScheduler(
+        registry, max_batch=16, max_wait_ms=2.0, queue_limit=256
+    ) as sched:
+        batched_s = _timed(lambda: _drive(sched, REQUESTS))
+        stats = sched.stats()
+
+    # The same concurrency with coalescing disabled (max_batch=1): what
+    # the threading frontend would do without the scheduler.
+    with MicroBatchScheduler(
+        registry, max_batch=1, max_wait_ms=0.0, queue_limit=256
+    ) as unbatched:
+        unbatched_s = _timed(lambda: _drive(unbatched, REQUESTS))
+
+    speedup = sequential_s / batched_s
+    mean_batch = stats["completed"] / max(stats["batches"], 1)
+    _record(
+        serve_requests=REQUESTS,
+        serve_clients=CLIENTS,
+        serve_sequential_rps=round(REQUESTS / sequential_s, 1),
+        serve_batched_rps=round(REQUESTS / batched_s, 1),
+        serve_unbatched_rps=round(REQUESTS / unbatched_s, 1),
+        serve_speedup=round(speedup, 2),
+        serve_mean_batch=round(mean_batch, 2),
+        serve_p99_ms=stats["latency"]["p99_ms"],
+    )
+    print(
+        f"\n{REQUESTS} requests, {CLIENTS} clients: "
+        f"sequential {REQUESTS / sequential_s:.0f} rps   "
+        f"service {REQUESTS / batched_s:.0f} rps "
+        f"(mean batch {mean_batch:.1f})   speedup: {speedup:.1f}x"
+    )
+    assert speedup >= 2.0
+
+
+def test_overload_burst_rejects_instead_of_collapsing(served):
+    """A burst beyond the admission bound yields explicit rejections."""
+    _, registry = served
+    limit = 8
+    sched = MicroBatchScheduler(
+        registry, max_batch=4, max_wait_ms=0.0, queue_limit=limit, start=False
+    )
+    admitted, rejected = [], 0
+    for i in range(limit * 3):
+        try:
+            admitted.append(sched.submit(TARGETS[i % len(TARGETS)].name))
+        except ServiceOverloadedError:
+            rejected += 1
+    assert len(admitted) == limit and rejected == limit * 2
+    sched.start()
+    for future in admitted:
+        assert future.result(timeout=60).recommendation.vm_name
+    sched.close()
+    _record(
+        serve_burst=limit * 3,
+        serve_queue_limit=limit,
+        serve_burst_rejected=rejected,
+    )

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# End-to-end serving check (used by CI): start `repro serve` on a fitted
+# archive, run one HTTP /select, and assert the payload is exactly the
+# recommendation `repro select --archive --json` prints for the same
+# archive — the service's bit-identity guarantee, checked over the wire.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH=src
+
+WORKLOAD=${1:-spark-lr}
+PORT=${2:-8355}
+WORKDIR=$(mktemp -d)
+SERVER_PID=""
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORKDIR"' EXIT
+
+ARCHIVE="$WORKDIR/knowledge.npz"
+
+echo "== fit reduced knowledge -> archive =="
+python - "$ARCHIVE" <<'PY'
+import sys
+
+from repro.cloud.vmtypes import catalog
+from repro.core.persistence import save_selector
+from repro.core.vesta import VestaSelector
+from repro.workloads.catalog import training_set
+
+vesta = VestaSelector(
+    vms=catalog()[:10], sources=training_set()[:5], seed=7
+).fit()
+save_selector(vesta, sys.argv[1])
+print(f"archived fingerprint {vesta.knowledge_fingerprint()}")
+PY
+
+echo "== baseline: repro select --archive --json =="
+python -m repro select "$WORKLOAD" --archive "$ARCHIVE" --json \
+    > "$WORKDIR/cli.json"
+
+echo "== repro serve --archive + HTTP /select =="
+python -m repro serve --archive "$ARCHIVE" --port "$PORT" \
+    > "$WORKDIR/serve.log" 2>&1 &
+SERVER_PID=$!
+
+if ! python - "$WORKLOAD" "$PORT" "$WORKDIR/cli.json" <<'PY'
+import json
+import sys
+import time
+from urllib.error import URLError
+from urllib.request import Request, urlopen
+
+workload, port, cli_path = sys.argv[1], int(sys.argv[2]), sys.argv[3]
+base = f"http://127.0.0.1:{port}"
+for _ in range(120):
+    try:
+        health = json.load(urlopen(base + "/healthz", timeout=5))
+        if health["status"] == "ok":
+            break
+    except (URLError, OSError):
+        time.sleep(0.5)
+else:
+    sys.exit("service never became healthy")
+
+request = Request(
+    base + "/select",
+    data=json.dumps({"workload": workload}).encode(),
+    headers={"Content-Type": "application/json"},
+)
+payload = json.load(urlopen(request, timeout=300))
+with open(cli_path) as fh:
+    expected = json.load(fh)
+if payload["recommendation"] != expected:
+    sys.exit(
+        "HTTP /select diverged from `repro select --json`:\n"
+        f"  http: {payload['recommendation']}\n  cli:  {expected}"
+    )
+stats = json.load(urlopen(base + "/statsz", timeout=5))
+print(
+    f"HTTP payload == CLI payload: {payload['recommendation']['vm_name']} "
+    f"(fingerprint {payload['model']['fingerprint']}, "
+    f"served {stats['schedulers']['default']['completed']})"
+)
+PY
+then
+    echo "---- serve.log ----"
+    cat "$WORKDIR/serve.log"
+    exit 1
+fi
+
+kill "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+echo "serve check OK"

@@ -21,4 +21,7 @@ python -m pytest -q benchmarks/bench_perf_refit.py
 echo "== online serving (fold-in >= 3x, select_many >= 2x) =="
 python -m pytest -q benchmarks/bench_perf_online.py
 
+echo "== selection service (concurrent clients >= 2x sequential) =="
+python -m pytest -q benchmarks/bench_serve_throughput.py
+
 echo "smoke OK"

@@ -10,9 +10,12 @@ Commands
 ``experiment``    regenerate one paper artifact (``fig06``, ``tab01``, ...)
 ``latency``       batch-latency/throughput report for a workload on VM types
 ``stages``        inspect or invalidate stage artifacts in an artifact store
+``serve``         run the concurrent selection service (HTTP frontend)
 
 The CLI is a thin shell over the library — every command maps to public
-API calls documented in the README.
+API calls documented in the README.  Library errors (bad names, invalid
+values, failed probes) exit nonzero with a one-line message on stderr
+instead of a traceback.
 """
 
 from __future__ import annotations
@@ -42,9 +45,14 @@ EXPERIMENT_IDS = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Vesta reproduction: VM-type selection across big-data frameworks",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -105,9 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
              "solve their completions together (select_many)",
     )
     p_sel.add_argument(
-        "--cmf-mode", choices=("full", "foldin"), default="full",
+        "--cmf-mode", choices=("full", "foldin"), default=None,
         help="online completion: 'full' re-runs the joint factorization per "
-             "target, 'foldin' reuses precomputed source factors (low latency)",
+             "target, 'foldin' reuses precomputed source factors (low "
+             "latency); default: 'full', or the archive's own mode",
     )
     p_sel.add_argument("--seed", type=int, default=7)
     p_sel.add_argument(
@@ -130,6 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=None,
         help="stage-artifact store sqlite path: pipeline stages unchanged "
              "since the last fit against this store are reused (default: none)",
+    )
+    p_sel.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="load fitted knowledge from a persistence archive (.npz) "
+             "instead of fitting; fit options are ignored",
+    )
+    p_sel.add_argument(
+        "--json", action="store_true",
+        help="print the recommendation(s) as JSON (the service wire format)",
     )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
@@ -156,6 +174,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_lat.add_argument("workload", help="Table-3 name, e.g. hadoop-twitter")
     p_lat.add_argument("vms", nargs="+", help="VM type names to compare")
+
+    p_srv = sub.add_parser(
+        "serve", help="run the concurrent selection service (HTTP frontend)"
+    )
+    p_srv.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="serve fitted knowledge from a persistence archive (.npz); "
+             "default: fit a fresh selector at startup",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument(
+        "--port", type=int, default=8349,
+        help="listen port (0 picks an ephemeral port; default: 8349)",
+    )
+    p_srv.add_argument(
+        "--max-batch", type=int, default=16,
+        help="largest coalesced request batch (default: 16)",
+    )
+    p_srv.add_argument(
+        "--max-wait-ms", type=float, default=2.0,
+        help="batching window after the first queued request (default: 2)",
+    )
+    p_srv.add_argument(
+        "--queue-limit", type=int, default=128,
+        help="admission queue bound; beyond it requests are rejected "
+             "with HTTP 429 (default: 128)",
+    )
+    p_srv.add_argument(
+        "--cmf-mode", choices=("full", "foldin"), default=None,
+        help="override the served completion mode (foldin = low latency); "
+             "default: the archive's / selector's own mode",
+    )
+    p_srv.add_argument("--seed", type=int, default=7, help="fresh-fit seed")
+    p_srv.add_argument(
+        "--jobs", type=int, default=None,
+        help="offline-campaign worker processes (default: CPU count)",
+    )
+    p_srv.add_argument(
+        "--cache", default=None,
+        help="persistent profile-cache sqlite path (default: none)",
+    )
+    p_srv.add_argument(
+        "--store", default=None,
+        help="stage-artifact store sqlite path (default: none)",
+    )
+    p_srv.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
     return parser
 
 
@@ -260,10 +326,37 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_selector(args: argparse.Namespace, *, announce: bool = True):
+    """Fitted selector for ``select``/``serve``: archive load or fresh fit."""
+    from repro.core.persistence import load_selector
+    from repro.core.vesta import VestaSelector
+
+    if getattr(args, "archive", None):
+        vesta = load_selector(
+            args.archive, jobs=args.jobs, cache=args.cache,
+            faults=_fault_plan(args), store=args.store,
+        )
+        if args.cmf_mode is not None and args.cmf_mode != vesta.cmf_mode:
+            vesta.refit(cmf_mode=args.cmf_mode)
+        if announce:
+            print(f"loaded fitted knowledge from {args.archive} "
+                  f"(cmf_mode={vesta.cmf_mode})")
+        return vesta
+    if announce:
+        print("fitting offline knowledge (source workloads x full catalog)...")
+    return VestaSelector(
+        seed=args.seed, jobs=args.jobs, cache=args.cache,
+        faults=_fault_plan(args), store=args.store,
+        cmf_mode=args.cmf_mode or "full",
+    ).fit()
+
+
 def _cmd_select(args: argparse.Namespace) -> int:
+    import json
+
     import numpy as np
 
-    from repro.core.vesta import VestaSelector
+    from repro.service.wire import recommendation_to_dict
     from repro.workloads.catalog import get_workload
 
     specs = [get_workload(name) for name in args.workload]
@@ -273,12 +366,8 @@ def _cmd_select(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    print("fitting offline knowledge (source workloads x full catalog)...")
-    vesta = VestaSelector(
-        seed=args.seed, jobs=args.jobs, cache=args.cache, faults=_fault_plan(args),
-        store=args.store, cmf_mode=args.cmf_mode,
-    ).fit()
-    if args.store:
+    vesta = _build_selector(args, announce=not args.json)
+    if args.store and not args.json:
         reused = [
             name for name, r in vesta.stage_report.items() if r.action != "computed"
         ]
@@ -286,6 +375,11 @@ def _cmd_select(args: argparse.Namespace) -> int:
 
     if args.many:
         recs = vesta.select_many(specs, objective=args.objective)
+        if args.json:
+            print(json.dumps(
+                [recommendation_to_dict(r) for r in recs], indent=2
+            ))
+            return 0
         print(
             f"\nbatch selection ({args.objective}, cmf_mode={vesta.cmf_mode}):"
         )
@@ -301,6 +395,9 @@ def _cmd_select(args: argparse.Namespace) -> int:
     spec = specs[0]
     session = vesta.online(spec)
     rec = session.recommend(args.objective)
+    if args.json:
+        print(json.dumps(recommendation_to_dict(rec), indent=2))
+        return 0
     print(f"\nrecommended VM type for {spec.name} ({args.objective}): {rec.vm_name}")
     print(f"   predicted runtime: {rec.predicted_runtime_s:.1f} s")
     print(f"   predicted budget:  ${rec.predicted_budget_usd:.4f}")
@@ -392,8 +489,50 @@ def _cmd_stages(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import SelectionService, SelectorRegistry
+    from repro.service.server import serve
+
+    vesta = _build_selector(args)
+    registry = SelectorRegistry()
+    handle = registry.register("default", vesta)
+    service = SelectionService(
+        registry,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_limit=args.queue_limit,
+    )
+    server = serve(
+        service, args.host, args.port, verbose=args.verbose, background=True
+    )
+    host, port = server.address
+    print(f"serving selector 'default' (fingerprint {handle.fingerprint}, "
+          f"cmf_mode={vesta.cmf_mode}) on http://{host}:{port}")
+    print('   POST /select   {"workload": "spark-lr"}')
+    print("   GET  /healthz  GET /statsz        (Ctrl-C to stop)")
+    import time
+
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+    finally:
+        server.close()
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Library failures — unknown names (:class:`CatalogError`), invalid
+    values (:class:`ValidationError`), permanently failed probe runs
+    (:class:`ProbeFailedError`) and the rest of the :class:`ReproError`
+    hierarchy — exit with code 1 and a one-line message on stderr;
+    argparse keeps its conventional exit code 2 for bad arguments.
+    """
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
     handler = {
         "catalog": _cmd_catalog,
@@ -404,8 +543,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiment": _cmd_experiment,
         "latency": _cmd_latency,
         "stages": _cmd_stages,
+        "serve": _cmd_serve,
     }[args.command]
-    return handler(args)
+    try:
+        return handler(args)
+    except ReproError as exc:
+        # KeyError subclasses (CatalogError) repr their message; unwrap.
+        message = exc.args[0] if isinstance(exc, KeyError) and exc.args else exc
+        print(f"repro: error: {message}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -29,6 +29,7 @@ import io
 import json
 import os
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -108,6 +109,12 @@ class ArtifactStore:
         recreated; an unopenable path degrades to an in-memory store —
         either way the pipeline falls back to recomputation rather than
         failing.
+
+    A store instance may be shared across threads: the serving registry
+    reads stage artifacts from server threads while fits write from
+    workers, so the connection is opened with
+    ``check_same_thread=False`` and every statement runs under one
+    reentrant lock.
     """
 
     def __init__(self, path: str = ":memory:") -> None:
@@ -115,12 +122,13 @@ class ArtifactStore:
         self.hits = 0
         self.misses = 0
         self.recovered = False
+        self._lock = threading.RLock()
         self._conn = self._open()
 
     # -- lifecycle -----------------------------------------------------------
 
     def _connect(self, path: str) -> sqlite3.Connection:
-        conn = sqlite3.connect(path)
+        conn = sqlite3.connect(path, check_same_thread=False)
         if path != ":memory:":
             conn.execute("PRAGMA busy_timeout=30000")
             conn.execute("PRAGMA journal_mode=WAL")
@@ -142,7 +150,8 @@ class ArtifactStore:
             return self._connect(":memory:")
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "ArtifactStore":
         return self
@@ -152,9 +161,10 @@ class ArtifactStore:
 
     def __len__(self) -> int:
         try:
-            row = self._conn.execute(
-                "SELECT COUNT(*) FROM stage_artifacts"
-            ).fetchone()
+            with self._lock:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM stage_artifacts"
+                ).fetchone()
             return int(row[0])
         except sqlite3.Error:
             return 0
@@ -180,10 +190,11 @@ class ArtifactStore:
     def get(self, key: str) -> Artifact | None:
         """Fetch one artifact by fingerprint, or ``None`` when absent."""
         try:
-            row = self._conn.execute(
-                "SELECT stage, meta, payload FROM stage_artifacts WHERE key=?",
-                (key,),
-            ).fetchone()
+            with self._lock:
+                row = self._conn.execute(
+                    "SELECT stage, meta, payload FROM stage_artifacts WHERE key=?",
+                    (key,),
+                ).fetchone()
             hit = (
                 Artifact(
                     key=key,
@@ -211,17 +222,19 @@ class ArtifactStore:
     ) -> None:
         """Insert or replace the artifact stored under ``key``."""
         try:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO stage_artifacts VALUES (?,?,?,?,?)",
-                (
-                    key,
-                    stage,
-                    json.dumps(meta or {}, sort_keys=True),
-                    self._pack(arrays),
-                    time.time(),
-                ),
-            )
-            self._conn.commit()
+            payload = self._pack(arrays)
+            with self._lock:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO stage_artifacts VALUES (?,?,?,?,?)",
+                    (
+                        key,
+                        stage,
+                        json.dumps(meta or {}, sort_keys=True),
+                        payload,
+                        time.time(),
+                    ),
+                )
+                self._conn.commit()
         except (sqlite3.Error, ValueError):
             pass
 
@@ -236,7 +249,8 @@ class ArtifactStore:
             params = (stage,)
         query += " ORDER BY created DESC, key"
         try:
-            rows = self._conn.execute(query, params).fetchall()
+            with self._lock:
+                rows = self._conn.execute(query, params).fetchall()
         except sqlite3.Error:
             return []
         return [
@@ -247,13 +261,14 @@ class ArtifactStore:
     def invalidate(self, stage: str | None = None) -> int:
         """Delete artifacts (all, or one stage's); returns rows removed."""
         try:
-            if stage is None:
-                cur = self._conn.execute("DELETE FROM stage_artifacts")
-            else:
-                cur = self._conn.execute(
-                    "DELETE FROM stage_artifacts WHERE stage=?", (stage,)
-                )
-            self._conn.commit()
-            return cur.rowcount
+            with self._lock:
+                if stage is None:
+                    cur = self._conn.execute("DELETE FROM stage_artifacts")
+                else:
+                    cur = self._conn.execute(
+                        "DELETE FROM stage_artifacts WHERE stage=?", (stage,)
+                    )
+                self._conn.commit()
+                return cur.rowcount
         except sqlite3.Error:
             return 0

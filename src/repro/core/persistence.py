@@ -50,7 +50,12 @@ from repro.errors import ValidationError
 from repro.telemetry.campaign import ProfileCache
 from repro.workloads.catalog import get_workload
 
-__all__ = ["save_selector", "load_selector", "FORMAT_VERSION"]
+__all__ = [
+    "save_selector",
+    "load_selector",
+    "archive_knowledge_fingerprint",
+    "FORMAT_VERSION",
+]
 
 FORMAT_VERSION = 2
 
@@ -127,6 +132,30 @@ def save_selector(selector: VestaSelector, path: str | Path) -> Path:
     )
     # np.savez appends .npz when missing; normalise the returned path.
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def archive_knowledge_fingerprint(path: str | Path) -> str | None:
+    """Knowledge fingerprint of a saved archive, without restoring it.
+
+    Reads only the archive's JSON metadata and computes the same digest
+    :meth:`VestaSelector.knowledge_fingerprint` reports for the restored
+    selector — the serving registry peeks at this to skip a hot-reload
+    whose archive holds the knowledge version already being served.
+    Returns ``None`` for archives that predate stage fingerprints
+    (version 1); those need a full load to compare.
+    """
+    from repro.core.artifacts import content_fingerprint
+
+    try:
+        with np.load(Path(path)) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"cannot read archive {path}: {exc}") from exc
+    fingerprints = meta.get("stage_fingerprints")
+    if not fingerprints:
+        return None
+    cmf_mode = meta.get("hyperparams", {}).get("cmf_mode", "full")
+    return content_fingerprint(stages=fingerprints, cmf_mode=cmf_mode)[:16]
 
 
 def _restore_v1(
@@ -244,15 +273,20 @@ def load_selector(
         absent from the current catalogs.
     """
     path = Path(path)
-    with np.load(path) as data:
-        meta = json.loads(bytes(data["meta"]).decode())
-        version = meta.get("format_version")
-        if version not in (1, FORMAT_VERSION):
-            raise ValidationError(
-                f"unsupported archive version {version!r}; "
-                f"this build reads versions 1..{FORMAT_VERSION}"
-            )
-        arrays = {key: data[key] for key in data.files if key != "meta"}
+    try:
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"]).decode())
+            version = meta.get("format_version")
+            if version not in (1, FORMAT_VERSION):
+                raise ValidationError(
+                    f"unsupported archive version {version!r}; "
+                    f"this build reads versions 1..{FORMAT_VERSION}"
+                )
+            arrays = {key: data[key] for key in data.files if key != "meta"}
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        if isinstance(exc, ValidationError):
+            raise
+        raise ValidationError(f"cannot read archive {path}: {exc}") from exc
 
     try:
         sources = tuple(get_workload(name) for name in meta["sources"])

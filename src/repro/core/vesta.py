@@ -45,7 +45,7 @@ from repro.analysis.intervals import INTERVAL_WIDTH
 from repro.cloud.faults import FaultEvent, FaultPlan
 from repro.cloud.pricing import MIN_BILLED_SECONDS
 from repro.cloud.vmtypes import SIZE_LADDER, VMType, catalog
-from repro.core.artifacts import ArtifactStore
+from repro.core.artifacts import ArtifactStore, content_fingerprint
 from repro.core.cmf import CMF, CMFResult
 from repro.core.pipeline import NEAR_BEST_TAU, KnowledgePipeline
 from repro.core.sandbox import choose_probe_vms, choose_sandbox_vm
@@ -713,6 +713,25 @@ class VestaSelector:
         self.stage_report = self.pipeline.run()
         self._fitted = True
         return self
+
+    def knowledge_fingerprint(self) -> str:
+        """Digest identifying this selector's fitted knowledge *version*.
+
+        Covers every stage fingerprint of the knowledge pipeline (which
+        in turn covers the campaign configuration, sources, VM set and
+        all knowledge hyperparameters) plus the online completion mode.
+        Two fitted selectors with equal fingerprints answer every
+        selection request bit-identically, so the serving registry uses
+        this digest to decide whether a hot-reload actually swaps
+        anything — and stamps it into every service response.
+        """
+        if not self._fitted:
+            raise ValidationError(
+                "knowledge_fingerprint needs a fitted selector; call fit() first"
+            )
+        return content_fingerprint(
+            stages=self.pipeline.fingerprints(), cmf_mode=self.cmf_mode
+        )[:16]
 
     # -- online phase ---------------------------------------------------------------------
 

@@ -46,6 +46,48 @@ class ConvergenceError(ReproError, RuntimeError):
     """
 
 
+class ServiceError(ReproError, RuntimeError):
+    """Base of the online-serving error taxonomy.
+
+    Raised by :mod:`repro.service` — the selector registry, the
+    micro-batching scheduler and the HTTP frontend.  Service errors are
+    *operational* (overload, deadlines, lifecycle), distinct from the
+    validation and fault-injection hierarchies they coexist with.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The scheduler's admission queue is full; the request was rejected.
+
+    Backpressure is explicit: a bounded queue rejects rather than grow
+    without bound, and carries the limit so clients can size retries.
+    """
+
+    def __init__(self, queue_limit: int = 0) -> None:
+        super().__init__(
+            f"selection service overloaded: admission queue full "
+            f"(limit {queue_limit})"
+        )
+        self.queue_limit = queue_limit
+
+
+class DeadlineExceededError(ServiceError):
+    """A queued request's deadline expired before service began.
+
+    The scheduler completes such requests with this error at dequeue
+    time instead of spending batch capacity on an answer nobody is
+    waiting for.
+    """
+
+    def __init__(self, workload: str = "", waited_s: float = 0.0) -> None:
+        super().__init__(
+            f"request for {workload!r} exceeded its deadline after "
+            f"waiting {waited_s:.3f}s"
+        )
+        self.workload = workload
+        self.waited_s = waited_s
+
+
 class FaultInjectionError(ReproError, RuntimeError):
     """Base of the fault/retry taxonomy raised by the fault-injection layer.
 

@@ -1,0 +1,92 @@
+"""Minimal stdlib HTTP client for the selection service.
+
+Used by the test suite, the throughput bench and scripts that talk to a
+running ``repro serve`` instance.  Typed error bodies map back onto the
+library's exception hierarchy, so calling through the client behaves
+like calling the scheduler in-process: a full queue raises
+:class:`~repro.errors.ServiceOverloadedError` on either side of the
+socket.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+
+from repro.errors import (
+    CatalogError,
+    DeadlineExceededError,
+    ServiceError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+
+__all__ = ["ServiceClient"]
+
+#: Wire error name → local exception type raised by the client.
+_ERRORS = {
+    "ServiceOverloadedError": ServiceOverloadedError,
+    "DeadlineExceededError": DeadlineExceededError,
+    "ValidationError": ValidationError,
+    "CatalogError": CatalogError,
+}
+
+
+class ServiceClient:
+    """One service endpoint; a fresh connection per request.
+
+    Connection-per-request keeps the client trivially usable from many
+    threads (the bench hammers one instance from a thread pool) at the
+    cost of a localhost TCP handshake per call — noise next to the
+    service latency being measured.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout_s: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            payload = None if body is None else json.dumps(body).encode()
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode() or "{}")
+        finally:
+            conn.close()
+        if response.status >= 400:
+            error = _ERRORS.get(data.get("error", ""), ServiceError)
+            message = data.get("message", f"HTTP {response.status} from {path}")
+            if error is ServiceOverloadedError:
+                raise ServiceOverloadedError()
+            raise error(message)
+        return data
+
+    # -- API -------------------------------------------------------------------
+
+    def select(
+        self,
+        workload: str,
+        objective: str = "time",
+        *,
+        selector: str | None = None,
+        timeout_s: float | None = None,
+    ) -> dict:
+        """POST ``/select``; returns the wire payload (see
+        :func:`~repro.service.wire.response_to_dict`)."""
+        body: dict = {"workload": workload, "objective": objective}
+        if selector is not None:
+            body["selector"] = selector
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._request("POST", "/select", body)
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def statsz(self) -> dict:
+        return self._request("GET", "/statsz")

@@ -1,0 +1,170 @@
+"""Thread-safe registry of fitted selectors with atomic hot-reload.
+
+The serving subsystem holds long-lived fitted knowledge: the registry
+maps names to read-only :class:`SelectorHandle` snapshots, each pinning
+one :class:`~repro.core.vesta.VestaSelector` together with its knowledge
+fingerprint and a monotonically increasing generation number.
+
+Handles are immutable and swaps are atomic (one dict assignment under a
+lock), so a hot-reload never disturbs in-flight work: a request that
+already resolved its handle keeps serving from the old selector until it
+finishes, while the next batch picks up the new one.  Reloading from a
+persistence archive is *fingerprint-gated* — the registry peeks at the
+archive's knowledge fingerprint (metadata only, no array restore) and
+skips the swap entirely when the archive holds the version already being
+served, which makes periodic reload-from-disk loops cheap.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.persistence import archive_knowledge_fingerprint, load_selector
+from repro.core.vesta import VestaSelector
+from repro.errors import ServiceError, ValidationError
+
+__all__ = ["SelectorHandle", "SelectorRegistry"]
+
+
+@dataclass(frozen=True)
+class SelectorHandle:
+    """One immutable registered-selector snapshot.
+
+    ``fingerprint`` is the selector's knowledge fingerprint (see
+    :meth:`~repro.core.vesta.VestaSelector.knowledge_fingerprint`);
+    ``generation`` counts swaps of the name since registration, so two
+    handles with equal fingerprints but different generations denote a
+    reload that restored the same knowledge.
+    """
+
+    name: str
+    selector: VestaSelector = field(repr=False)
+    fingerprint: str
+    generation: int
+    registered_at: float
+
+    def describe(self) -> dict:
+        """JSON-able summary for health/stats endpoints."""
+        sel = self.selector
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint,
+            "generation": self.generation,
+            "cmf_mode": sel.cmf_mode,
+            "vms": len(sel.vms),
+            "sources": len(sel.sources),
+            "seed": sel.seed,
+        }
+
+
+class SelectorRegistry:
+    """Named, hot-reloadable collection of fitted selectors.
+
+    All mutation happens under one lock; readers receive immutable
+    handles and never block each other.  The registry never mutates a
+    selector it hands out — replacing a name installs a *new* handle and
+    leaves the old object alive for whoever still holds it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._handles: dict[str, SelectorHandle] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def register(self, name: str, selector: VestaSelector) -> SelectorHandle:
+        """Install ``selector`` under ``name`` (replacing any previous).
+
+        The selector must be fitted; its knowledge fingerprint is
+        computed once here.  Returns the installed handle.
+        """
+        fingerprint = selector.knowledge_fingerprint()  # validates fitted
+        with self._lock:
+            previous = self._handles.get(name)
+            handle = SelectorHandle(
+                name=name,
+                selector=selector,
+                fingerprint=fingerprint,
+                generation=(previous.generation + 1) if previous else 1,
+                registered_at=time.time(),
+            )
+            self._handles[name] = handle
+        return handle
+
+    def load(self, name: str, path: str | Path, **load_kwargs) -> SelectorHandle:
+        """Load a persistence archive and register it under ``name``.
+
+        ``load_kwargs`` are forwarded to
+        :func:`~repro.core.persistence.load_selector` (``jobs``,
+        ``cache``, ``faults``, ``store``).
+        """
+        return self.register(name, load_selector(path, **load_kwargs))
+
+    def reload(
+        self, name: str, path: str | Path, **load_kwargs
+    ) -> tuple[SelectorHandle, bool]:
+        """Fingerprint-gated hot-reload of ``name`` from an archive.
+
+        Peeks at the archive's knowledge fingerprint first: when it
+        matches the currently served version, nothing is loaded and the
+        current handle is returned with ``swapped=False``.  Otherwise the
+        archive is fully restored and atomically swapped in.  Returns
+        ``(handle, swapped)``.
+        """
+        current = self.get(name) if name in self.names() else None
+        if current is not None:
+            peeked = archive_knowledge_fingerprint(path)
+            if peeked is not None and peeked == current.fingerprint:
+                return current, False
+        selector = load_selector(path, **load_kwargs)
+        fingerprint = selector.knowledge_fingerprint()
+        with self._lock:
+            existing = self._handles.get(name)
+            if existing is not None and existing.fingerprint == fingerprint:
+                # Raced with another reloader, or a v1 archive (no peek)
+                # restoring the served version: keep the existing handle.
+                return existing, False
+            return self.register(name, selector), True
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name``; in-flight holders of its handle are unaffected."""
+        with self._lock:
+            if self._handles.pop(name, None) is None:
+                raise ServiceError(f"no selector registered under {name!r}")
+
+    # -- lookup ----------------------------------------------------------------
+
+    def get(self, name: str) -> SelectorHandle:
+        """The current handle for ``name``.
+
+        Raises
+        ------
+        ValidationError
+            When no selector is registered under ``name``.
+        """
+        with self._lock:
+            handle = self._handles.get(name)
+        if handle is None:
+            raise ValidationError(f"no selector registered under {name!r}")
+        return handle
+
+    def names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._handles))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._handles)
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._handles
+
+    def describe(self) -> dict:
+        """JSON-able summary of every registered selector."""
+        with self._lock:
+            handles = list(self._handles.values())
+        return {h.name: h.describe() for h in handles}

@@ -1,0 +1,375 @@
+"""Micro-batching request scheduler with admission control.
+
+Concurrent ``select`` requests enqueue into a bounded buffer; a single
+worker thread drains it, coalescing whatever is waiting (up to
+``max_batch``, flushed after ``max_wait_ms``) into **one** batched
+online wave — :meth:`VestaSelector.online_many`, whose results are
+proven bit-identical to opening the sessions one at a time.  Because the
+worker alone touches the selector, any client concurrency collapses to a
+deterministic serial order of batches, and every response is exactly
+what a sequential ``repro select`` would have produced for the same
+request.
+
+Backpressure is explicit: a full queue rejects with
+:class:`~repro.errors.ServiceOverloadedError` instead of growing without
+bound, and a request whose deadline lapses while queued is completed
+with :class:`~repro.errors.DeadlineExceededError` at dequeue time rather
+than consuming batch capacity.
+
+Every batch snapshots one :class:`~repro.service.registry.SelectorHandle`
+from the registry before serving, so a hot-reload never mixes knowledge
+versions within a batch — each response carries the fingerprint and
+generation that produced it.
+
+Fault tolerance reuses the online degradation machinery: selectors
+running under a fault plan return ``degraded`` recommendations (lost
+probes, widened thresholds) which flow through unchanged, and when a
+batch-level wave fails permanently the scheduler falls back to serving
+the batch's requests individually so one poisoned target fails alone
+instead of failing its neighbours.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections.abc import Iterable
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.core.vesta import Recommendation
+from repro.errors import (
+    DeadlineExceededError,
+    FaultInjectionError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+from repro.service.registry import SelectorRegistry
+from repro.telemetry.latency import DurationSummary
+from repro.workloads.catalog import get_workload
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["MicroBatchScheduler", "SelectResponse"]
+
+_OBJECTIVES = ("time", "budget")
+
+
+@dataclass(frozen=True)
+class SelectResponse:
+    """One served selection: the recommendation plus serving provenance.
+
+    ``fingerprint``/``generation`` identify the knowledge version that
+    answered (constant within a batch); ``batch_id``/``batch_size``
+    locate the coalesced wave; ``queued_ms``/``service_ms`` split the
+    request's latency into waiting and serving time.
+    """
+
+    recommendation: Recommendation = field(repr=False)
+    selector: str
+    fingerprint: str
+    generation: int
+    batch_id: int
+    batch_size: int
+    queued_ms: float
+    service_ms: float
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in the queue."""
+
+    spec: WorkloadSpec
+    objective: str
+    future: Future
+    enqueued: float
+    deadline: float | None
+
+
+_STOP = object()
+
+
+class MicroBatchScheduler:
+    """Coalesce concurrent selection requests into batched online waves.
+
+    Parameters
+    ----------
+    registry:
+        Source of :class:`SelectorHandle` snapshots.
+    selector:
+        Registry name served by this scheduler.
+    max_batch:
+        Largest coalesced wave (>= 1).  ``1`` degenerates to
+        one-request-at-a-time serving — the determinism baseline.
+    max_wait_ms:
+        How long the worker holds an open batch for co-travellers after
+        the first request arrives before flushing a partial batch.
+    queue_limit:
+        Admission bound.  A full queue raises
+        :class:`ServiceOverloadedError` at submit time.
+    start:
+        Start the worker thread immediately (tests pass ``False`` to
+        exercise admission control with a stalled worker).
+    """
+
+    def __init__(
+        self,
+        registry: SelectorRegistry,
+        selector: str = "default",
+        *,
+        max_batch: int = 16,
+        max_wait_ms: float = 2.0,
+        queue_limit: int = 128,
+        start: bool = True,
+    ) -> None:
+        if max_batch < 1:
+            raise ValidationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_ms < 0:
+            raise ValidationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
+        if queue_limit < 1:
+            raise ValidationError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.registry = registry
+        self.selector_name = selector
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_ms / 1e3
+        self.queue_limit = queue_limit
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._stats_lock = threading.Lock()
+        self._submitted = 0
+        self._completed = 0
+        self._rejected = 0
+        self._expired = 0
+        self._failed = 0
+        self._batches = 0
+        self._batch_sizes: dict[int, int] = {}
+        self._latency = DurationSummary()
+        self._closed = False
+        self._worker: threading.Thread | None = None
+        if start:
+            self.start()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the worker thread (idempotent)."""
+        if self._worker is None or not self._worker.is_alive():
+            self._worker = threading.Thread(
+                target=self._run, name=f"select-worker[{self.selector_name}]",
+                daemon=True,
+            )
+            self._worker.start()
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Stop accepting requests, drain the worker, fail leftovers."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._worker is not None and self._worker.is_alive():
+            # The sentinel rides the same queue; admission is already
+            # closed so there is always room once the worker drains.
+            self._queue.put(_STOP)
+            self._worker.join(timeout=timeout_s)
+        self._drain_failed()
+
+    def __enter__(self) -> "MicroBatchScheduler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _drain_failed(self) -> None:
+        """Complete anything still queued after shutdown with an error."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not _STOP:
+                item.future.set_exception(
+                    ServiceError("selection scheduler is shut down")
+                )
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self,
+        workload: WorkloadSpec | str,
+        objective: str = "time",
+        *,
+        timeout_s: float | None = None,
+    ) -> Future:
+        """Admit one selection request; returns a future of
+        :class:`SelectResponse`.
+
+        Validates the workload name and objective immediately (callers
+        see :class:`~repro.errors.CatalogError` /
+        :class:`ValidationError` at submit time, not from the future)
+        and rejects with :class:`ServiceOverloadedError` when the
+        admission queue is full.
+        """
+        if self._closed:
+            raise ServiceError("selection scheduler is shut down")
+        if objective not in _OBJECTIVES:
+            raise ValidationError(
+                f"objective must be one of {_OBJECTIVES}, got {objective!r}"
+            )
+        spec = get_workload(workload) if isinstance(workload, str) else workload
+        now = time.monotonic()
+        pending = _Pending(
+            spec=spec,
+            objective=objective,
+            future=Future(),
+            enqueued=now,
+            deadline=None if timeout_s is None else now + timeout_s,
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except queue.Full:
+            with self._stats_lock:
+                self._rejected += 1
+            raise ServiceOverloadedError(self.queue_limit) from None
+        with self._stats_lock:
+            self._submitted += 1
+        return pending.future
+
+    def select(
+        self,
+        workload: WorkloadSpec | str,
+        objective: str = "time",
+        *,
+        timeout_s: float | None = None,
+    ) -> SelectResponse:
+        """Blocking submit: wait for (and return) the response."""
+        return self.submit(workload, objective, timeout_s=timeout_s).result()
+
+    def select_all(
+        self, workloads: Iterable[WorkloadSpec | str], objective: str = "time"
+    ) -> tuple[SelectResponse, ...]:
+        """Submit many requests at once and wait for all responses."""
+        futures = [self.submit(w, objective) for w in workloads]
+        return tuple(f.result() for f in futures)
+
+    # -- worker ----------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            batch = [item]
+            flush_at = time.monotonic() + self.max_wait_s
+            while len(batch) < self.max_batch:
+                remaining = flush_at - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if nxt is _STOP:
+                    self._serve_batch(batch)
+                    return
+                batch.append(nxt)
+            self._serve_batch(batch)
+
+    def _serve_batch(self, batch: list[_Pending]) -> None:
+        served_at = time.monotonic()
+        live: list[_Pending] = []
+        for req in batch:
+            if req.deadline is not None and served_at > req.deadline:
+                req.future.set_exception(
+                    DeadlineExceededError(
+                        req.spec.name, waited_s=served_at - req.enqueued
+                    )
+                )
+                with self._stats_lock:
+                    self._expired += 1
+            else:
+                live.append(req)
+        if not live:
+            return
+        try:
+            handle = self.registry.get(self.selector_name)
+            sessions = self._open_sessions(handle.selector, live)
+        except ReproError as exc:
+            for req in live:
+                req.future.set_exception(exc)
+            with self._stats_lock:
+                self._failed += len(live)
+            return
+        with self._stats_lock:
+            self._batches += 1
+            batch_id = self._batches
+            self._batch_sizes[len(live)] = self._batch_sizes.get(len(live), 0) + 1
+        for req, session in zip(live, sessions):
+            done = time.monotonic()
+            if isinstance(session, ReproError):
+                req.future.set_exception(session)
+                with self._stats_lock:
+                    self._failed += 1
+                continue
+            response = SelectResponse(
+                recommendation=session.recommend(req.objective),
+                selector=handle.name,
+                fingerprint=handle.fingerprint,
+                generation=handle.generation,
+                batch_id=batch_id,
+                batch_size=len(live),
+                queued_ms=round((served_at - req.enqueued) * 1e3, 3),
+                service_ms=round((done - served_at) * 1e3, 3),
+            )
+            req.future.set_result(response)
+            with self._stats_lock:
+                self._completed += 1
+                self._latency.record(done - req.enqueued)
+
+    @staticmethod
+    def _open_sessions(selector, live: list[_Pending]) -> list:
+        """One batched online wave; per-request fallback on a failed wave.
+
+        A permanently failed profiling run inside :meth:`online_many`
+        poisons the whole wave, so on :class:`FaultInjectionError` the
+        batch degrades to individual sessions — deterministic, because
+        profiling is memoized per cell and sessions are independent —
+        and only the requests whose own runs fail get the error.
+        """
+        try:
+            return list(selector.online_many([req.spec for req in live]))
+        except FaultInjectionError:
+            sessions: list = []
+            for req in live:
+                try:
+                    sessions.append(selector.online(req.spec))
+                except FaultInjectionError as exc:
+                    sessions.append(exc)
+            return sessions
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def stats(self) -> dict:
+        """JSON-able serving statistics for ``/statsz``."""
+        with self._stats_lock:
+            return {
+                "selector": self.selector_name,
+                "queue_depth": self._queue.qsize(),
+                "queue_limit": self.queue_limit,
+                "max_batch": self.max_batch,
+                "max_wait_ms": self.max_wait_s * 1e3,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "rejected": self._rejected,
+                "expired": self._expired,
+                "failed": self._failed,
+                "batches": self._batches,
+                "batch_size_histogram": {
+                    str(size): count
+                    for size, count in sorted(self._batch_sizes.items())
+                },
+                "latency": self._latency.snapshot(),
+            }

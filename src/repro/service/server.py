@@ -1,0 +1,280 @@
+"""Backpressure-aware HTTP frontend for the selection service.
+
+Stdlib only: a :class:`~http.server.ThreadingHTTPServer` whose handler
+threads do no selection work themselves — they validate, enqueue into
+the micro-batching scheduler, and block on the response future.  All
+model compute happens on the scheduler's single worker thread, so
+client concurrency at the HTTP layer translates into coalesced batches,
+never into concurrent selector access.
+
+Endpoints
+---------
+``POST /select``
+    Body ``{"workload": ..., "objective": "time"|"budget",``
+    ``"selector": ..., "timeout_s": ...}`` (only ``workload``
+    required).  200 with the :mod:`~repro.service.wire` response
+    payload; 400 bad input, 404 unknown selector/workload, 429
+    overloaded (queue full — explicit backpressure), 504 deadline
+    exceeded.
+``GET /healthz``
+    200 ``{"status": "ok", "selectors": {...}}`` once at least one
+    selector is registered, 503 before.
+``GET /statsz``
+    Queue depth, batch-size histogram, p50/p99 service latency per
+    scheduler (see :meth:`MicroBatchScheduler.stats`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import (
+    CatalogError,
+    DeadlineExceededError,
+    ReproError,
+    ServiceError,
+    ServiceOverloadedError,
+    ValidationError,
+)
+from repro.service.registry import SelectorRegistry
+from repro.service.scheduler import MicroBatchScheduler, SelectResponse
+from repro.service.wire import error_to_dict, response_to_dict
+
+__all__ = ["SelectionService", "ServiceHTTPServer", "serve"]
+
+
+class SelectionService:
+    """Registry + one micro-batching scheduler per served selector name.
+
+    The composition root of the serving subsystem: owns scheduler
+    lifecycle (created lazily per registered name, torn down on
+    :meth:`close`) and translates requests into scheduler submissions.
+    """
+
+    def __init__(
+        self,
+        registry: SelectorRegistry,
+        *,
+        default_selector: str = "default",
+        max_batch: int = 16,
+        max_wait_ms: float = 2.0,
+        queue_limit: int = 128,
+    ) -> None:
+        self.registry = registry
+        self.default_selector = default_selector
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.queue_limit = queue_limit
+        self._lock = threading.Lock()
+        self._schedulers: dict[str, MicroBatchScheduler] = {}
+        self._closed = False
+
+    def scheduler(self, name: str | None = None) -> MicroBatchScheduler:
+        """The scheduler serving ``name`` (created on first use)."""
+        name = name or self.default_selector
+        self.registry.get(name)  # unknown selector fails before a scheduler exists
+        with self._lock:
+            if self._closed:
+                raise ServiceError("selection service is shut down")
+            sched = self._schedulers.get(name)
+            if sched is None:
+                sched = MicroBatchScheduler(
+                    self.registry,
+                    name,
+                    max_batch=self.max_batch,
+                    max_wait_ms=self.max_wait_ms,
+                    queue_limit=self.queue_limit,
+                )
+                self._schedulers[name] = sched
+            return sched
+
+    def select(
+        self,
+        workload: str,
+        objective: str = "time",
+        *,
+        selector: str | None = None,
+        timeout_s: float | None = None,
+    ) -> SelectResponse:
+        """Serve one selection through the named scheduler (blocking)."""
+        return self.scheduler(selector).select(
+            workload, objective, timeout_s=timeout_s
+        )
+
+    def health(self) -> dict:
+        selectors = self.registry.describe()
+        return {
+            "status": "ok" if selectors else "empty",
+            "selectors": selectors,
+        }
+
+    def stats(self) -> dict:
+        with self._lock:
+            schedulers = dict(self._schedulers)
+        return {
+            "selectors": self.registry.names(),
+            "schedulers": {name: s.stats() for name, s in schedulers.items()},
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            schedulers = list(self._schedulers.values())
+            self._schedulers.clear()
+        for sched in schedulers:
+            sched.close()
+
+    def __enter__(self) -> "SelectionService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+#: HTTP status per error type; anything else is a 500.
+_STATUS = (
+    (ServiceOverloadedError, 429),
+    (DeadlineExceededError, 504),
+    (CatalogError, 404),
+    (ValidationError, 400),
+    (ServiceError, 500),
+    (ReproError, 500),
+)
+
+
+def _status_for(exc: BaseException) -> int:
+    for etype, status in _STATUS:
+        if isinstance(exc, etype):
+            return status
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: "ServiceHTTPServer"
+
+    #: Pin the protocol so clients may reuse connections.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _fail(self, status: int, exc: BaseException) -> None:
+        self._reply(status, error_to_dict(exc))
+
+    # -- endpoints ---------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        if self.path == "/healthz":
+            health = service.health()
+            self._reply(200 if health["status"] == "ok" else 503, health)
+        elif self.path == "/statsz":
+            self._reply(200, service.stats())
+        else:
+            self._fail(404, ServiceError(f"unknown path {self.path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        if self.path != "/select":
+            self._fail(404, ServiceError(f"unknown path {self.path!r}"))
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            request = json.loads(self.rfile.read(length) or b"{}")
+            if not isinstance(request, dict) or "workload" not in request:
+                raise ValidationError('body must be JSON with a "workload" field')
+            timeout_s = request.get("timeout_s")
+            response = self.server.service.select(
+                request["workload"],
+                request.get("objective", "time"),
+                selector=request.get("selector"),
+                timeout_s=None if timeout_s is None else float(timeout_s),
+            )
+        except json.JSONDecodeError as exc:
+            self._fail(400, ValidationError(f"invalid JSON body: {exc}"))
+        except (TypeError, ValueError) as exc:
+            if isinstance(exc, ReproError):
+                self._fail(_status_for(exc), exc)
+            else:
+                self._fail(400, ValidationError(str(exc)))
+        except ReproError as exc:
+            self._fail(_status_for(exc), exc)
+        else:
+            self._reply(200, response_to_dict(response))
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`SelectionService`.
+
+    ``daemon_threads`` keeps a hung client from blocking shutdown;
+    handler threads only enqueue and wait, so the thread-per-connection
+    model stays cheap.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: SelectionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        verbose: bool = False,
+    ) -> None:
+        self.service = service
+        self.verbose = verbose
+        super().__init__((host, port), _Handler)
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Actual (host, port) — resolves port 0 to the bound ephemeral port."""
+        return self.server_address[0], self.server_address[1]
+
+    def close(self) -> None:
+        """Stop serving and shut the service down."""
+        self.shutdown()
+        self.server_close()
+        self.service.close()
+
+
+def serve(
+    service: SelectionService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    verbose: bool = False,
+    background: bool = True,
+) -> ServiceHTTPServer:
+    """Start an HTTP frontend for ``service``.
+
+    With ``background=True`` (default) the accept loop runs on a daemon
+    thread and the bound server is returned immediately — the pattern
+    tests and embedders use.  ``background=False`` blocks in
+    ``serve_forever`` until interrupted.
+    """
+    server = ServiceHTTPServer(service, host, port, verbose=verbose)
+    if background:
+        thread = threading.Thread(
+            target=server.serve_forever, name="select-http", daemon=True
+        )
+        thread.start()
+    else:
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive path
+            pass
+        finally:
+            server.close()
+    return server

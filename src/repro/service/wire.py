@@ -1,0 +1,76 @@
+"""JSON wire format of the selection service.
+
+One place defines how a :class:`~repro.core.vesta.Recommendation` and a
+:class:`~repro.service.scheduler.SelectResponse` serialize, so the HTTP
+server, the in-process client, the CLI's ``--json`` output and the CI
+payload check all agree byte-for-byte on the fields.
+
+Floats are emitted via :func:`repr`-exact JSON (Python's ``json`` module
+round-trips IEEE doubles), so "payload matches ``repro select``" is a
+bit-level statement, not an approximate one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.core.vesta import Recommendation
+from repro.service.scheduler import SelectResponse
+
+__all__ = [
+    "recommendation_to_dict",
+    "response_to_dict",
+    "error_to_dict",
+]
+
+
+def recommendation_to_dict(rec: Recommendation) -> dict:
+    """JSON-able dict of one recommendation (the ``repro select`` payload)."""
+    return {
+        "workload": rec.workload,
+        "objective": rec.objective,
+        "vm_name": rec.vm_name,
+        "predicted_runtime_s": rec.predicted_runtime_s,
+        "predicted_budget_usd": rec.predicted_budget_usd,
+        "reference_vm_count": rec.reference_vm_count,
+        "converged": rec.converged,
+        "degraded": rec.degraded,
+        "failed_probes": list(rec.failed_probes),
+        "fault_events": [asdict(e) for e in rec.fault_events],
+        "predictions": dict(rec.predictions),
+    }
+
+
+def response_to_dict(response: SelectResponse) -> dict:
+    """JSON-able dict of one served selection (the ``/select`` payload).
+
+    The recommendation rides under ``"recommendation"`` exactly as
+    :func:`recommendation_to_dict` spells it; serving provenance (model
+    version, batch, latency split) is kept apart so payload-equality
+    checks against sequential ``repro select`` output compare the
+    recommendation subtree only.
+    """
+    return {
+        "recommendation": recommendation_to_dict(response.recommendation),
+        "model": {
+            "selector": response.selector,
+            "fingerprint": response.fingerprint,
+            "generation": response.generation,
+        },
+        "batch": {"id": response.batch_id, "size": response.batch_size},
+        "latency": {
+            "queued_ms": response.queued_ms,
+            "service_ms": response.service_ms,
+        },
+    }
+
+
+def error_to_dict(exc: BaseException) -> dict:
+    """JSON-able error body: typed, so clients can map back to errors."""
+    # KeyError subclasses (CatalogError) repr their message; unwrap.
+    message = (
+        str(exc.args[0])
+        if isinstance(exc, KeyError) and exc.args
+        else str(exc)
+    )
+    return {"error": type(exc).__name__, "message": message}

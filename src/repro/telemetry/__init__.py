@@ -18,7 +18,7 @@ from repro.telemetry.campaign import (
     profile_cache_key,
 )
 from repro.telemetry.collector import DataCollector, WorkloadProfile
-from repro.telemetry.latency import LatencyReport, latency_report
+from repro.telemetry.latency import DurationSummary, LatencyReport, latency_report
 from repro.telemetry.metrics import (
     EXECUTION_METRICS,
     METRIC_INDEX,
@@ -32,6 +32,7 @@ from repro.telemetry.store import MetricsStore
 __all__ = [
     "CampaignCounters",
     "DataCollector",
+    "DurationSummary",
     "EXECUTION_METRICS",
     "LatencyReport",
     "latency_report",

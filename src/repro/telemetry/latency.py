@@ -31,9 +31,59 @@ __all__ = [
     "batch_latencies",
     "latency_percentile",
     "throughput_gb_per_s",
+    "DurationSummary",
     "LatencyReport",
     "latency_report",
 ]
+
+
+class DurationSummary:
+    """Rolling quantile summary of observed durations (service latency).
+
+    The serving frontend needs cheap p50/p99 over the most recent
+    requests, not the whole process lifetime: a fixed-size ring buffer
+    keeps the last ``window`` samples and quantiles are computed on
+    demand.  Recording is O(1); callers that share a summary across
+    threads serialize access themselves (the scheduler records under its
+    stats lock).
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValidationError(f"window must be >= 1, got {window}")
+        self._buf = np.zeros(window, dtype=float)
+        self._next = 0
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        """Add one observed duration (seconds)."""
+        self._buf[self._next] = seconds
+        self._next = (self._next + 1) % self._buf.size
+        self.count += 1
+
+    def _samples(self) -> np.ndarray:
+        return self._buf[: min(self.count, self._buf.size)]
+
+    def percentile(self, pct: float) -> float:
+        """The ``pct``-th percentile duration (s) over the window."""
+        if not 0.0 <= pct <= 100.0:
+            raise ValidationError(f"pct must be in [0, 100], got {pct}")
+        samples = self._samples()
+        return float(np.percentile(samples, pct)) if samples.size else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-able summary: count, mean/p50/p99/max in milliseconds."""
+        samples = self._samples()
+        if not samples.size:
+            return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+                    "p99_ms": 0.0, "max_ms": 0.0}
+        return {
+            "count": self.count,
+            "mean_ms": round(float(samples.mean()) * 1e3, 3),
+            "p50_ms": round(float(np.percentile(samples, 50)) * 1e3, 3),
+            "p99_ms": round(float(np.percentile(samples, 99)) * 1e3, 3),
+            "max_ms": round(float(samples.max()) * 1e3, 3),
+        }
 
 
 def batch_latencies(run: RunResult) -> np.ndarray:

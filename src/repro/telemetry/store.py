@@ -18,6 +18,7 @@ write without corrupting each other.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
 
@@ -80,10 +81,19 @@ class MetricsStore:
         Enable write-ahead-log journalling (file-backed stores only).
         WAL plus a generous busy timeout is what makes concurrent
         campaign workers safe against each other.
+
+    A store instance is also safe to share across *threads* of one
+    process: the serving registry and HTTP frontend read profiles and
+    cached entries from server threads while the scheduler worker
+    writes, so every statement runs under one reentrant lock on a
+    connection opened with ``check_same_thread=False`` (sqlite
+    serializes at the statement level; the lock serializes multi-step
+    read-modify-write sequences such as :meth:`bulk`).
     """
 
     def __init__(self, path: str = ":memory:", *, wal: bool = False) -> None:
-        self._conn = sqlite3.connect(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
         if wal:
             self._conn.execute("PRAGMA busy_timeout=30000")
             self._conn.execute("PRAGMA journal_mode=WAL")
@@ -93,7 +103,8 @@ class MetricsStore:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "MetricsStore":
         return self
@@ -106,11 +117,12 @@ class MetricsStore:
     def put(self, profile: WorkloadProfile) -> None:
         """Insert or replace the profile for its (workload, vm, nodes) key."""
         series = self._validated_series(profile)
-        self._conn.execute(
-            "INSERT OR REPLACE INTO profiles VALUES (?,?,?,?,?,?,?,?,?)",
-            self._profile_row(profile, series),
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO profiles VALUES (?,?,?,?,?,?,?,?,?)",
+                self._profile_row(profile, series),
+            )
+            self._conn.commit()
 
     # -- reads -------------------------------------------------------------------
 
@@ -122,44 +134,57 @@ class MetricsStore:
         thread the spec's actual node count through rather than rely on a
         default that can silently mismatch.
         """
-        row = self._conn.execute(
-            "SELECT * FROM profiles WHERE workload=? AND vm_name=? AND nodes=?",
-            (workload, vm_name, nodes),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM profiles WHERE workload=? AND vm_name=? AND nodes=?",
+                (workload, vm_name, nodes),
+            ).fetchone()
         return self._row_to_profile(row) if row else None
 
     def profiles_for_workload(self, workload: str) -> list[WorkloadProfile]:
         """All stored profiles of ``workload``, ordered by VM name."""
-        rows = self._conn.execute(
-            "SELECT * FROM profiles WHERE workload=? ORDER BY vm_name", (workload,)
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM profiles WHERE workload=? ORDER BY vm_name", (workload,)
+            ).fetchall()
         return [self._row_to_profile(r) for r in rows]
 
     def workloads(self) -> list[str]:
         """Distinct workload names present in the store."""
-        rows = self._conn.execute(
-            "SELECT DISTINCT workload FROM profiles ORDER BY workload"
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT workload FROM profiles ORDER BY workload"
+            ).fetchall()
         return [r[0] for r in rows]
 
     def vm_names(self) -> list[str]:
         """Distinct VM type names present in the store."""
-        rows = self._conn.execute(
-            "SELECT DISTINCT vm_name FROM profiles ORDER BY vm_name"
-        ).fetchall()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT DISTINCT vm_name FROM profiles ORDER BY vm_name"
+            ).fetchall()
         return [r[0] for r in rows]
 
     def __len__(self) -> int:
-        return int(self._conn.execute("SELECT COUNT(*) FROM profiles").fetchone()[0])
+        with self._lock:
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM profiles").fetchone()[0]
+            )
 
     @contextmanager
     def bulk(self) -> Iterator["MetricsStore"]:
-        """Batch many :meth:`put` calls into one transaction."""
-        self._conn.execute("BEGIN")
-        try:
-            yield self
-        finally:
-            self._conn.commit()
+        """Batch many :meth:`put` calls into one transaction.
+
+        Holds the store lock for the whole context so another thread's
+        writes cannot interleave into (or prematurely commit) the open
+        transaction.
+        """
+        with self._lock:
+            self._conn.execute("BEGIN")
+            try:
+                yield self
+            finally:
+                self._conn.commit()
 
     # -- content-addressed cache --------------------------------------------------
     #
@@ -171,34 +196,38 @@ class MetricsStore:
     def put_cached(self, key: str, fingerprint: str, profile: WorkloadProfile) -> None:
         """Insert or replace a cached profile under ``key``."""
         series = self._validated_series(profile)
-        self._conn.execute(
-            "INSERT OR REPLACE INTO profile_cache VALUES (?,?,?,?,?,?,?,?,?,?,?)",
-            (key, fingerprint) + self._profile_row(profile, series),
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO profile_cache VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                (key, fingerprint) + self._profile_row(profile, series),
+            )
+            self._conn.commit()
 
     def get_cached(self, key: str) -> WorkloadProfile | None:
         """Fetch a cached profile by digest, or ``None`` when absent."""
-        row = self._conn.execute(
-            "SELECT workload, framework, vm_name, nodes, spilled, runtimes,"
-            " budgets, samples, series FROM profile_cache WHERE key=?",
-            (key,),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT workload, framework, vm_name, nodes, spilled, runtimes,"
+                " budgets, samples, series FROM profile_cache WHERE key=?",
+                (key,),
+            ).fetchone()
         return self._row_to_profile(row) if row else None
 
     def put_cached_scalar(self, key: str, fingerprint: str, value: float) -> None:
         """Insert or replace a cached scalar (e.g. a P90 runtime)."""
-        self._conn.execute(
-            "INSERT OR REPLACE INTO scalar_cache VALUES (?,?,?)",
-            (key, fingerprint, float(value)),
-        )
-        self._conn.commit()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO scalar_cache VALUES (?,?,?)",
+                (key, fingerprint, float(value)),
+            )
+            self._conn.commit()
 
     def get_cached_scalar(self, key: str) -> float | None:
         """Fetch a cached scalar by digest, or ``None`` when absent."""
-        row = self._conn.execute(
-            "SELECT value FROM scalar_cache WHERE key=?", (key,)
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM scalar_cache WHERE key=?", (key,)
+            ).fetchone()
         return float(row[0]) if row else None
 
     def prune_cache(self, keep_fingerprint: str) -> int:
@@ -207,18 +236,25 @@ class MetricsStore:
         Returns the number of rows removed.
         """
         removed = 0
-        for table in ("profile_cache", "scalar_cache"):
-            cur = self._conn.execute(
-                f"DELETE FROM {table} WHERE fingerprint != ?", (keep_fingerprint,)
-            )
-            removed += cur.rowcount
-        self._conn.commit()
+        with self._lock:
+            for table in ("profile_cache", "scalar_cache"):
+                cur = self._conn.execute(
+                    f"DELETE FROM {table} WHERE fingerprint != ?",
+                    (keep_fingerprint,),
+                )
+                removed += cur.rowcount
+            self._conn.commit()
         return removed
 
     def cache_counts(self) -> tuple[int, int]:
         """(cached profiles, cached scalars) currently stored."""
-        profiles = self._conn.execute("SELECT COUNT(*) FROM profile_cache").fetchone()[0]
-        scalars = self._conn.execute("SELECT COUNT(*) FROM scalar_cache").fetchone()[0]
+        with self._lock:
+            profiles = self._conn.execute(
+                "SELECT COUNT(*) FROM profile_cache"
+            ).fetchone()[0]
+            scalars = self._conn.execute(
+                "SELECT COUNT(*) FROM scalar_cache"
+            ).fetchone()[0]
         return int(profiles), int(scalars)
 
     # -- helpers -----------------------------------------------------------------

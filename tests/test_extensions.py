@@ -206,3 +206,42 @@ class TestCli:
         assert main(["experiment", "tab04"]) == 0
         out = capsys.readouterr().out
         assert "100 types" in out
+
+
+class TestCliErrorHandling:
+    """Library errors exit 1 with a one-line message; argparse keeps 2."""
+
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_unknown_workload_exits_one(self, capsys):
+        assert main(["simulate", "no-such-workload", "m5.xlarge"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "no-such-workload" in err
+        assert len(err.strip().splitlines()) == 1
+        assert '"' not in err  # CatalogError (a KeyError) must be unwrapped
+
+    def test_unknown_vm_exits_one(self, capsys):
+        assert main(["simulate", "spark-lr", "z99.mega"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "z99.mega" in err
+
+    def test_validation_error_exits_one(self, capsys):
+        assert main(["simulate", "spark-lr", "m5.xlarge", "--reps", "0"]) == 1
+        assert capsys.readouterr().err.startswith("repro: error:")
+
+    def test_bad_archive_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "nope.npz"
+        assert main(["select", "spark-lr", "--archive", str(bad)]) == 1
+        assert capsys.readouterr().err.startswith("repro: error:")
+
+    def test_bad_arguments_keep_exit_two(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["select", "spark-lr", "--objective", "latency"])
+        assert excinfo.value.code == 2

@@ -30,11 +30,12 @@ class TestCliParsing:
                     "experiment", "latency"):
             assert cmd in text
 
-    def test_simulate_unknown_workload_raises_catalog_error(self):
-        from repro.errors import CatalogError
-
-        with pytest.raises(CatalogError):
-            main(["simulate", "storm-wordcount", "m5.xlarge"])
+    def test_simulate_unknown_workload_exits_one(self, capsys):
+        # Library errors no longer escape main(): they exit 1 with a
+        # one-line message (see TestCliErrorHandling in test_extensions).
+        assert main(["simulate", "storm-wordcount", "m5.xlarge"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:") and "storm-wordcount" in err
 
 
 class TestGraphExport:
