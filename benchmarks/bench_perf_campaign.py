@@ -1,9 +1,12 @@
 """Performance benches: the profiling campaign engine.
 
 The campaign is the repo's dominant wall-clock cost (the 30 × 100 × 10
-offline sweep); these benches measure the serial reference path, the
-process-pool fan-out, and the content-addressed cache — and assert the
-headline claim: a warm cache beats the cold serial sweep by ≥2×.
+offline sweep); these benches measure the cold serial sweep (which now
+rides the vectorized batch simulator), the per-cell scalar reference it
+must stay bit-identical to (``REPRO_SIM_BATCH=0``), the process-pool
+fan-out, and the content-addressed cache — and assert the headline
+claims: a warm cache beats the cold sweep by ≥2×, and the batched sweep
+beats the scalar reference.
 """
 
 import time
@@ -22,6 +25,21 @@ SEED = 7
 
 def test_perf_campaign_cold_serial(benchmark):
     """Cold serial (workload × VM) profile sweep — the reference cost."""
+    grid = benchmark(
+        lambda: ProfilingCampaign(repetitions=REPS, seed=SEED, jobs=1).collect_grid(
+            SPECS, VMS
+        )
+    )
+    assert len(grid) == len(SPECS) * len(VMS)
+
+
+def test_perf_campaign_cold_scalar_reference(benchmark, monkeypatch):
+    """The same cold sweep forced onto the per-cell scalar engines.
+
+    This is the pre-batching reference cost: the gap between this row
+    and ``test_perf_campaign_cold_serial`` is the vectorization win.
+    """
+    monkeypatch.setenv("REPRO_SIM_BATCH", "0")
     grid = benchmark(
         lambda: ProfilingCampaign(repetitions=REPS, seed=SEED, jobs=1).collect_grid(
             SPECS, VMS

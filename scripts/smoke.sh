@@ -15,6 +15,9 @@ REPRO_PROFILE_JOBS=2 python -m pytest -q \
     tests/test_campaign_determinism.py \
     tests/test_profile_cache.py
 
+echo "== simulator core (batch of 64 cells vs scalar loop) =="
+python -m pytest -q benchmarks/bench_perf_simulator.py
+
 echo "== staged pipeline refit (warm-store >= 3x cold) =="
 python -m pytest -q benchmarks/bench_perf_refit.py
 

@@ -133,10 +133,11 @@ class Paris:
         profile (timeseries); the remaining runtime-only references are
         served from a shared PerfMatrix artifact when one covers them.
         """
-        profile = self.campaign.collect(spec, self.reference_vms[0])
         shared_row = shared_perf_rows(self.store, self.campaign, self.vms).get(
             spec.name
         )
+        self._prefetch_fingerprints([(spec, shared_row)])
+        profile = self.campaign.collect(spec, self.reference_vms[0])
         runtimes = [profile.runtime_p90]
         for vm in self.reference_vms[1:]:
             if shared_row is not None and vm.name in self._vm_index:
@@ -149,6 +150,24 @@ class Paris:
         return np.concatenate(
             [np.log(runtimes), runtimes / runtimes[0], np.log1p(utils)]
         )
+
+    def _prefetch_fingerprints(self, pairs) -> None:
+        """Batch fingerprint reference runs into one campaign wave.
+
+        ``pairs`` is ``(spec, shared_row)`` per workload; cells a shared
+        PerfMatrix artifact already covers are skipped, the rest — the
+        full profile on the first reference VM plus the runtime-only
+        remainder — go through the campaign's vectorized batch path, so
+        the :meth:`fingerprint` calls that follow are memo hits.
+        """
+        cells: list[tuple[WorkloadSpec, VMType, bool]] = []
+        for spec, shared_row in pairs:
+            cells.append((spec, self.reference_vms[0], False))
+            for vm in self.reference_vms[1:]:
+                if not (shared_row is not None and vm.name in self._vm_index):
+                    cells.append((spec, vm, True))
+        if cells:
+            self.campaign.prefetch(cells)
 
     def _rows_for(
         self, fingerprint: np.ndarray
@@ -182,6 +201,9 @@ class Paris:
             ):
                 rows[spec.name] = row
         label_matrix = np.vstack([rows[spec.name] for spec in workloads])
+        self._prefetch_fingerprints(
+            [(spec, shared.get(spec.name)) for spec in workloads]
+        )
         for spec, runtimes in zip(workloads, label_matrix):
             fp = self.fingerprint(spec)
             X_rows.append(self._rows_for(fp))

@@ -30,8 +30,14 @@ from repro.frameworks.base import (
 from repro.frameworks.flink import FlinkEngine
 from repro.frameworks.hadoop import HadoopEngine
 from repro.frameworks.hive import HiveEngine
+from repro.frameworks.batch import (
+    PhaseBatch,
+    PhaseResultBatch,
+    SimulatedBatch,
+    simulate_cells,
+)
 from repro.frameworks.mesos import ExecutorPlan, MemoryWatcher, safe_spec
-from repro.frameworks.registry import get_engine, simulate_run
+from repro.frameworks.registry import get_engine, simulate_batch, simulate_run
 from repro.frameworks.spark import SparkEngine
 
 __all__ = [
@@ -44,10 +50,15 @@ __all__ = [
     "MemoryWatcher",
     "safe_spec",
     "Phase",
+    "PhaseBatch",
     "PhaseKind",
     "PhaseResult",
+    "PhaseResultBatch",
     "RunResult",
+    "SimulatedBatch",
     "SparkEngine",
     "get_engine",
+    "simulate_batch",
+    "simulate_cells",
     "simulate_run",
 ]

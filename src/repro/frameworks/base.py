@@ -193,7 +193,28 @@ class RunResult:
 
 
 class BSPScheduler:
-    """Prices phases against a cluster. Stateless; safe to share."""
+    """Prices phases against a cluster. Stateless; safe to share.
+
+    :meth:`simulate_phase` is the scalar reference — the executable
+    specification of the pricing model.  :meth:`simulate_phases` prices
+    all phases of a whole batch of cells in one vectorized pass and is
+    bit-identical to the scalar path (see
+    :mod:`repro.frameworks.batch` for the contract and its test gate).
+    """
+
+    def simulate_phases(self, batch):
+        """Price a :class:`~repro.frameworks.batch.PhaseBatch` at once.
+
+        Returns a :class:`~repro.frameworks.batch.PhaseResultBatch` whose
+        columns are bitwise equal to calling :meth:`simulate_phase` per
+        phase.  Infeasible placements are *masked*, not raised — callers
+        pick the scalar raise semantics via
+        :meth:`repro.frameworks.batch.SimulatedBatch.raise_first_oom`.
+        """
+        # Imported lazily: batch.py needs this module's constants.
+        from repro.frameworks.batch import price_phase_batch
+
+        return price_phase_batch(batch)
 
     def simulate_phase(self, phase: Phase, cluster: Cluster) -> PhaseResult:
         """Closed-form wave scheduling of ``phase`` on ``cluster``.

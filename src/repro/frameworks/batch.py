@@ -1,0 +1,467 @@
+"""Structure-of-arrays batch core for the BSP simulator.
+
+The scalar engines (:mod:`repro.frameworks.base` and the per-framework
+planners) are the *executable specification* of the simulator: one
+``(workload, vm, nodes)`` cell at a time, readable closed-form Python.
+Campaign-scale consumers — the 30 × 100 × 10 offline sweep, ground-truth
+matrices, fault sweeps — need the same numbers thousands of cells at a
+time, which is exactly the batch-evaluation regime big-data workload
+characterization studies operate in.  This module supplies that path:
+
+- :func:`plan_cells` runs each cell's engine planner once (planning is
+  cheap, per-cell Python) and flattens every phase of every cell into a
+  :class:`PhaseBatch` — one NumPy column per :class:`Phase` field plus the
+  broadcast cluster columns each phase prices against;
+- :func:`price_phase_batch` is
+  :meth:`repro.frameworks.base.BSPScheduler.simulate_phase` transcribed
+  into array form: waves, concurrency, spill, GC pressure, CPU/IO overlap
+  and the utilization fractions are computed for *all* phases of *all*
+  cells in one vectorized pass;
+- :func:`simulate_cells` composes the two and folds per-phase durations
+  into per-cell base runtimes.
+
+**Bit-identity contract.**  Every array expression mirrors the scalar
+code's operation order exactly (IEEE-754 float64 arithmetic is
+deterministic per operation, so equal operand order means equal bits), and
+per-cell reductions are explicit left folds — ``np.sum``'s pairwise
+summation would *not* reproduce the scalar ``sum()``.  The contract is
+enforced by ``tests/test_batch_identity.py``; any change to the scalar
+scheduler must be mirrored here and survives only if the identity suite
+still passes.
+
+Cells whose working set exceeds ``MAX_SPILL_RATIO`` × node memory are not
+priced; they surface in :attr:`SimulatedBatch.oom_cells` and callers
+choose between raising (scalar-loop semantics) and masking them out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.cluster import Cluster
+from repro.errors import OutOfMemoryError, ValidationError
+from repro.frameworks.base import (
+    GC_PENALTY,
+    GC_PRESSURE_KNEE,
+    MAX_SPILL_RATIO,
+    OVERLAP_RESIDUAL,
+    SPILL_RT_FACTOR,
+    TASK_MEMORY_FLOOR_GB,
+    Phase,
+    PhaseKind,
+    PhaseResult,
+)
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "PhaseBatch",
+    "PhaseResultBatch",
+    "SimulatedBatch",
+    "flatten_plans",
+    "plan_cells",
+    "price_phase_batch",
+    "simulate_cells",
+]
+
+
+@dataclass(frozen=True)
+class PhaseBatch:
+    """All phases of a batch of cells, flattened column-wise.
+
+    ``cell`` maps each flattened phase to its cell index; ``pos`` is the
+    phase's position within its cell's plan (the telemetry ripple term).
+    ``starts``/``counts`` give each cell's contiguous phase segment.  The
+    original :class:`Phase` objects ride along for result reconstruction
+    and error messages — they are references, not copies.
+    """
+
+    # Per-phase workload columns.
+    cell: np.ndarray
+    pos: np.ndarray
+    tasks: np.ndarray
+    cpu_secs: np.ndarray
+    disk_read_gb: np.ndarray
+    disk_write_gb: np.ndarray
+    net_gb: np.ndarray
+    mem_gb: np.ndarray
+    task_overhead_s: np.ndarray
+    fixed_overhead_s: np.ndarray
+    skew: np.ndarray
+    data_gb: np.ndarray
+    iteration: np.ndarray
+    is_sync: np.ndarray
+    kind_code: np.ndarray
+    # Per-phase broadcast cluster columns.
+    vcpus: np.ndarray
+    nodes: np.ndarray
+    usable: np.ndarray
+    cpu_speed: np.ndarray
+    disk_mbps: np.ndarray
+    net_mbps_node: np.ndarray
+    total_vcpus: np.ndarray
+    compute_rate: np.ndarray
+    # Segment structure + originals.
+    starts: np.ndarray
+    counts: np.ndarray
+    phases: tuple[Phase, ...]
+
+    def __len__(self) -> int:
+        return self.cell.size
+
+    @property
+    def n_cells(self) -> int:
+        return self.counts.size
+
+
+#: ``kind_code`` values (column order of the one-hot task-count metrics).
+KIND_CODES = {
+    PhaseKind.COMPUTE: 0,
+    PhaseKind.COMMUNICATION: 1,
+    PhaseKind.SYNCHRONIZATION: 2,
+}
+
+
+@dataclass(frozen=True)
+class PhaseResultBatch:
+    """Vectorized :class:`~repro.frameworks.base.PhaseResult` columns.
+
+    One entry per flattened phase, aligned with the originating
+    :class:`PhaseBatch`.  ``infeasible`` marks phases whose placement the
+    scalar scheduler would reject with
+    :class:`~repro.errors.OutOfMemoryError`; their numeric columns hold
+    well-defined but meaningless values and must not be consumed.
+    """
+
+    batch: PhaseBatch
+    duration_s: np.ndarray
+    concurrency: np.ndarray
+    waves: np.ndarray
+    spilled_gb: np.ndarray
+    cpu_busy: np.ndarray
+    io_wait: np.ndarray
+    mem_used: np.ndarray
+    mem_demand: np.ndarray
+    disk_read_rate: np.ndarray
+    disk_write_rate: np.ndarray
+    net_rate: np.ndarray
+    net_overload: np.ndarray
+    infeasible: np.ndarray
+
+
+@dataclass(frozen=True)
+class SimulatedBatch:
+    """One batched simulation: per-phase results plus per-cell folds.
+
+    ``base_runtime_s`` is the noise-free runtime per cell (the scalar
+    path's ``sum(r.duration_s for r in results)``, reproduced as an exact
+    left fold).  ``oom_cells`` flags cells containing an infeasible phase;
+    ``oom_messages`` carries the scalar engine's exact error message for
+    each (``None`` for feasible cells).
+    """
+
+    results: PhaseResultBatch
+    base_runtime_s: np.ndarray
+    cell_spilled: np.ndarray
+    oom_cells: np.ndarray
+    oom_messages: tuple[str | None, ...]
+
+    @property
+    def batch(self) -> PhaseBatch:
+        return self.results.batch
+
+    def raise_first_oom(self) -> None:
+        """Raise the scalar loop's :class:`OutOfMemoryError`, if any.
+
+        A scalar loop over cells raises at the first infeasible cell in
+        cell order; this reproduces that boundary exactly.
+        """
+        if not self.oom_cells.any():
+            return
+        first = int(np.flatnonzero(self.oom_cells)[0])
+        raise OutOfMemoryError(self.oom_messages[first])
+
+    def phase_results(self, cell: int) -> tuple[PhaseResult, ...]:
+        """Reconstruct the scalar :class:`PhaseResult` tuple of one cell."""
+        if self.oom_cells[cell]:
+            raise OutOfMemoryError(self.oom_messages[cell])
+        r = self.results
+        b = r.batch
+        start = int(b.starts[cell])
+        stop = start + int(b.counts[cell])
+        return tuple(
+            PhaseResult(
+                phase=b.phases[i],
+                duration_s=float(r.duration_s[i]),
+                concurrency_per_node=int(r.concurrency[i]),
+                waves=int(r.waves[i]),
+                spilled_gb_per_task=float(r.spilled_gb[i]),
+                cpu_busy_frac=float(r.cpu_busy[i]),
+                io_wait_frac=float(r.io_wait[i]),
+                mem_used_frac=float(r.mem_used[i]),
+                mem_demand_frac=float(r.mem_demand[i]),
+                disk_read_mbps_node=float(r.disk_read_rate[i]),
+                disk_write_mbps_node=float(r.disk_write_rate[i]),
+                net_mbps_node=float(r.net_rate[i]),
+                net_overload_frac=float(r.net_overload[i]),
+            )
+            for i in range(start, stop)
+        )
+
+
+def plan_cells(
+    specs: list[WorkloadSpec], clusters: list[Cluster]
+) -> PhaseBatch:
+    """Plan every cell and flatten the phases into a :class:`PhaseBatch`.
+
+    Planning runs the scalar engines' planners verbatim (one Python call
+    per cell) — the phases fed to the vectorized scheduler are the exact
+    objects the scalar path would price.
+    """
+    from repro.frameworks.registry import get_engine
+
+    if len(specs) != len(clusters):
+        raise ValidationError("specs and clusters must have equal length")
+    plans: list[list[Phase]] = [
+        get_engine(spec.framework).plan(spec, cluster)
+        for spec, cluster in zip(specs, clusters)
+    ]
+    return flatten_plans(plans, clusters)
+
+
+def flatten_plans(
+    plans: list[list[Phase]], clusters: list[Cluster]
+) -> PhaseBatch:
+    """Flatten explicit per-cell phase lists into a :class:`PhaseBatch`.
+
+    The phase-level entry point under :func:`plan_cells`; the identity
+    suite uses it to drive hand-built edge-case phases through the
+    vectorized scheduler without an engine planner in the loop.
+    """
+    if len(plans) != len(clusters):
+        raise ValidationError("plans and clusters must have equal length")
+    counts = np.array([len(p) for p in plans], dtype=np.int64)
+    starts = np.zeros(len(plans), dtype=np.int64)
+    if len(plans) > 1:
+        np.cumsum(counts[:-1], out=starts[1:])
+    flat: list[Phase] = [p for plan in plans for p in plan]
+    n = len(flat)
+
+    def col(getter) -> np.ndarray:
+        return np.fromiter((getter(p) for p in flat), dtype=float, count=n)
+
+    cell = np.repeat(np.arange(len(plans), dtype=np.int64), counts)
+    pos = np.concatenate(
+        [np.arange(c, dtype=np.int64) for c in counts]
+    ) if n else np.zeros(0, dtype=np.int64)
+    kind_code = np.fromiter(
+        (KIND_CODES[p.kind] for p in flat), dtype=np.int64, count=n
+    )
+
+    vms = [c.vm for c in clusters]
+    per_cell = {
+        "vcpus": np.array([vm.vcpus for vm in vms], dtype=float),
+        "nodes": np.array([c.nodes for c in clusters], dtype=float),
+        "usable": np.array(
+            [c.usable_mem_per_node_gb for c in clusters], dtype=float
+        ),
+        "cpu_speed": np.array([vm.cpu_speed for vm in vms], dtype=float),
+        "disk_mbps": np.array([vm.disk_mbps for vm in vms], dtype=float),
+        "net_mbps_node": np.array(
+            [c.net_mbps_per_node for c in clusters], dtype=float
+        ),
+        "total_vcpus": np.array([c.total_vcpus for c in clusters], dtype=float),
+        "compute_rate": np.array([c.compute_rate for c in clusters], dtype=float),
+    }
+
+    return PhaseBatch(
+        cell=cell,
+        pos=pos,
+        tasks=col(lambda p: p.tasks),
+        cpu_secs=col(lambda p: p.cpu_secs_per_task),
+        disk_read_gb=col(lambda p: p.disk_read_gb),
+        disk_write_gb=col(lambda p: p.disk_write_gb),
+        net_gb=col(lambda p: p.net_gb),
+        mem_gb=col(lambda p: p.mem_gb_per_task),
+        task_overhead_s=col(lambda p: p.task_overhead_s),
+        fixed_overhead_s=col(lambda p: p.fixed_overhead_s),
+        skew=col(lambda p: p.skew),
+        data_gb=col(lambda p: p.data_gb),
+        iteration=col(lambda p: p.iteration),
+        is_sync=kind_code == KIND_CODES[PhaseKind.SYNCHRONIZATION],
+        kind_code=kind_code,
+        **{k: v[cell] for k, v in per_cell.items()},
+        starts=starts,
+        counts=counts,
+        phases=tuple(flat),
+    )
+
+
+def price_phase_batch(batch: PhaseBatch) -> PhaseResultBatch:
+    """Vectorized transcription of ``BSPScheduler.simulate_phase``.
+
+    Every expression keeps the scalar code's operand order so float64
+    results are bit-identical per phase.  Conditional scalar branches
+    become ``np.where`` over both branches (selecting between exact
+    values); divisions that the scalar code guards are computed against
+    substituted safe denominators and overwritten by the guard's value.
+    """
+    usable = batch.usable
+
+    # Worker tasks carry the heap floor; coordination phases do not.
+    task_mem = np.where(
+        batch.is_sync, batch.mem_gb, np.maximum(batch.mem_gb, TASK_MEMORY_FLOOR_GB)
+    )
+
+    # Cluster.concurrent_tasks_per_node, in array form.
+    mem_safe = np.where(task_mem < 1e-9, 1.0, task_mem)
+    by_mem = np.floor_divide(usable, mem_safe)
+    concurrency = np.where(task_mem < 1e-9, batch.vcpus, np.minimum(batch.vcpus, by_mem))
+
+    # concurrency == 0: one task per node, spilling the overflow — unless
+    # even MAX_SPILL_RATIO × node memory cannot hold the working set.
+    over = concurrency == 0
+    infeasible = over & ((usable <= 0.0) | (task_mem > MAX_SPILL_RATIO * usable))
+    spilled_gb = np.where(over & ~infeasible, task_mem - usable, 0.0)
+    concurrency = np.where(over, 1.0, concurrency)
+
+    slots = concurrency * batch.nodes
+    waves = np.ceil(batch.tasks / slots)
+    sharing = np.minimum(concurrency, np.ceil(batch.tasks / (waves * batch.nodes)))
+
+    usable_pos = usable > 0
+    usable_safe = np.where(usable_pos, usable, 1.0)
+    mem_per_task = np.where(usable_pos, np.minimum(task_mem, usable), 0.0)
+    mem_used = np.where(
+        usable_pos, np.minimum(1.0, sharing * mem_per_task / usable_safe), 1.0
+    )
+    demand_per_task = np.where(usable_pos, np.minimum(batch.mem_gb, usable), 0.0)
+    mem_demand = np.where(
+        usable_pos, np.minimum(1.0, sharing * demand_per_task / usable_safe), 1.0
+    )
+
+    gc_factor = np.where(
+        mem_used > GC_PRESSURE_KNEE,
+        1.0 + GC_PENALTY * ((mem_used - GC_PRESSURE_KNEE) / (1.0 - GC_PRESSURE_KNEE)),
+        1.0,
+    )
+    cpu_t = gc_factor * batch.cpu_secs / batch.cpu_speed
+    disk_gb = batch.disk_read_gb + batch.disk_write_gb + SPILL_RT_FACTOR * spilled_gb
+    disk_bw_per_task = batch.disk_mbps / sharing
+    disk_t = np.where(disk_gb > 0, disk_gb * 1000.0 / disk_bw_per_task, 0.0)
+    net_bw_per_task = batch.net_mbps_node / sharing
+    net_t = np.where(batch.net_gb > 0, batch.net_gb * 1000.0 / net_bw_per_task, 0.0)
+
+    dominant = np.maximum(np.maximum(cpu_t, disk_t), net_t)
+    residual = OVERLAP_RESIDUAL * (cpu_t + disk_t + net_t - dominant)
+    task_t = batch.task_overhead_s + dominant + residual
+    duration = batch.fixed_overhead_s + waves * task_t + batch.skew * task_t
+    duration = np.maximum(duration, 1e-6)
+
+    total_cpu_time = batch.tasks * cpu_t
+    total_io_time = batch.tasks * (disk_t + net_t)
+    cpu_busy = np.minimum(1.0, total_cpu_time / (duration * batch.total_vcpus))
+    io_wait = np.minimum(
+        1.0 - cpu_busy, total_io_time / (duration * batch.total_vcpus)
+    )
+
+    read_gb_total = batch.tasks * (batch.disk_read_gb + spilled_gb)
+    write_gb_total = batch.tasks * (batch.disk_write_gb + spilled_gb)
+    disk_read_rate = read_gb_total * 1000.0 / (duration * batch.nodes)
+    disk_write_rate = write_gb_total * 1000.0 / (duration * batch.nodes)
+
+    net_rate = batch.tasks * batch.net_gb * 1000.0 / (duration * batch.nodes)
+    peak_net_demand = sharing * batch.net_gb * 1000.0 / np.maximum(task_t, 1e-9)
+    overload = np.maximum(0.0, peak_net_demand / batch.net_mbps_node - 0.95)
+    net_overload = np.minimum(1.0, overload)
+
+    return PhaseResultBatch(
+        batch=batch,
+        duration_s=duration,
+        concurrency=concurrency,
+        waves=waves,
+        spilled_gb=spilled_gb,
+        cpu_busy=cpu_busy,
+        io_wait=io_wait,
+        mem_used=mem_used,
+        mem_demand=mem_demand,
+        disk_read_rate=disk_read_rate,
+        disk_write_rate=disk_write_rate,
+        net_rate=net_rate,
+        net_overload=net_overload,
+        infeasible=infeasible,
+    )
+
+
+def fold_durations(batch: PhaseBatch, duration_s: np.ndarray) -> np.ndarray:
+    """Per-cell left-fold sum of phase durations.
+
+    The scalar path computes ``sum(r.duration_s for r in results)`` — a
+    strict left fold.  ``np.sum``/``np.add.reduceat`` use pairwise
+    summation and do *not* reproduce those bits, so the fold is made
+    explicit: one vectorized addition per phase position, each adding the
+    j-th phase of every cell that has one.
+    """
+    base = np.zeros(batch.n_cells)
+    if len(batch) == 0:
+        return base
+    counts = batch.counts
+    starts = batch.starts
+    for j in range(int(counts.max())):
+        sel = counts > j
+        base[sel] = base[sel] + duration_s[starts[sel] + j]
+    return base
+
+
+def _oom_message(phase: Phase, task_mem: float, usable: float) -> str:
+    """The scalar scheduler's OutOfMemoryError message, verbatim."""
+    return (
+        f"phase {phase.name!r}: task working set "
+        f"{task_mem:.2f} GB cannot fit in "
+        f"{usable:.2f} GB node memory even with spilling"
+    )
+
+
+def simulate_cells(
+    specs: list[WorkloadSpec], clusters: list[Cluster]
+) -> SimulatedBatch:
+    """Plan and price a batch of cells; fold durations into base runtimes.
+
+    Returns per-phase result columns plus per-cell base runtimes, spill
+    flags and OOM diagnostics.  Pure and deterministic: consumes no RNG,
+    so callers may interleave it freely with seeded noise draws.
+    """
+    batch = plan_cells(specs, clusters)
+    results = price_phase_batch(batch)
+
+    base_runtime = fold_durations(batch, results.duration_s)
+    spilled_phase = results.spilled_gb > 0
+    cell_spilled = np.zeros(batch.n_cells, dtype=bool)
+    np.logical_or.at(cell_spilled, batch.cell, spilled_phase)
+    oom_cells = np.zeros(batch.n_cells, dtype=bool)
+    np.logical_or.at(oom_cells, batch.cell, results.infeasible)
+
+    messages: list[str | None] = [None] * batch.n_cells
+    if oom_cells.any():
+        # The scalar engine raises at the *first* infeasible phase of a
+        # cell; reproduce that phase's exact message per cell.
+        task_mem = np.where(
+            batch.is_sync,
+            batch.mem_gb,
+            np.maximum(batch.mem_gb, TASK_MEMORY_FLOOR_GB),
+        )
+        for i in np.flatnonzero(results.infeasible):
+            ci = int(batch.cell[i])
+            if messages[ci] is None:
+                messages[ci] = _oom_message(
+                    batch.phases[i], float(task_mem[i]), float(batch.usable[i])
+                )
+
+    return SimulatedBatch(
+        results=results,
+        base_runtime_s=base_runtime,
+        cell_spilled=cell_spilled,
+        oom_cells=oom_cells,
+        oom_messages=tuple(messages),
+    )

@@ -1,12 +1,23 @@
-"""Framework registry and the one-call simulation entry point."""
+"""Framework registry and the one-call simulation entry points.
+
+Two ways to run the simulator:
+
+- :func:`simulate_run` — the scalar reference: one (workload, vm, nodes)
+  cell, closed-form phase by phase;
+- :func:`simulate_batch` — the vectorized path: a whole array of cells
+  priced in structure-of-arrays NumPy passes, bit-identical to looping
+  :func:`simulate_run` (enforced by ``tests/test_batch_identity.py``).
+"""
 
 from __future__ import annotations
+
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.cloud.cluster import Cluster
 from repro.cloud.vmtypes import VMType, get_vm_type
-from repro.errors import CatalogError
+from repro.errors import CatalogError, ValidationError
 from repro.frameworks.base import Engine, RunResult
 from repro.frameworks.hadoop import HadoopEngine
 from repro.frameworks.flink import FlinkEngine
@@ -14,23 +25,38 @@ from repro.frameworks.hive import HiveEngine
 from repro.frameworks.spark import SparkEngine
 from repro.workloads.spec import WorkloadSpec
 
-__all__ = ["get_engine", "simulate_run"]
+__all__ = ["get_engine", "simulate_run", "simulate_batch", "BatchCell"]
 
-_ENGINES: dict[str, Engine] = {}
+#: A batch cell: ``(spec, vm)`` or ``(spec, vm, nodes)``.
+BatchCell = tuple
+
+# Engines are stateless; constructing all of them eagerly into an
+# immutable mapping makes lookups lock-free and safe under the threaded
+# selection service (the old lazily-filled dict could double-construct —
+# and, worse, be observed mid-write — under concurrent first calls).
+_ENGINES: dict[str, Engine] = {
+    "hadoop": HadoopEngine(),
+    "hive": HiveEngine(),
+    "spark": SparkEngine(),
+    "flink": FlinkEngine(),
+}
 
 
 def get_engine(framework: str) -> Engine:
     """Return the (shared, stateless) engine for ``framework``."""
-    if framework not in ("hadoop", "hive", "spark", "flink"):
-        raise CatalogError(f"unknown framework {framework!r}")
-    if framework not in _ENGINES:
-        _ENGINES[framework] = {
-            "hadoop": HadoopEngine,
-            "hive": HiveEngine,
-            "spark": SparkEngine,
-            "flink": FlinkEngine,
-        }[framework]()
-    return _ENGINES[framework]
+    try:
+        return _ENGINES[framework]
+    except KeyError:
+        pass
+    if framework == "mesos":
+        # repro.frameworks exports Mesos *helpers* (executor sizing), which
+        # historically made this error read like a registry gap: mesos is
+        # the resource-manager layer, not an execution engine.
+        raise CatalogError(
+            "mesos is a resource manager, not an execution engine; "
+            "use repro.frameworks.mesos.MemoryWatcher for executor sizing"
+        )
+    raise CatalogError(f"unknown framework {framework!r}")
 
 
 def simulate_run(
@@ -61,3 +87,125 @@ def simulate_run(
         sample_period_s=sample_period_s,
         rng=rng,
     )
+
+
+def resolve_cells(
+    cells: Sequence[BatchCell],
+) -> tuple[list[WorkloadSpec], list[Cluster]]:
+    """Resolve ``(spec, vm[, nodes])`` cells into specs and clusters."""
+    specs: list[WorkloadSpec] = []
+    clusters: list[Cluster] = []
+    for item in cells:
+        if len(item) == 2:
+            spec, vm = item
+            nodes = None
+        elif len(item) == 3:
+            spec, vm, nodes = item
+        else:
+            raise ValidationError(
+                f"batch cell must be (spec, vm) or (spec, vm, nodes), got {item!r}"
+            )
+        if isinstance(vm, str):
+            vm = get_vm_type(vm)
+        specs.append(spec)
+        clusters.append(
+            Cluster(vm=vm, nodes=nodes if nodes is not None else spec.nodes)
+        )
+    return specs, clusters
+
+
+def simulate_batch(
+    cells: Sequence[BatchCell],
+    *,
+    noise_multipliers: Sequence[float] | None = None,
+    with_timeseries: bool = True,
+    sample_period_s: float = 5.0,
+    rngs: Sequence[np.random.Generator | None] | None = None,
+    oom: str = "raise",
+) -> list[RunResult | None]:
+    """Simulate a whole array of cells in vectorized NumPy passes.
+
+    Parameters
+    ----------
+    cells:
+        ``(spec, vm[, nodes])`` tuples; ``vm`` is a name or a
+        :class:`~repro.cloud.vmtypes.VMType`, ``nodes`` defaults to the
+        spec's node count — exactly :func:`simulate_run`'s resolution.
+    noise_multipliers:
+        Per-cell cloud-noise factor (default 1.0 everywhere).
+    rngs:
+        Per-cell generators for the telemetry measurement ripple; the
+        i-th cell's series consumes exactly the draws the scalar path
+        would take from ``rngs[i]``.
+    oom:
+        ``"raise"`` reproduces the scalar loop: the first cell (in cell
+        order) whose placement is infeasible raises
+        :class:`~repro.errors.OutOfMemoryError` with the scalar engine's
+        message.  ``"mask"`` returns ``None`` for every infeasible cell
+        and full results for the rest.
+
+    Returns
+    -------
+    list[RunResult | None]
+        Per-cell run records, bitwise equal to the scalar path:
+        runtimes, budgets, phase results and (when requested) the
+        time-series array.
+    """
+    if oom not in ("raise", "mask"):
+        raise ValidationError(f"oom must be 'raise' or 'mask', got {oom!r}")
+    specs, clusters = resolve_cells(cells)
+    n = len(specs)
+    if noise_multipliers is None:
+        mults = [1.0] * n
+    else:
+        mults = [float(m) for m in noise_multipliers]
+        if len(mults) != n:
+            raise ValidationError("noise_multipliers must match cells in length")
+    for m in mults:
+        if m <= 0:
+            raise ValidationError("noise_multiplier must be > 0")
+    if rngs is not None and len(rngs) != n:
+        raise ValidationError("rngs must match cells in length")
+
+    from repro.frameworks.batch import simulate_cells
+
+    sim = simulate_cells(specs, clusters)
+    if oom == "raise":
+        sim.raise_first_oom()
+
+    feasible = [i for i in range(n) if not sim.oom_cells[i]]
+    series_by_cell: dict[int, np.ndarray] = {}
+    if with_timeseries and feasible:
+        from repro.frameworks.resources import build_timeseries_batch
+
+        series_by_cell = build_timeseries_batch(
+            sim,
+            specs,
+            clusters,
+            cells=feasible,
+            rngs=None if rngs is None else [rngs[i] for i in feasible],
+            sample_period_s=sample_period_s,
+        )
+
+    out: list[RunResult | None] = []
+    for i in range(n):
+        if sim.oom_cells[i]:
+            out.append(None)
+            continue
+        base = float(sim.base_runtime_s[i])
+        runtime = base * mults[i]
+        out.append(
+            RunResult(
+                workload=specs[i].name,
+                framework=specs[i].framework,
+                vm_name=clusters[i].vm.name,
+                nodes=clusters[i].nodes,
+                runtime_s=runtime,
+                budget_usd=clusters[i].budget(runtime),
+                noise_multiplier=mults[i],
+                phases=sim.phase_results(i),
+                timeseries=series_by_cell.get(i),
+                sample_period_s=sample_period_s,
+            )
+        )
+    return out

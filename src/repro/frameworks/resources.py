@@ -29,7 +29,13 @@ from repro.frameworks.base import PhaseKind, PhaseResult
 from repro.telemetry.metrics import METRIC_INDEX, NUM_METRICS
 from repro.workloads.spec import WorkloadSpec
 
-__all__ = ["MAX_SAMPLES", "phase_metric_levels", "build_timeseries"]
+__all__ = [
+    "MAX_SAMPLES",
+    "phase_metric_levels",
+    "build_timeseries",
+    "phase_levels_batch",
+    "build_timeseries_batch",
+]
 
 #: Upper bound on samples per run; beyond this the sampling period grows.
 MAX_SAMPLES = 512
@@ -191,3 +197,210 @@ def build_timeseries(
         rows.append(block)
 
     return np.vstack(rows)
+
+
+def _ripple_tables() -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The per-metric-group ripple tables, as :func:`build_timeseries` builds them."""
+    group_of = np.empty(NUM_METRICS, dtype=int)
+    for name, col in METRIC_INDEX.items():
+        if name.startswith("cpu"):
+            group_of[col] = 0
+        elif name.startswith("mem"):
+            group_of[col] = 1
+        elif name.startswith("disk"):
+            group_of[col] = 2
+        elif name.startswith("net"):
+            group_of[col] = 3
+        else:
+            group_of[col] = 4
+    freqs = np.array([1 / 8.0, 1 / 11.0, 1 / 6.0, 1 / 9.0, 1 / 7.0])
+    offsets = np.array([0.0, 1.3, 2.6, 3.9, 5.2])
+    return group_of, freqs, offsets
+
+
+def phase_levels_batch(results, idx: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`phase_metric_levels` over selected batch phases.
+
+    ``results`` is a :class:`~repro.frameworks.batch.PhaseResultBatch`;
+    ``idx`` selects flattened phase indices (feasible ones only — columns
+    of infeasible phases are meaningless).  Returns ``(len(idx), 20)``
+    levels, row ``j`` bitwise equal to the scalar function on phase
+    ``idx[j]`` — every expression keeps the scalar operand order.
+    """
+    b = results.batch
+    levels = np.zeros((idx.size, NUM_METRICS))
+
+    busy = results.cpu_busy[idx]
+    cpu_user = busy * 0.82
+    cpu_system = busy * 0.18 + 0.02  # background daemons
+    cpu_wait = results.io_wait[idx]
+    cpu_idle = np.maximum(0.0, 1.0 - cpu_user - cpu_system - cpu_wait)
+    levels[:, METRIC_INDEX["cpu_user"]] = cpu_user
+    levels[:, METRIC_INDEX["cpu_system"]] = np.minimum(1.0, cpu_system)
+    levels[:, METRIC_INDEX["cpu_wait"]] = cpu_wait
+    levels[:, METRIC_INDEX["cpu_idle"]] = cpu_idle
+
+    read_frac = results.disk_read_rate[idx] / b.disk_mbps[idx]
+    write_frac = results.disk_write_rate[idx] / b.disk_mbps[idx]
+    levels[:, METRIC_INDEX["mem_used"]] = np.minimum(
+        1.0, 0.05 + results.mem_demand[idx]
+    )
+    levels[:, METRIC_INDEX["mem_cache"]] = np.minimum(1.0, 0.12 + 0.70 * read_frac)
+    levels[:, METRIC_INDEX["mem_buffer"]] = np.minimum(1.0, 0.04 + 0.70 * write_frac)
+    usable = b.usable[idx]
+    spilled_gb = results.spilled_gb[idx]
+    usable_safe = np.where(usable > 0, usable, 1.0)
+    levels[:, METRIC_INDEX["mem_swap"]] = np.where(
+        (spilled_gb > 0) & (usable > 0),
+        np.minimum(1.0, spilled_gb * results.concurrency[idx] / usable_safe),
+        0.0,
+    )
+
+    levels[:, METRIC_INDEX["disk_read"]] = results.disk_read_rate[idx]
+    levels[:, METRIC_INDEX["disk_write"]] = results.disk_write_rate[idx]
+    levels[:, METRIC_INDEX["disk_util"]] = np.minimum(1.0, read_frac + write_frac)
+
+    net_rate = results.net_rate[idx]
+    levels[:, METRIC_INDEX["net_send"]] = net_rate
+    levels[:, METRIC_INDEX["net_recv"]] = net_rate * 0.98
+    levels[:, METRIC_INDEX["net_drop"]] = results.net_overload[idx] * 0.5
+
+    occupancy = b.tasks[idx] / (
+        results.waves[idx] * results.concurrency[idx] * b.nodes[idx]
+    )
+    active = results.concurrency[idx] * b.nodes[idx] * np.minimum(1.0, occupancy)
+    crosstalk = 0.05 * active
+    kind_cols = np.array(
+        [
+            METRIC_INDEX["tasks_compute"],
+            METRIC_INDEX["tasks_communication"],
+            METRIC_INDEX["tasks_synchronization"],
+        ]
+    )
+    for col in kind_cols:
+        levels[:, col] = crosstalk
+    levels[np.arange(idx.size), kind_cols[b.kind_code[idx]]] = active
+
+    data_gb = b.data_gb[idx]
+    data_rate = data_gb / results.duration_s[idx]
+    cycles_rate = np.maximum(busy * b.compute_rate[idx], 1e-9)
+    levels[:, METRIC_INDEX["data_per_cycle"]] = data_rate / cycles_rate
+    levels[:, METRIC_INDEX["data_per_iteration"]] = data_gb / (b.iteration[idx] + 1)
+    levels[:, METRIC_INDEX["data_per_parallelism"]] = data_gb / np.maximum(
+        active, 1e-9
+    )
+
+    return levels
+
+
+def build_timeseries_batch(
+    sim,
+    specs: Sequence[WorkloadSpec],
+    clusters: Sequence[Cluster],
+    *,
+    cells: Sequence[int] | None = None,
+    rngs: Sequence[np.random.Generator | None] | None = None,
+    sample_period_s: float = 5.0,
+) -> dict[int, np.ndarray]:
+    """Render the telemetry series of many batched cells at once.
+
+    ``sim`` is a :class:`~repro.frameworks.batch.SimulatedBatch`;
+    ``cells`` selects which (feasible) cell indices to render (all by
+    default) and ``rngs`` aligns with it.  Returns a dict mapping each
+    requested cell index to its ``(samples, 20)`` array, bitwise equal to
+    :func:`build_timeseries` on that cell's scalar phase results — the
+    ripple is rendered for every sample of every phase of every cell in
+    one pass, and each cell's measurement noise is a single
+    sequentially-filled draw from its own generator (a PCG64 ``normal``
+    of shape ``(n, 20)`` equals the concatenation of the scalar path's
+    per-phase draws).
+    """
+    if sample_period_s <= 0:
+        raise ValidationError("sample_period_s must be > 0")
+    b = sim.batch
+    cell_list = list(range(b.n_cells)) if cells is None else [int(c) for c in cells]
+    if rngs is not None and len(rngs) != len(cell_list):
+        raise ValidationError("rngs must match cells in length")
+    if not cell_list:
+        return {}
+    for c in cell_list:
+        if sim.oom_cells[c]:
+            raise ValidationError(
+                f"cell {c} is OOM-infeasible and has no telemetry"
+            )
+
+    cells_arr = np.asarray(cell_list, dtype=np.int64)
+    counts_sel = b.counts[cells_arr]
+    idx = (
+        np.concatenate(
+            [
+                np.arange(b.starts[c], b.starts[c] + b.counts[c], dtype=np.int64)
+                for c in cell_list
+            ]
+        )
+        if counts_sel.sum()
+        else np.zeros(0, dtype=np.int64)
+    )
+    # Selection-local cell index of each selected phase.
+    rep = np.repeat(np.arange(len(cell_list), dtype=np.int64), counts_sel)
+
+    # Per-cell effective sampling period (MAX_SAMPLES cap), then per-phase
+    # sample counts — same round-half-even as the scalar ``round``.
+    totals = sim.base_runtime_s[cells_arr]
+    periods = np.full(len(cell_list), float(sample_period_s))
+    stretch = totals / periods > MAX_SAMPLES
+    periods[stretch] = totals[stretch] / MAX_SAMPLES
+    durations = sim.results.duration_s[idx]
+    n = np.maximum(1, np.rint(durations / periods[rep])).astype(np.int64)
+    if n.size == 0:
+        return {c: np.zeros((0, NUM_METRICS)) for c in cell_list}
+
+    levels = phase_levels_batch(sim.results, idx)
+
+    # Expand to sample granularity: every sample knows its phase and its
+    # within-phase tick ``t``.
+    total_samples = int(n.sum())
+    phase_of = np.repeat(np.arange(idx.size, dtype=np.int64), n)
+    offs = np.zeros(idx.size, dtype=np.int64)
+    np.cumsum(n[:-1], out=offs[1:])
+    t = np.arange(total_samples, dtype=float) - offs[phase_of]
+
+    # The ripple argument depends on a metric only through its *group*, so
+    # evaluate sin over the 5 groups and gather to the 20 columns — column
+    # ``m`` gets exactly the value the per-metric expression would give.
+    group_of, freqs, offsets = _ripple_tables()
+    pos_term = 0.7 * b.pos[idx].astype(float)
+    arg = (
+        2.0 * np.pi * t[:, None] * freqs[None, :]
+        + offsets[None, :]
+        + pos_term[phase_of][:, None]
+    )
+    ripple = 1.0 + _RIPPLE_AMPLITUDE * np.sin(arg)
+    block = levels[phase_of] * ripple[:, group_of]
+
+    # Per-cell sample segments (for the noise draws and the final split).
+    samples_per_cell = np.zeros(len(cell_list), dtype=np.int64)
+    np.add.at(samples_per_cell, rep, n)
+    cell_starts = np.zeros(len(cell_list), dtype=np.int64)
+    np.cumsum(samples_per_cell[:-1], out=cell_starts[1:])
+
+    if rngs is not None:
+        for k in range(len(cell_list)):
+            rng = rngs[k]
+            if rng is None:
+                continue
+            s0 = int(cell_starts[k])
+            s1 = s0 + int(samples_per_cell[k])
+            if s1 > s0:
+                block[s0:s1] = block[s0:s1] * (
+                    1.0 + rng.normal(0.0, _NOISE_SIGMA, size=(s1 - s0, NUM_METRICS))
+                )
+
+    fraction_cols = np.array([METRIC_INDEX[m] for m in _FRACTION_METRICS])
+    block[:, fraction_cols] = np.clip(block[:, fraction_cols], 0.0, 1.0)
+    np.maximum(block, 0.0, out=block)
+
+    return {
+        c: block[int(cell_starts[k]) : int(cell_starts[k]) + int(samples_per_cell[k])]
+        for k, c in enumerate(cell_list)
+    }

@@ -34,7 +34,12 @@ import numpy as np
 from repro.cloud.faults import FaultDecision, FaultEvent, FaultPlan
 from repro.cloud.noise import CloudNoiseModel
 from repro.cloud.vmtypes import VMType, get_vm_type
-from repro.errors import ProbeFailedError, TransientRunError, ValidationError
+from repro.errors import (
+    OutOfMemoryError,
+    ProbeFailedError,
+    TransientRunError,
+    ValidationError,
+)
 from repro.frameworks.registry import simulate_run
 from repro.workloads.spec import WorkloadSpec
 
@@ -320,3 +325,170 @@ class DataCollector:
                     spec, vm.name, rep, float(mults[rep])
                 )
         return float(np.percentile(base * mults, P90))
+
+    # -- batched profiling -------------------------------------------------------
+
+    def profile_many(
+        self,
+        requests,
+        *,
+        capture: bool = False,
+    ) -> list[tuple[WorkloadProfile | float, tuple[FaultEvent, ...]] | None]:
+        """Run the profiling protocol for many cells in one vectorized pass.
+
+        ``requests`` is a sequence of ``(spec, vm, nodes, runtime_only)``
+        cells; ``vm`` may be a name, ``nodes=None`` defaults to the spec's.
+        The heavy part — planning, phase pricing and the telemetry render —
+        happens once for the whole batch through
+        :func:`repro.frameworks.batch.simulate_cells`; the per-repetition
+        noise draws and fault checks stay scalar per cell, in the scalar
+        protocol's exact order, so every cell's profile / P90 is bitwise
+        equal to :meth:`collect` / :meth:`runtime_only` on that cell.
+
+        Returns one ``(value, fault_events)`` pair per cell.  Exceptions
+        reproduce a serial loop over cells: the first cell that fails
+        raises (:class:`OutOfMemoryError` for infeasible placements,
+        :class:`ProbeFailedError` for exhausted fault budgets).  With
+        ``capture=True`` a permanently failed cell instead yields ``None``
+        (its fault events are discarded), matching the campaign's
+        speculative-prefetch semantics; infeasible placements still raise.
+        """
+        from repro.frameworks.batch import simulate_cells
+        from repro.frameworks.registry import resolve_cells
+        from repro.frameworks.resources import build_timeseries_batch
+
+        reqs = [(spec, vm, nodes, bool(fast)) for spec, vm, nodes, fast in requests]
+        specs, clusters = resolve_cells([(s, v, n) for s, v, n, _ in reqs])
+        sim = simulate_cells(specs, clusters)
+
+        profile_idx = [
+            i
+            for i, (_, _, _, fast) in enumerate(reqs)
+            if not fast and not sim.oom_cells[i]
+        ]
+        series_by_cell: dict[int, np.ndarray] = {}
+        if profile_idx:
+            series_by_cell = build_timeseries_batch(
+                sim,
+                specs,
+                clusters,
+                cells=profile_idx,
+                rngs=[
+                    np.random.default_rng(
+                        _stream_seed(specs[i].name, clusters[i].vm.name, self.seed) + 1
+                    )
+                    for i in profile_idx
+                ],
+                sample_period_s=self.sample_period_s,
+            )
+
+        out: list[tuple[WorkloadProfile | float, tuple[FaultEvent, ...]] | None] = []
+        for i, (spec, _, _, runtime_only) in enumerate(reqs):
+            vm_name = clusters[i].vm.name
+            stream = _stream_seed(spec.name, vm_name, self.seed)
+            noise = CloudNoiseModel(seed=stream)
+            first_event = len(self.fault_events)
+            try:
+                if runtime_only:
+                    # Scalar runtime_only simulates before drawing noise, so
+                    # an infeasible placement raises ahead of fault checks.
+                    if sim.oom_cells[i]:
+                        raise OutOfMemoryError(sim.oom_messages[i])
+                    base = float(sim.base_runtime_s[i])
+                    mults = noise.sample_multipliers(
+                        self.repetitions, spec.demand.variance_boost
+                    )
+                    if self.faults is not None:
+                        for rep in range(self.repetitions):
+                            mults[rep], _ = self._faulted_multiplier(
+                                spec, vm_name, rep, float(mults[rep])
+                            )
+                    value: WorkloadProfile | float = float(
+                        np.percentile(base * mults, P90)
+                    )
+                else:
+                    value = self._profile_from_batch(
+                        spec, clusters[i], sim, i, noise, series_by_cell.get(i)
+                    )
+            except ProbeFailedError:
+                if not capture:
+                    raise
+                del self.fault_events[first_event:]
+                out.append(None)
+                continue
+            out.append((value, tuple(self.fault_events[first_event:])))
+        return out
+
+    def _profile_from_batch(
+        self, spec, cluster, sim, i, noise, series
+    ) -> WorkloadProfile:
+        """One cell's :meth:`collect` protocol over precomputed batch results.
+
+        Mirrors the scalar repetition loop exactly — noise draw, fault
+        check, then the simulation outcome (so rep-0 fault events precede
+        an OOM raise, as with the scalar ``simulate_run`` call) — but the
+        simulation itself is a lookup: the noise multiplier is a pure
+        scalar factor on the cell's deterministic base runtime.
+        """
+        from repro.cloud.pricing import MIN_BILLED_SECONDS, hourly_price
+
+        base = float(sim.base_runtime_s[i]) if not sim.oom_cells[i] else 0.0
+        runtimes = np.empty(self.repetitions)
+        spilled = False
+        for rep in range(self.repetitions):
+            mult = noise.sample(spec.demand.variance_boost).multiplier
+            decision = None
+            if self.faults is not None:
+                mult, decision = self._faulted_multiplier(
+                    spec, cluster.vm.name, rep, mult
+                )
+            if sim.oom_cells[i]:
+                raise OutOfMemoryError(sim.oom_messages[i])
+            runtimes[rep] = base * mult
+            if rep == 0:
+                spilled = bool(sim.cell_spilled[i])
+                if decision is not None and decision.drop:
+                    series = self._drop_samples(series, spec.name, cluster.vm.name, rep)
+        # Vectorized Cluster.budget: same operand order as the scalar
+        # ``hourly_price * max(runtime, floor) / 3600`` per repetition.
+        budgets = (
+            hourly_price(cluster.vm, cluster.nodes)
+            * np.maximum(runtimes, MIN_BILLED_SECONDS)
+            / 3600.0
+        )
+        if series is None:
+            raise ValidationError("no repetition produced a telemetry series")
+        return WorkloadProfile(
+            workload=spec.name,
+            framework=spec.framework,
+            vm_name=cluster.vm.name,
+            nodes=cluster.nodes,
+            runtimes=runtimes,
+            budgets=budgets,
+            timeseries=series,
+            spilled=spilled,
+        )
+
+    def collect_batch(
+        self,
+        cells,
+        *,
+        nodes: int | None = None,
+    ) -> list[WorkloadProfile]:
+        """Batched :meth:`collect` over ``(spec, vm)`` cells (one pass)."""
+        results = self.profile_many(
+            [(spec, vm, nodes, False) for spec, vm in cells]
+        )
+        return [value for value, _ in results]  # type: ignore[misc]
+
+    def runtime_only_batch(
+        self,
+        cells,
+        *,
+        nodes: int | None = None,
+    ) -> list[float]:
+        """Batched :meth:`runtime_only` over ``(spec, vm)`` cells."""
+        results = self.profile_many(
+            [(spec, vm, nodes, True) for spec, vm in cells]
+        )
+        return [value for value, _ in results]  # type: ignore[misc]

@@ -30,6 +30,32 @@ class TestRegistry:
         with pytest.raises(CatalogError):
             get_engine("tez")
 
+    def test_mesos_gets_a_pointed_error(self):
+        # mesos lives in repro.frameworks but is the resource-manager
+        # layer; the registry should say so instead of "unknown".
+        with pytest.raises(CatalogError, match="resource manager"):
+            get_engine("mesos")
+        with pytest.raises(CatalogError, match="MemoryWatcher"):
+            get_engine("mesos")
+
+    def test_registry_is_eager_and_immutable(self):
+        from repro.frameworks import registry
+
+        assert set(registry._ENGINES) == {"hadoop", "hive", "spark", "flink"}
+        # Every instance exists before any get_engine call — lookups never
+        # mutate the mapping, so there is nothing to race on.
+        for name, engine in registry._ENGINES.items():
+            assert get_engine(name) is engine
+
+    def test_concurrent_lookups_return_the_same_instances(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        names = ["hadoop", "hive", "spark", "flink"] * 64
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            engines = list(pool.map(get_engine, names))
+        for name, engine in zip(names, engines):
+            assert engine is get_engine(name)
+
 
 class TestHadoopPlanner:
     def test_map_tasks_follow_hdfs_splits(self, hadoop_terasort, small_cluster):

@@ -8,11 +8,13 @@ from repro.cloud.vmtypes import get_vm_type
 from repro.errors import OutOfMemoryError, ValidationError
 from repro.frameworks.base import (
     BSPScheduler,
+    MAX_SPILL_RATIO,
     Phase,
     PhaseKind,
     TASK_MEMORY_FLOOR_GB,
     RunResult,
 )
+from repro.frameworks.batch import flatten_plans
 from repro.frameworks.registry import get_engine, simulate_run
 
 
@@ -202,6 +204,149 @@ class TestEngineRun:
         b = simulate_run(spark_lr, "m5.xlarge")
         assert a.runtime_s == b.runtime_s
         np.testing.assert_array_equal(a.timeseries, b.timeseries)
+
+
+class _StubVM:
+    """Minimal VM surface for pathological-cluster tests."""
+
+    def __init__(self, vcpus, cpu_speed=1.0, disk_mbps=100.0):
+        self.name = "stub"
+        self.vcpus = vcpus
+        self.cpu_speed = cpu_speed
+        self.disk_mbps = disk_mbps
+
+
+class _StubCluster:
+    """Duck-typed cluster that can present ``usable <= 0`` node memory.
+
+    Catalog clusters cap the OS reserve at a quarter of node memory, so a
+    real :class:`Cluster` can never reach this branch — but the scheduler
+    still guards it, and the guard deserves a test.  The concurrency
+    formula mirrors :meth:`Cluster.concurrent_tasks_per_node` so the
+    scalar and batched paths see consistent inputs.
+    """
+
+    def __init__(self, usable, vcpus=4, nodes=2):
+        self.vm = _StubVM(vcpus)
+        self.nodes = nodes
+        self.usable_mem_per_node_gb = usable
+        self.net_mbps_per_node = 1000.0
+        self.total_vcpus = vcpus * nodes
+        self.compute_rate = vcpus * nodes * self.vm.cpu_speed
+
+    def concurrent_tasks_per_node(self, task_mem_gb):
+        if task_mem_gb < 1e-9:
+            return self.vm.vcpus
+        return min(self.vm.vcpus, int(self.usable_mem_per_node_gb // task_mem_gb))
+
+
+def assert_batch_matches_scalar(phases, cluster):
+    """Price ``phases`` both ways and require bitwise-equal columns."""
+    sched = BSPScheduler()
+    priced = sched.simulate_phases(flatten_plans([list(phases)], [cluster]))
+    for j, phase in enumerate(phases):
+        scalar = sched.simulate_phase(phase, cluster)
+        assert not priced.infeasible[j]
+        assert priced.duration_s[j] == scalar.duration_s
+        assert priced.concurrency[j] == scalar.concurrency_per_node
+        assert priced.waves[j] == scalar.waves
+        assert priced.spilled_gb[j] == scalar.spilled_gb_per_task
+        assert priced.cpu_busy[j] == scalar.cpu_busy_frac
+        assert priced.io_wait[j] == scalar.io_wait_frac
+        assert priced.mem_used[j] == scalar.mem_used_frac
+        assert priced.mem_demand[j] == scalar.mem_demand_frac
+        assert priced.disk_read_rate[j] == scalar.disk_read_mbps_node
+        assert priced.disk_write_rate[j] == scalar.disk_write_mbps_node
+        assert priced.net_rate[j] == scalar.net_mbps_node
+        assert priced.net_overload[j] == scalar.net_overload_frac
+
+
+class TestPhaseEdgeCases:
+    """Degenerate corners of the pricing model, scalar and batched."""
+
+    def test_zero_disk_phase_has_no_io_time(self, scheduler, small_cluster):
+        phase = make_phase(disk_read_gb=0.0, disk_write_gb=0.0, net_gb=0.5)
+        r = scheduler.simulate_phase(phase, small_cluster)
+        assert r.disk_read_mbps_node == 0.0
+        assert r.disk_write_mbps_node == 0.0
+        assert r.net_mbps_node > 0.0
+        assert_batch_matches_scalar([phase], small_cluster)
+
+    def test_zero_net_phase_has_no_net_rates(self, scheduler, small_cluster):
+        phase = make_phase(net_gb=0.0, disk_read_gb=0.3)
+        r = scheduler.simulate_phase(phase, small_cluster)
+        assert r.net_mbps_node == 0.0
+        assert r.net_overload_frac == 0.0
+        assert_batch_matches_scalar([phase], small_cluster)
+
+    def test_pure_cpu_phase_duration_is_closed_form(self, scheduler, small_cluster):
+        phase = make_phase(
+            tasks=16,
+            cpu_secs_per_task=8.0,
+            disk_read_gb=0.0,
+            mem_gb_per_task=1.0,
+            fixed_overhead_s=2.0,
+        )
+        r = scheduler.simulate_phase(phase, small_cluster)
+        # 16 tasks over 4x4 slots = 1 wave; no IO => duration is the fixed
+        # overhead plus one wave of pure (scaled) CPU time.
+        assert r.waves == 1
+        assert r.io_wait_frac == 0.0
+        expected = 2.0 + 8.0 / small_cluster.vm.cpu_speed
+        assert r.duration_s == pytest.approx(expected)
+        assert_batch_matches_scalar([phase], small_cluster)
+
+    def test_spill_exactly_at_max_ratio_is_feasible(self, scheduler, small_cluster):
+        usable = small_cluster.usable_mem_per_node_gb
+        at_limit = make_phase(mem_gb_per_task=MAX_SPILL_RATIO * usable)
+        r = scheduler.simulate_phase(at_limit, small_cluster)
+        assert r.concurrency_per_node == 1
+        assert r.spilled_gb_per_task == MAX_SPILL_RATIO * usable - usable
+        assert_batch_matches_scalar([at_limit], small_cluster)
+
+    def test_spill_just_above_max_ratio_raises(self, scheduler, small_cluster):
+        usable = small_cluster.usable_mem_per_node_gb
+        over = make_phase(
+            mem_gb_per_task=float(np.nextafter(MAX_SPILL_RATIO * usable, np.inf))
+        )
+        with pytest.raises(OutOfMemoryError):
+            scheduler.simulate_phase(over, small_cluster)
+        priced = BSPScheduler().simulate_phases(
+            flatten_plans([[over]], [small_cluster])
+        )
+        assert bool(priced.infeasible[0])
+
+    def test_single_slot_cluster_serializes_every_task(self, scheduler):
+        one_node = Cluster(vm=get_vm_type("m5.xlarge"), nodes=1)
+        usable = one_node.usable_mem_per_node_gb
+        # One task's working set claims (almost) the whole node: a single
+        # slot, so the wave count degenerates to the task count.
+        phase = make_phase(tasks=7, mem_gb_per_task=usable * 0.9)
+        r = scheduler.simulate_phase(phase, one_node)
+        assert r.concurrency_per_node == 1
+        assert r.waves == 7
+        assert_batch_matches_scalar([phase], one_node)
+
+    def test_nonpositive_usable_memory_raises_for_worker_tasks(self, scheduler):
+        broke = _StubCluster(usable=0.0)
+        with pytest.raises(OutOfMemoryError):
+            scheduler.simulate_phase(make_phase(), broke)
+        priced = BSPScheduler().simulate_phases(
+            flatten_plans([[make_phase()]], [broke])
+        )
+        assert bool(priced.infeasible[0])
+
+    def test_nonpositive_usable_memory_allows_sync_phases(self, scheduler):
+        broke = _StubCluster(usable=0.0)
+        sync = make_phase(
+            kind=PhaseKind.SYNCHRONIZATION, mem_gb_per_task=0.0, tasks=2
+        )
+        r = scheduler.simulate_phase(sync, broke)
+        # No memory at all: the model pins both memory fractions to 1.0.
+        assert r.mem_used_frac == 1.0
+        assert r.mem_demand_frac == 1.0
+        assert not r.spilled
+        assert_batch_matches_scalar([sync], broke)
 
 
 class TestSkew:
