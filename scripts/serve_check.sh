@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end serving check (used by CI): start `repro serve` on a fitted
-# archive, run one HTTP /select, and assert the payload is exactly the
-# recommendation `repro select --archive --json` prints for the same
-# archive — the service's bit-identity guarantee, checked over the wire.
+# archive with 2 scheduler shards, run one HTTP /select, and assert the
+# payload is exactly the recommendation `repro select --archive --json`
+# prints for the same archive — the service's bit-identity guarantee
+# (sharded tier included), checked over the wire.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,8 +37,8 @@ echo "== baseline: repro select --archive --json =="
 python -m repro select "$WORKLOAD" --archive "$ARCHIVE" --json \
     > "$WORKDIR/cli.json"
 
-echo "== repro serve --archive + HTTP /select =="
-python -m repro serve --archive "$ARCHIVE" --port "$PORT" \
+echo "== repro serve --archive --shards 2 + HTTP /select =="
+python -m repro serve --archive "$ARCHIVE" --port "$PORT" --shards 2 \
     > "$WORKDIR/serve.log" 2>&1 &
 SERVER_PID=$!
 

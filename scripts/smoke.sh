@@ -24,7 +24,7 @@ python -m pytest -q benchmarks/bench_perf_refit.py
 echo "== online serving (fold-in >= 3x, select_many >= 2x) =="
 python -m pytest -q benchmarks/bench_perf_online.py
 
-echo "== selection service (concurrent clients >= 2x sequential) =="
+echo "== selection service (>= 2x sequential; 2-shard row not slower) =="
 python -m pytest -q benchmarks/bench_serve_throughput.py
 
 echo "smoke OK"

@@ -198,8 +198,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_srv.add_argument(
         "--queue-limit", type=int, default=128,
-        help="admission queue bound; beyond it requests are rejected "
-             "with HTTP 429 (default: 128)",
+        help="admission queue bound per shard; beyond it deadline-doomed "
+             "requests are shed, then requests are rejected with HTTP 429 "
+             "(default: 128)",
+    )
+    p_srv.add_argument(
+        "--shards", type=int, default=1,
+        help="scheduler shards; requests route by workload identity and "
+             "each shard serves a memmap-shared knowledge replica "
+             "(default: 1)",
+    )
+    p_srv.add_argument(
+        "--pool", action="store_true",
+        help="execute each shard's waves in a dedicated worker process "
+             "(knowledge shared read-only via memory-mapped bundles)",
     )
     p_srv.add_argument(
         "--cmf-mode", choices=("full", "foldin"), default=None,
@@ -501,13 +513,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
         queue_limit=args.queue_limit,
+        shards=args.shards,
+        pool=args.pool,
     )
     server = serve(
         service, args.host, args.port, verbose=args.verbose, background=True
     )
     host, port = server.address
+    tier = f"{args.shards} shard{'s' if args.shards != 1 else ''}"
+    if args.pool:
+        tier += " (process pool)"
     print(f"serving selector 'default' (fingerprint {handle.fingerprint}, "
-          f"cmf_mode={vesta.cmf_mode}) on http://{host}:{port}")
+          f"cmf_mode={vesta.cmf_mode}, {tier}) on http://{host}:{port}")
     print('   POST /select   {"workload": "spark-lr"}')
     print("   GET  /healthz  GET /statsz        (Ctrl-C to stop)")
     import time

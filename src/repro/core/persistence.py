@@ -40,7 +40,11 @@ import numpy as np
 from repro.analysis.kmeans import KMeans
 from repro.cloud.faults import FaultPlan
 from repro.cloud.vmtypes import get_vm_type
-from repro.core.artifacts import ArtifactStore
+from repro.core.artifacts import (
+    ArtifactStore,
+    read_memmap_bundle,
+    write_memmap_bundle,
+)
 from repro.core.graph import KnowledgeGraph
 from repro.core.labels import LabelSpace
 from repro.core.pipeline import CACHED_STAGES, STAGES
@@ -53,6 +57,8 @@ from repro.workloads.catalog import get_workload
 __all__ = [
     "save_selector",
     "load_selector",
+    "export_memmap_bundle",
+    "load_selector_memmap",
     "archive_knowledge_fingerprint",
     "FORMAT_VERSION",
 ]
@@ -101,18 +107,11 @@ def _stage_arrays(selector: VestaSelector) -> dict[str, dict[str, np.ndarray]]:
     }
 
 
-def save_selector(selector: VestaSelector, path: str | Path) -> Path:
-    """Serialize a fitted selector's knowledge to ``path`` (.npz).
-
-    Raises
-    ------
-    ValidationError
-        If the selector has not been fitted.
-    """
+def _archive_meta(selector: VestaSelector) -> dict:
+    """The JSON metadata blob shared by every knowledge serialization."""
     if not getattr(selector, "_fitted", False):
         raise ValidationError("cannot save an unfitted VestaSelector")
-    path = Path(path)
-    meta = {
+    return {
         "format_version": FORMAT_VERSION,
         "hyperparams": {name: getattr(selector, name) for name in _HYPERPARAMS},
         "repetitions": selector.collector.repetitions,
@@ -121,17 +120,53 @@ def save_selector(selector: VestaSelector, path: str | Path) -> Path:
         "label_features": list(selector.label_space.feature_names),
         "stage_fingerprints": selector.pipeline.fingerprints(),
     }
+
+
+def _flat_stage_arrays(selector: VestaSelector) -> dict[str, np.ndarray]:
+    return {
+        f"{stage}.{name}": array
+        for stage, bundle in _stage_arrays(selector).items()
+        for name, array in bundle.items()
+    }
+
+
+def save_selector(selector: VestaSelector, path: str | Path) -> Path:
+    """Serialize a fitted selector's knowledge to ``path`` (.npz).
+
+    Raises
+    ------
+    ValidationError
+        If the selector has not been fitted.
+    """
+    path = Path(path)
+    meta = _archive_meta(selector)
     np.savez_compressed(
         path,
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        **{
-            f"{stage}.{name}": array
-            for stage, bundle in _stage_arrays(selector).items()
-            for name, array in bundle.items()
-        },
+        **_flat_stage_arrays(selector),
     )
     # np.savez appends .npz when missing; normalise the returned path.
     return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def export_memmap_bundle(selector: VestaSelector, directory: str | Path) -> Path:
+    """Export fitted knowledge as a memmap bundle (see
+    :func:`~repro.core.artifacts.write_memmap_bundle`).
+
+    The serving tier's sharing format: the same per-stage arrays a
+    version-2 ``.npz`` archive holds, but stored as raw ``.npy`` files
+    so shard replicas and pool worker processes open them read-only via
+    ``numpy.memmap`` and share one page-cache copy instead of each
+    decompressing a private one.
+
+    Raises
+    ------
+    ValidationError
+        If the selector has not been fitted.
+    """
+    return write_memmap_bundle(
+        directory, _flat_stage_arrays(selector), _archive_meta(selector)
+    )
 
 
 def archive_knowledge_fingerprint(path: str | Path) -> str | None:
@@ -287,7 +322,63 @@ def load_selector(
         if isinstance(exc, ValidationError):
             raise
         raise ValidationError(f"cannot read archive {path}: {exc}") from exc
+    return _restore_selector(
+        meta, arrays, jobs=jobs, cache=cache, faults=faults, store=store
+    )
 
+
+def load_selector_memmap(
+    directory: str | Path,
+    *,
+    jobs: int | None = None,
+    cache: ProfileCache | str | None = None,
+    faults: FaultPlan | None = None,
+    store: ArtifactStore | str | None = None,
+) -> VestaSelector:
+    """Rebuild a fitted selector from a memmap bundle, sharing its pages.
+
+    The counterpart of :func:`load_selector` for bundles written by
+    :func:`export_memmap_bundle`: knowledge arrays stay read-only
+    memory-maps of the bundle files, so N replicas (threads or
+    processes) hold one shared copy of the frozen knowledge while each
+    keeps private online-session state.  The restored selector's stage
+    fingerprints — and therefore its knowledge fingerprint — match the
+    exporting selector's exactly.
+
+    Raises
+    ------
+    ValidationError
+        When the directory holds no committed bundle or the bundle is
+        unreadable or references unknown catalog entries.
+    """
+    try:
+        meta, arrays = read_memmap_bundle(directory)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise ValidationError(
+            f"cannot read memmap bundle {directory}: {exc}"
+        ) from exc
+    version = meta.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported bundle version {version!r}; "
+            f"memmap bundles are written at version {FORMAT_VERSION}"
+        )
+    return _restore_selector(
+        meta, arrays, jobs=jobs, cache=cache, faults=faults, store=store
+    )
+
+
+def _restore_selector(
+    meta: dict,
+    arrays: dict[str, np.ndarray],
+    *,
+    jobs: int | None,
+    cache: ProfileCache | str | None,
+    faults: FaultPlan | None,
+    store: ArtifactStore | str | None,
+) -> VestaSelector:
+    """Common tail of every load path: rebind names, restore stages."""
+    version = meta.get("format_version")
     try:
         sources = tuple(get_workload(name) for name in meta["sources"])
         vms = tuple(get_vm_type(name) for name in meta["vms"])

@@ -60,32 +60,56 @@ class ServiceOverloadedError(ServiceError):
     """The scheduler's admission queue is full; the request was rejected.
 
     Backpressure is explicit: a bounded queue rejects rather than grow
-    without bound, and carries the limit so clients can size retries.
+    without bound.  The error carries the limit, the observed depth and
+    a retry hint derived from the scheduler's measured batch service
+    time, so clients can back off intelligently instead of hammering a
+    saturated shard.
     """
 
-    def __init__(self, queue_limit: int = 0) -> None:
-        super().__init__(
+    def __init__(
+        self,
+        queue_limit: int = 0,
+        queue_depth: int = 0,
+        retry_after_s: float = 0.0,
+    ) -> None:
+        message = (
             f"selection service overloaded: admission queue full "
-            f"(limit {queue_limit})"
+            f"(limit {queue_limit}, depth {queue_depth})"
         )
+        if retry_after_s > 0:
+            message += f"; retry after {retry_after_s:.3f}s"
+        super().__init__(message)
         self.queue_limit = queue_limit
+        self.queue_depth = queue_depth
+        self.retry_after_s = retry_after_s
 
 
 class DeadlineExceededError(ServiceError):
-    """A queued request's deadline expired before service began.
+    """A request's deadline expired before its answer could be useful.
 
-    The scheduler completes such requests with this error at dequeue
-    time instead of spending batch capacity on an answer nobody is
-    waiting for.
+    ``stage`` says where the deadline was enforced: ``"queued"`` — it
+    lapsed while the request waited and was caught at dequeue time;
+    ``"served"`` — it lapsed *during* batch execution, so the (stale)
+    result is discarded rather than returned late; ``"shed"`` — the
+    scheduler shed the request under overload because its deadline was
+    already unmeetable given the measured batch service time.
     """
 
-    def __init__(self, workload: str = "", waited_s: float = 0.0) -> None:
+    def __init__(
+        self, workload: str = "", waited_s: float = 0.0, stage: str = "queued"
+    ) -> None:
+        detail = {
+            "queued": "expired while queued",
+            "served": "expired during batch execution",
+            "shed": "shed under overload: deadline unmeetable",
+        }.get(stage, stage)
         super().__init__(
             f"request for {workload!r} exceeded its deadline after "
-            f"waiting {waited_s:.3f}s"
+            f"waiting {waited_s:.3f}s ({detail})"
         )
         self.workload = workload
         self.waited_s = waited_s
+        self.stage = stage
 
 
 class FaultInjectionError(ReproError, RuntimeError):

@@ -9,6 +9,10 @@ selection in):
 - :mod:`repro.service.scheduler` — bounded admission queue + a single
   worker coalescing concurrent requests into batched online waves,
   bit-identical to sequential serving;
+- :mod:`repro.service.shards` / :mod:`repro.service.backend` — the
+  sharded tier: K schedulers routed by workload identity, serving from
+  memmap-shared knowledge replicas, inline or in per-shard worker
+  processes;
 - :mod:`repro.service.server` / :mod:`repro.service.client` — stdlib
   JSON-over-HTTP frontend (``/select``, ``/healthz``, ``/statsz``) and
   its in-process client;
@@ -17,20 +21,26 @@ selection in):
 Run one with ``repro serve`` (see the README quickstart).
 """
 
+from repro.service.backend import BundleCache, InlineBackend, ProcessPoolBackend
 from repro.service.client import ServiceClient
 from repro.service.registry import SelectorHandle, SelectorRegistry
 from repro.service.scheduler import MicroBatchScheduler, SelectResponse
 from repro.service.server import SelectionService, ServiceHTTPServer, serve
+from repro.service.shards import ShardRouter
 from repro.service.wire import recommendation_to_dict, response_to_dict
 
 __all__ = [
+    "BundleCache",
+    "InlineBackend",
     "MicroBatchScheduler",
+    "ProcessPoolBackend",
     "SelectResponse",
     "SelectionService",
     "SelectorHandle",
     "SelectorRegistry",
     "ServiceClient",
     "ServiceHTTPServer",
+    "ShardRouter",
     "recommendation_to_dict",
     "response_to_dict",
     "serve",

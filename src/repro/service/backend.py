@@ -1,0 +1,226 @@
+"""Execution backends for the micro-batch scheduler.
+
+The scheduler owns admission, coalescing and deadlines; *how* a wave of
+requests actually runs against a selector is an execution backend:
+
+- :class:`InlineBackend` serves the wave on the scheduler's own worker
+  thread — the PR 5 behavior, and the determinism baseline.
+- :class:`ProcessPoolBackend` ships the wave to a dedicated worker
+  process which serves it from a selector replica restored from a
+  memmap bundle (:func:`~repro.core.persistence.load_selector_memmap`).
+  Replicas are cached per knowledge fingerprint, so a hot-reload swaps
+  the worker's selector on the next wave, and the bundle's arrays are
+  read-only memory maps — N workers share one page-cache copy of the
+  frozen knowledge instead of each holding a private deserialized one.
+
+Both backends return one outcome per request — a
+:class:`~repro.core.vesta.Recommendation` or a
+:class:`~repro.errors.ReproError` — so a poisoned request fails alone
+instead of failing its batch neighbours.  Backends must be driven by a
+single scheduler thread; they are not reentrant.
+
+:class:`BundleCache` is the bridge between live handles and worker
+processes: it exports each selector's knowledge as a memmap bundle at
+most once per fingerprint under one root directory, which shard
+replicas and pool workers then open read-only.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import shutil
+import tempfile
+import threading
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.artifacts import BUNDLE_META_FILE
+from repro.core.persistence import export_memmap_bundle, load_selector_memmap
+from repro.errors import FaultInjectionError, ReproError, ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.registry import SelectorHandle
+    from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["BundleCache", "InlineBackend", "ProcessPoolBackend"]
+
+
+def _recommend_all(selector, requests) -> list:
+    """Serve ``[(spec, objective), ...]``; one outcome per request.
+
+    One batched online wave — :meth:`VestaSelector.online_many`, proven
+    bit-identical to opening the sessions one at a time.  A permanently
+    failed profiling run inside the wave poisons the whole wave, so on
+    :class:`FaultInjectionError` the batch degrades to individual
+    sessions — deterministic, because profiling is memoized per cell and
+    sessions are independent — and only the requests whose own runs fail
+    get the error.
+    """
+    try:
+        sessions = list(selector.online_many([spec for spec, _ in requests]))
+    except FaultInjectionError:
+        sessions = []
+        for spec, _ in requests:
+            try:
+                sessions.append(selector.online(spec))
+            except FaultInjectionError as exc:
+                sessions.append(exc)
+    outcomes: list = []
+    for (_, objective), session in zip(requests, sessions):
+        if isinstance(session, ReproError):
+            outcomes.append(session)
+        else:
+            try:
+                outcomes.append(session.recommend(objective))
+            except ReproError as exc:
+                outcomes.append(exc)
+    return outcomes
+
+
+class BundleCache:
+    """Export-once-per-fingerprint memmap bundles under one root.
+
+    The first request for a fingerprint exports the handle's knowledge
+    (``<root>/<fingerprint>/``); later requests — from any shard or
+    backend sharing this cache — reuse the committed bundle.  Bundles
+    are never deleted while the cache lives, so a worker may keep
+    serving from a superseded version's maps until its next wave.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self._owned = root is None
+        self._root = Path(
+            tempfile.mkdtemp(prefix="repro-bundles-") if root is None else root
+        )
+        self._lock = threading.Lock()
+        self._exported: set[str] = set()
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def path_for(self, handle: "SelectorHandle") -> Path:
+        """Bundle directory for the handle's fingerprint; exports on miss."""
+        path = self._root / handle.fingerprint
+        with self._lock:
+            if handle.fingerprint not in self._exported:
+                if not (path / BUNDLE_META_FILE).is_file():
+                    export_memmap_bundle(handle.selector, path)
+                self._exported.add(handle.fingerprint)
+        return path
+
+    def close(self) -> None:
+        """Delete the root if this cache created it (open maps survive)."""
+        if self._owned:
+            shutil.rmtree(self._root, ignore_errors=True)
+
+
+class InlineBackend:
+    """Serve waves on the calling thread against the live handle."""
+
+    name = "inline"
+
+    def run(self, handle: "SelectorHandle", requests) -> list:
+        return _recommend_all(handle.selector, requests)
+
+    def close(self) -> None:  # noqa: D102 — nothing to release
+        pass
+
+    def describe(self) -> dict:
+        return {"name": self.name}
+
+
+def _pool_worker(conn) -> None:
+    """Worker-process loop: load bundle replicas, serve waves.
+
+    Replicas are cached by knowledge fingerprint (only the latest is
+    kept — a reload should free the superseded version's session state).
+    ``jobs=1`` keeps profiling inline: the worker *is* the parallelism,
+    nesting a campaign pool inside it would only add IPC.
+    """
+    replicas: dict[str, object] = {}
+    while True:
+        message = conn.recv()
+        if message is None:
+            return
+        bundle_dir, fingerprint, requests = message
+        try:
+            selector = replicas.get(fingerprint)
+            if selector is None:
+                replicas.clear()
+                selector = load_selector_memmap(bundle_dir, jobs=1)
+                replicas[fingerprint] = selector
+            outcomes = _recommend_all(selector, requests)
+        except ReproError as exc:
+            outcomes = [exc] * len(requests)
+        conn.send(outcomes)
+
+
+class ProcessPoolBackend:
+    """Serve waves in a dedicated worker process over memmap bundles.
+
+    One worker per backend instance (each shard owns its backend, so a
+    K-shard pool tier runs K worker processes).  The worker is started
+    with the ``spawn`` method — safe next to the scheduler's live
+    threads — and loads selector replicas from the shared
+    :class:`BundleCache`, so all workers map the same knowledge pages.
+
+    A wave that finds a new fingerprint first exports the bundle (in the
+    parent, once per fingerprint across all shards) and then reloads in
+    the worker, which is exactly the hot-reload path: no wave ever mixes
+    knowledge versions because the (bundle, fingerprint) pair is fixed
+    before the wave ships.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        bundles: BundleCache,
+        *,
+        request_timeout_s: float = 300.0,
+        context: str = "spawn",
+    ) -> None:
+        self._bundles = bundles
+        self._timeout_s = request_timeout_s
+        ctx = multiprocessing.get_context(context)
+        self._conn, child = ctx.Pipe()
+        self._proc = ctx.Process(
+            target=_pool_worker, args=(child,), daemon=True
+        )
+        self._proc.start()
+        child.close()
+        self._waves = 0
+
+    def run(self, handle: "SelectorHandle", requests) -> list:
+        bundle = self._bundles.path_for(handle)
+        try:
+            self._conn.send((str(bundle), handle.fingerprint, list(requests)))
+            if not self._conn.poll(self._timeout_s):
+                raise ServiceError(
+                    f"pool worker timed out after {self._timeout_s:.0f}s"
+                )
+            outcomes = self._conn.recv()
+        except (OSError, EOFError, BrokenPipeError) as exc:
+            raise ServiceError(f"pool worker died: {exc}") from exc
+        self._waves += 1
+        return outcomes
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        try:
+            self._conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self._proc.join(timeout=timeout_s)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(timeout=timeout_s)
+        self._conn.close()
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "pid": self._proc.pid,
+            "alive": self._proc.is_alive(),
+            "waves": self._waves,
+        }

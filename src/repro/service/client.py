@@ -55,16 +55,42 @@ class ServiceClient:
             headers = {"Content-Type": "application/json"} if payload else {}
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
+            retry_after = response.getheader("Retry-After")
             data = json.loads(response.read().decode() or "{}")
         finally:
             conn.close()
         if response.status >= 400:
-            error = _ERRORS.get(data.get("error", ""), ServiceError)
-            message = data.get("message", f"HTTP {response.status} from {path}")
-            if error is ServiceOverloadedError:
-                raise ServiceOverloadedError()
-            raise error(message)
+            raise self._error(response.status, path, data, retry_after)
         return data
+
+    @staticmethod
+    def _error(
+        status: int, path: str, data: dict, retry_after: str | None
+    ) -> Exception:
+        """Rebuild the server-side exception, context included.
+
+        Overload errors recover the queue depth/limit and the retry hint
+        (precise float from the body, ``Retry-After`` header as the
+        fallback); deadline errors recover the wait and the enforcement
+        stage — so backing off through the client works exactly like
+        catching the scheduler's exception in-process.
+        """
+        error = _ERRORS.get(data.get("error", ""), ServiceError)
+        message = data.get("message", f"HTTP {status} from {path}")
+        if error is ServiceOverloadedError:
+            hint = data.get("retry_after_s") or float(retry_after or 0.0)
+            return ServiceOverloadedError(
+                queue_limit=data.get("queue_limit", 0),
+                queue_depth=data.get("queue_depth", 0),
+                retry_after_s=hint,
+            )
+        if error is DeadlineExceededError:
+            return DeadlineExceededError(
+                workload=data.get("workload", ""),
+                waited_s=data.get("waited_s", 0.0),
+                stage=data.get("stage", "queued"),
+            )
+        return error(message)
 
     # -- API -------------------------------------------------------------------
 

@@ -3,18 +3,33 @@
 Concurrent ``select`` requests enqueue into a bounded buffer; a single
 worker thread drains it, coalescing whatever is waiting (up to
 ``max_batch``, flushed after ``max_wait_ms``) into **one** batched
-online wave — :meth:`VestaSelector.online_many`, whose results are
-proven bit-identical to opening the sessions one at a time.  Because the
-worker alone touches the selector, any client concurrency collapses to a
-deterministic serial order of batches, and every response is exactly
-what a sequential ``repro select`` would have produced for the same
-request.
+online wave, executed by a pluggable backend
+(:mod:`repro.service.backend`): inline on the worker thread, or shipped
+to a dedicated worker process serving from memmap-shared knowledge.
+Either way the wave is :meth:`VestaSelector.online_many`, whose results
+are proven bit-identical to opening the sessions one at a time.  Because
+one worker alone drives the selector, any client concurrency collapses
+to a deterministic serial order of batches, and every response is
+exactly what a sequential ``repro select`` would have produced for the
+same request.
 
-Backpressure is explicit: a full queue rejects with
-:class:`~repro.errors.ServiceOverloadedError` instead of growing without
-bound, and a request whose deadline lapses while queued is completed
-with :class:`~repro.errors.DeadlineExceededError` at dequeue time rather
-than consuming batch capacity.
+Backpressure degrades in stages instead of blanket-rejecting at a fixed
+depth.  When the queue is full, the scheduler first *sheds* queued
+requests that cannot meet their deadline anyway — already lapsed, or
+provably unreachable given the measured batch service time — completing
+them with :class:`~repro.errors.DeadlineExceededError` to make room for
+requests that still can.  Only when every queued request is still
+servable does admission reject with
+:class:`~repro.errors.ServiceOverloadedError`, which then carries the
+queue depth and a retry hint derived from the observed service time.
+
+Deadlines are enforced at *both* ends of a wave: a request whose
+deadline lapsed while queued is completed with
+:class:`DeadlineExceededError` at dequeue time rather than consuming
+batch capacity, and a request whose deadline lapses *during* batch
+execution has its stale result discarded and the same error returned —
+a slot already burned, but never an answer delivered after the caller
+stopped waiting.
 
 Every batch snapshots one :class:`~repro.service.registry.SelectorHandle`
 from the registry before serving, so a hot-reload never mixes knowledge
@@ -24,16 +39,16 @@ generation that produced it.
 Fault tolerance reuses the online degradation machinery: selectors
 running under a fault plan return ``degraded`` recommendations (lost
 probes, widened thresholds) which flow through unchanged, and when a
-batch-level wave fails permanently the scheduler falls back to serving
+batch-level wave fails permanently the backend falls back to serving
 the batch's requests individually so one poisoned target fails alone
 instead of failing its neighbours.
 """
 
 from __future__ import annotations
 
-import queue
 import threading
 import time
+from collections import deque
 from collections.abc import Iterable
 from concurrent.futures import Future
 from dataclasses import dataclass, field
@@ -41,12 +56,12 @@ from dataclasses import dataclass, field
 from repro.core.vesta import Recommendation
 from repro.errors import (
     DeadlineExceededError,
-    FaultInjectionError,
     ReproError,
     ServiceError,
     ServiceOverloadedError,
     ValidationError,
 )
+from repro.service.backend import InlineBackend
 from repro.service.registry import SelectorRegistry
 from repro.telemetry.latency import DurationSummary
 from repro.workloads.catalog import get_workload
@@ -56,6 +71,11 @@ __all__ = ["MicroBatchScheduler", "SelectResponse"]
 
 _OBJECTIVES = ("time", "budget")
 
+#: Smoothing for the batch-service-time estimate driving load-shedding
+#: and retry hints.  Heavy enough to ride out one odd wave, light enough
+#: to track a knowledge reload that changes the serving cost.
+_EWMA_ALPHA = 0.2
+
 
 @dataclass(frozen=True)
 class SelectResponse:
@@ -64,7 +84,8 @@ class SelectResponse:
     ``fingerprint``/``generation`` identify the knowledge version that
     answered (constant within a batch); ``batch_id``/``batch_size``
     locate the coalesced wave; ``queued_ms``/``service_ms`` split the
-    request's latency into waiting and serving time.
+    request's latency into waiting and serving time; ``shard`` is the
+    scheduler shard that served it (0 for an unsharded scheduler).
     """
 
     recommendation: Recommendation = field(repr=False)
@@ -75,6 +96,7 @@ class SelectResponse:
     batch_size: int
     queued_ms: float
     service_ms: float
+    shard: int = 0
 
 
 @dataclass
@@ -88,16 +110,15 @@ class _Pending:
     deadline: float | None
 
 
-_STOP = object()
-
-
 class MicroBatchScheduler:
     """Coalesce concurrent selection requests into batched online waves.
 
     Parameters
     ----------
     registry:
-        Source of :class:`SelectorHandle` snapshots.
+        Source of :class:`SelectorHandle` snapshots.  Anything with a
+        ``get(name)`` returning handles works — shard routers pass
+        per-shard replica views.
     selector:
         Registry name served by this scheduler.
     max_batch:
@@ -106,9 +127,17 @@ class MicroBatchScheduler:
     max_wait_ms:
         How long the worker holds an open batch for co-travellers after
         the first request arrives before flushing a partial batch.
+        ``0`` coalesces whatever is already queued without waiting.
     queue_limit:
-        Admission bound.  A full queue raises
-        :class:`ServiceOverloadedError` at submit time.
+        Admission bound.  A full queue first sheds queued requests whose
+        deadlines are unmeetable, then rejects with
+        :class:`ServiceOverloadedError`.
+    backend:
+        Execution backend for waves; defaults to
+        :class:`~repro.service.backend.InlineBackend`.  The scheduler
+        owns it: :meth:`close` closes the backend too.
+    shard:
+        Shard index stamped on responses and stats (routers set this).
     start:
         Start the worker thread immediately (tests pass ``False`` to
         exercise admission control with a stalled worker).
@@ -122,6 +151,8 @@ class MicroBatchScheduler:
         max_batch: int = 16,
         max_wait_ms: float = 2.0,
         queue_limit: int = 128,
+        backend=None,
+        shard: int = 0,
         start: bool = True,
     ) -> None:
         if max_batch < 1:
@@ -135,15 +166,20 @@ class MicroBatchScheduler:
         self.max_batch = max_batch
         self.max_wait_s = max_wait_ms / 1e3
         self.queue_limit = queue_limit
-        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self.backend = backend if backend is not None else InlineBackend()
+        self.shard = shard
+        self._pending: deque[_Pending] = deque()
+        self._cond = threading.Condition()
         self._stats_lock = threading.Lock()
         self._submitted = 0
         self._completed = 0
         self._rejected = 0
         self._expired = 0
+        self._shed = 0
         self._failed = 0
         self._batches = 0
         self._batch_sizes: dict[int, int] = {}
+        self._service_ewma_s: float | None = None
         self._latency = DurationSummary()
         self._closed = False
         self._worker: threading.Thread | None = None
@@ -156,22 +192,23 @@ class MicroBatchScheduler:
         """Start the worker thread (idempotent)."""
         if self._worker is None or not self._worker.is_alive():
             self._worker = threading.Thread(
-                target=self._run, name=f"select-worker[{self.selector_name}]",
+                target=self._run,
+                name=f"select-worker[{self.selector_name}:{self.shard}]",
                 daemon=True,
             )
             self._worker.start()
 
     def close(self, timeout_s: float = 10.0) -> None:
         """Stop accepting requests, drain the worker, fail leftovers."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
         if self._worker is not None and self._worker.is_alive():
-            # The sentinel rides the same queue; admission is already
-            # closed so there is always room once the worker drains.
-            self._queue.put(_STOP)
             self._worker.join(timeout=timeout_s)
         self._drain_failed()
+        self.backend.close()
 
     def __enter__(self) -> "MicroBatchScheduler":
         return self
@@ -181,15 +218,13 @@ class MicroBatchScheduler:
 
     def _drain_failed(self) -> None:
         """Complete anything still queued after shutdown with an error."""
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return
-            if item is not _STOP:
-                item.future.set_exception(
-                    ServiceError("selection scheduler is shut down")
-                )
+        with self._cond:
+            leftovers = list(self._pending)
+            self._pending.clear()
+        for req in leftovers:
+            req.future.set_exception(
+                ServiceError("selection scheduler is shut down")
+            )
 
     # -- submission -----------------------------------------------------------
 
@@ -205,12 +240,15 @@ class MicroBatchScheduler:
 
         Validates the workload name and objective immediately (callers
         see :class:`~repro.errors.CatalogError` /
-        :class:`ValidationError` at submit time, not from the future)
-        and rejects with :class:`ServiceOverloadedError` when the
-        admission queue is full.
+        :class:`ValidationError` at submit time, not from the future).
+        A full queue triggers load-shedding before rejection: queued
+        requests with unmeetable deadlines are completed with
+        :class:`DeadlineExceededError` to free their slots; if none can
+        be shed, the submit raises :class:`ServiceOverloadedError` —
+        or :class:`DeadlineExceededError` when this request's own
+        deadline is already unmeetable, so the caller knows a retry is
+        pointless.
         """
-        if self._closed:
-            raise ServiceError("selection scheduler is shut down")
         if objective not in _OBJECTIVES:
             raise ValidationError(
                 f"objective must be one of {_OBJECTIVES}, got {objective!r}"
@@ -224,15 +262,73 @@ class MicroBatchScheduler:
             enqueued=now,
             deadline=None if timeout_s is None else now + timeout_s,
         )
-        try:
-            self._queue.put_nowait(pending)
-        except queue.Full:
-            with self._stats_lock:
-                self._rejected += 1
-            raise ServiceOverloadedError(self.queue_limit) from None
+        shed: list[tuple[_Pending, float]] = []
+        error: ReproError | None = None
+        with self._cond:
+            if self._closed:
+                raise ServiceError("selection scheduler is shut down")
+            ewma = self.service_time_ewma_s or 0.0
+            if len(self._pending) >= self.queue_limit:
+                shed = self._shed_doomed_locked(now, ewma)
+            if len(self._pending) < self.queue_limit:
+                self._pending.append(pending)
+                self._cond.notify()
+            else:
+                depth = len(self._pending)
+                est_wait = ewma * (depth // self.max_batch)
+                if pending.deadline is not None and now + est_wait > pending.deadline:
+                    error = DeadlineExceededError(
+                        spec.name, waited_s=0.0, stage="shed"
+                    )
+                else:
+                    error = ServiceOverloadedError(
+                        self.queue_limit,
+                        queue_depth=depth,
+                        retry_after_s=round(ewma or self.max_wait_s, 3) or 0.001,
+                    )
+        for doomed, waited in shed:
+            doomed.future.set_exception(
+                DeadlineExceededError(
+                    doomed.spec.name, waited_s=waited, stage="shed"
+                )
+            )
         with self._stats_lock:
-            self._submitted += 1
+            self._shed += len(shed)
+            if error is None:
+                self._submitted += 1
+            elif isinstance(error, DeadlineExceededError):
+                self._shed += 1
+            else:
+                self._rejected += 1
+        if error is not None:
+            raise error
         return pending.future
+
+    def _shed_doomed_locked(
+        self, now: float, ewma: float
+    ) -> list[tuple[_Pending, float]]:
+        """Drop queued requests that cannot meet their deadline.
+
+        A request is doomed when its deadline already lapsed, or when
+        its estimated service start — queue position ahead of it divided
+        into waves of ``max_batch``, each costing the measured batch
+        service time — lands past the deadline.  The estimate is
+        deliberately conservative (it ignores the wave in flight), so
+        shedding never kills a request that plain waiting might save.
+        """
+        kept: deque[_Pending] = deque()
+        shed: list[tuple[_Pending, float]] = []
+        for req in self._pending:
+            est_start = now + ewma * (len(kept) // self.max_batch)
+            if req.deadline is not None and (
+                now > req.deadline or est_start > req.deadline
+            ):
+                shed.append((req, now - req.enqueued))
+            else:
+                kept.append(req)
+        if shed:
+            self._pending = kept
+        return shed
 
     def select(
         self,
@@ -255,23 +351,31 @@ class MicroBatchScheduler:
 
     def _run(self) -> None:
         while True:
-            item = self._queue.get()
-            if item is _STOP:
-                return
-            batch = [item]
-            flush_at = time.monotonic() + self.max_wait_s
-            while len(batch) < self.max_batch:
-                remaining = flush_at - time.monotonic()
-                if remaining <= 0:
-                    break
-                try:
-                    nxt = self._queue.get(timeout=remaining)
-                except queue.Empty:
-                    break
-                if nxt is _STOP:
-                    self._serve_batch(batch)
-                    return
-                batch.append(nxt)
+            with self._cond:
+                while not self._pending and not self._closed:
+                    self._cond.wait()
+                if not self._pending:
+                    return  # closed and drained
+                batch = [self._pending.popleft()]
+                # Opportunistic coalescing costs nothing: take whatever
+                # is already waiting before deciding whether to hold the
+                # batch open for co-travellers.
+                while len(batch) < self.max_batch and self._pending:
+                    batch.append(self._pending.popleft())
+            if len(batch) < self.max_batch and self.max_wait_s > 0:
+                flush_at = time.monotonic() + self.max_wait_s
+                while len(batch) < self.max_batch:
+                    with self._cond:
+                        if not self._pending:
+                            if self._closed:
+                                break
+                            remaining = flush_at - time.monotonic()
+                            if remaining <= 0:
+                                break
+                            self._cond.wait(remaining)
+                            if not self._pending:
+                                continue  # timeout or spurious wake
+                        batch.append(self._pending.popleft())
             self._serve_batch(batch)
 
     def _serve_batch(self, batch: list[_Pending]) -> None:
@@ -292,26 +396,49 @@ class MicroBatchScheduler:
             return
         try:
             handle = self.registry.get(self.selector_name)
-            sessions = self._open_sessions(handle.selector, live)
+            outcomes = self.backend.run(
+                handle, [(req.spec, req.objective) for req in live]
+            )
         except ReproError as exc:
             for req in live:
                 req.future.set_exception(exc)
             with self._stats_lock:
                 self._failed += len(live)
             return
+        done = time.monotonic()
         with self._stats_lock:
             self._batches += 1
             batch_id = self._batches
             self._batch_sizes[len(live)] = self._batch_sizes.get(len(live), 0) + 1
-        for req, session in zip(live, sessions):
-            done = time.monotonic()
-            if isinstance(session, ReproError):
-                req.future.set_exception(session)
+            service_s = done - served_at
+            self._service_ewma_s = (
+                service_s
+                if self._service_ewma_s is None
+                else _EWMA_ALPHA * service_s
+                + (1.0 - _EWMA_ALPHA) * self._service_ewma_s
+            )
+        for req, outcome in zip(live, outcomes):
+            if req.deadline is not None and done > req.deadline:
+                # The deadline lapsed *during* the wave: the slot is
+                # burned either way, but a stale answer must not be
+                # delivered as if it were in time.
+                req.future.set_exception(
+                    DeadlineExceededError(
+                        req.spec.name,
+                        waited_s=done - req.enqueued,
+                        stage="served",
+                    )
+                )
+                with self._stats_lock:
+                    self._expired += 1
+                continue
+            if isinstance(outcome, ReproError):
+                req.future.set_exception(outcome)
                 with self._stats_lock:
                     self._failed += 1
                 continue
             response = SelectResponse(
-                recommendation=session.recommend(req.objective),
+                recommendation=outcome,
                 selector=handle.name,
                 fingerprint=handle.fingerprint,
                 generation=handle.generation,
@@ -319,45 +446,41 @@ class MicroBatchScheduler:
                 batch_size=len(live),
                 queued_ms=round((served_at - req.enqueued) * 1e3, 3),
                 service_ms=round((done - served_at) * 1e3, 3),
+                shard=self.shard,
             )
             req.future.set_result(response)
             with self._stats_lock:
                 self._completed += 1
                 self._latency.record(done - req.enqueued)
 
-    @staticmethod
-    def _open_sessions(selector, live: list[_Pending]) -> list:
-        """One batched online wave; per-request fallback on a failed wave.
-
-        A permanently failed profiling run inside :meth:`online_many`
-        poisons the whole wave, so on :class:`FaultInjectionError` the
-        batch degrades to individual sessions — deterministic, because
-        profiling is memoized per cell and sessions are independent —
-        and only the requests whose own runs fail get the error.
-        """
-        try:
-            return list(selector.online_many([req.spec for req in live]))
-        except FaultInjectionError:
-            sessions: list = []
-            for req in live:
-                try:
-                    sessions.append(selector.online(req.spec))
-                except FaultInjectionError as exc:
-                    sessions.append(exc)
-            return sessions
-
     # -- introspection -----------------------------------------------------------
 
     @property
     def queue_depth(self) -> int:
-        return self._queue.qsize()
+        with self._cond:
+            return len(self._pending)
+
+    @property
+    def service_time_ewma_s(self) -> float | None:
+        """Smoothed batch service time (s); ``None`` before the first wave."""
+        with self._stats_lock:
+            return self._service_ewma_s
+
+    @property
+    def latency(self) -> DurationSummary:
+        """Per-request end-to-end latency summary (routers aggregate these)."""
+        return self._latency
 
     def stats(self) -> dict:
         """JSON-able serving statistics for ``/statsz``."""
+        depth = self.queue_depth
         with self._stats_lock:
+            ewma = self._service_ewma_s or 0.0
             return {
                 "selector": self.selector_name,
-                "queue_depth": self._queue.qsize(),
+                "shard": self.shard,
+                "backend": self.backend.describe(),
+                "queue_depth": depth,
                 "queue_limit": self.queue_limit,
                 "max_batch": self.max_batch,
                 "max_wait_ms": self.max_wait_s * 1e3,
@@ -365,8 +488,10 @@ class MicroBatchScheduler:
                 "completed": self._completed,
                 "rejected": self._rejected,
                 "expired": self._expired,
+                "shed": self._shed,
                 "failed": self._failed,
                 "batches": self._batches,
+                "service_ewma_ms": round(ewma * 1e3, 3),
                 "batch_size_histogram": {
                     str(size): count
                     for size, count in sorted(self._batch_sizes.items())

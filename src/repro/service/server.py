@@ -14,7 +14,9 @@ Endpoints
     ``"selector": ..., "timeout_s": ...}`` (only ``workload``
     required).  200 with the :mod:`~repro.service.wire` response
     payload; 400 bad input, 404 unknown selector/workload, 429
-    overloaded (queue full — explicit backpressure), 504 deadline
+    overloaded (queue full after load-shedding — the response carries a
+    ``Retry-After`` header and queue context in the body, derived from
+    the scheduler's observed batch service time), 504 deadline
     exceeded.
 ``GET /healthz``
     200 ``{"status": "ok", "selectors": {...}}`` once at least one
@@ -27,6 +29,7 @@ Endpoints
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -40,17 +43,22 @@ from repro.errors import (
 )
 from repro.service.registry import SelectorRegistry
 from repro.service.scheduler import MicroBatchScheduler, SelectResponse
+from repro.service.shards import ShardRouter
 from repro.service.wire import error_to_dict, response_to_dict
 
 __all__ = ["SelectionService", "ServiceHTTPServer", "serve"]
 
 
 class SelectionService:
-    """Registry + one micro-batching scheduler per served selector name.
+    """Registry + one scheduler (or shard router) per served selector.
 
     The composition root of the serving subsystem: owns scheduler
     lifecycle (created lazily per registered name, torn down on
     :meth:`close`) and translates requests into scheduler submissions.
+    With ``shards > 1`` or ``pool=True`` each name is served by a
+    :class:`~repro.service.shards.ShardRouter` instead of a single
+    :class:`MicroBatchScheduler`; the two expose the same surface, so
+    nothing downstream changes (``queue_limit`` etc. become per-shard).
     """
 
     def __init__(
@@ -61,17 +69,45 @@ class SelectionService:
         max_batch: int = 16,
         max_wait_ms: float = 2.0,
         queue_limit: int = 128,
+        shards: int = 1,
+        pool: bool = False,
+        bundle_root: str | None = None,
     ) -> None:
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
         self.registry = registry
         self.default_selector = default_selector
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
         self.queue_limit = queue_limit
+        self.shards = shards
+        self.pool = pool
+        self.bundle_root = bundle_root
         self._lock = threading.Lock()
-        self._schedulers: dict[str, MicroBatchScheduler] = {}
+        self._schedulers: dict[str, MicroBatchScheduler | ShardRouter] = {}
         self._closed = False
 
-    def scheduler(self, name: str | None = None) -> MicroBatchScheduler:
+    def _build(self, name: str) -> MicroBatchScheduler | ShardRouter:
+        if self.shards == 1 and not self.pool:
+            return MicroBatchScheduler(
+                self.registry,
+                name,
+                max_batch=self.max_batch,
+                max_wait_ms=self.max_wait_ms,
+                queue_limit=self.queue_limit,
+            )
+        return ShardRouter(
+            self.registry,
+            name,
+            shards=self.shards,
+            pool=self.pool,
+            max_batch=self.max_batch,
+            max_wait_ms=self.max_wait_ms,
+            queue_limit=self.queue_limit,
+            bundle_root=self.bundle_root,
+        )
+
+    def scheduler(self, name: str | None = None) -> MicroBatchScheduler | ShardRouter:
         """The scheduler serving ``name`` (created on first use)."""
         name = name or self.default_selector
         self.registry.get(name)  # unknown selector fails before a scheduler exists
@@ -80,13 +116,7 @@ class SelectionService:
                 raise ServiceError("selection service is shut down")
             sched = self._schedulers.get(name)
             if sched is None:
-                sched = MicroBatchScheduler(
-                    self.registry,
-                    name,
-                    max_batch=self.max_batch,
-                    max_wait_ms=self.max_wait_ms,
-                    queue_limit=self.queue_limit,
-                )
+                sched = self._build(name)
                 self._schedulers[name] = sched
             return sched
 
@@ -163,16 +193,25 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing ---------------------------------------------------------------
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, headers: dict[str, str] | None = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
     def _fail(self, status: int, exc: BaseException) -> None:
-        self._reply(status, error_to_dict(exc))
+        headers = None
+        if isinstance(exc, ServiceOverloadedError) and exc.retry_after_s > 0:
+            # Retry-After is delta-seconds (integer) per RFC 9110; the
+            # JSON body carries the precise float for smarter clients.
+            headers = {"Retry-After": str(max(1, math.ceil(exc.retry_after_s)))}
+        self._reply(status, error_to_dict(exc), headers)
 
     # -- endpoints ---------------------------------------------------------------
 

@@ -1,0 +1,266 @@
+"""Sharded serving: hash-routed fleet of micro-batch scheduler shards.
+
+One :class:`~repro.service.scheduler.MicroBatchScheduler` saturates at
+one worker's wave rate; the :class:`ShardRouter` multiplies that by
+running K schedulers side by side and routing every request by
+*workload identity* — ``crc32(workload_name) % K`` (a stable hash;
+Python's ``hash()`` is per-process randomized).  Identity routing is
+what keeps the sharded tier bit-identical to sequential serving for
+free: a given workload always lands on the same shard, so its memoized
+profiling/session state stays shard-local and warm, and no two shards
+ever race on the same workload's campaign memo.
+
+Shards do not share a live selector — :class:`VestaSelector` online
+sessions mutate per-selector state, so concurrent shards over one
+instance would race.  Instead the base registry's knowledge is exported
+once per fingerprint as a memmap bundle
+(:class:`~repro.service.backend.BundleCache`) and every shard serves
+from its own replica restored over those read-only maps
+(:class:`_ShardRegistryView`): K shards, K private session states, one
+shared page-cache copy of the frozen knowledge.  With ``pool=True`` the
+replica lives in a dedicated worker *process* per shard
+(:class:`~repro.service.backend.ProcessPoolBackend`) instead of the
+shard's thread, sharing pages the same way across process boundaries.
+
+Hot-reload flows through fingerprints: each wave snapshots the base
+handle, and a shard whose replica's fingerprint or generation no longer
+matches rebuilds it from the (new) bundle before serving — so no
+response ever mixes knowledge versions, exactly the single-scheduler
+contract.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterable
+from concurrent.futures import Future
+
+from repro.core.persistence import load_selector_memmap
+from repro.errors import ValidationError
+from repro.service.backend import BundleCache, InlineBackend, ProcessPoolBackend
+from repro.service.registry import SelectorHandle, SelectorRegistry
+from repro.service.scheduler import MicroBatchScheduler, SelectResponse
+from repro.telemetry.latency import DurationSummary
+from repro.workloads.catalog import get_workload
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = ["ShardRouter", "shard_for"]
+
+
+def shard_for(workload_name: str, shards: int) -> int:
+    """Stable shard index for a workload name (crc32, not ``hash()``)."""
+    return zlib.crc32(workload_name.encode()) % shards
+
+
+class _ShardRegistryView:
+    """Per-shard registry adapter serving memmap replicas of base handles.
+
+    ``get`` resolves the *base* handle (so reload atomicity and
+    fingerprint gating stay the registry's job), then returns a handle
+    wrapping this shard's private replica of that knowledge version —
+    restored from the shared bundle cache on first sight and whenever
+    the base fingerprint or generation moves.  Only the shard's single
+    worker thread calls ``get``, so no locking is needed here.
+    """
+
+    def __init__(self, base: SelectorRegistry, bundles: BundleCache) -> None:
+        self._base = base
+        self._bundles = bundles
+        self._replicas: dict[str, SelectorHandle] = {}
+
+    def get(self, name: str) -> SelectorHandle:
+        base = self._base.get(name)
+        held = self._replicas.get(name)
+        if (
+            held is not None
+            and held.fingerprint == base.fingerprint
+            and held.generation == base.generation
+        ):
+            return held
+        bundle = self._bundles.path_for(base)
+        # jobs=1: the shard worker is the parallelism; a campaign pool
+        # inside each shard would multiply processes for no wave speedup.
+        replica = load_selector_memmap(bundle, jobs=1)
+        handle = SelectorHandle(
+            name=base.name,
+            selector=replica,
+            fingerprint=base.fingerprint,
+            generation=base.generation,
+            registered_at=base.registered_at,
+        )
+        self._replicas[name] = handle
+        return handle
+
+
+class ShardRouter:
+    """Route selection requests across K scheduler shards.
+
+    Exposes the scheduler's surface (``submit``/``select``/
+    ``select_all``/``stats``/``close``), so the HTTP frontend drives a
+    router exactly like a single scheduler.  ``queue_limit``,
+    ``max_batch`` and ``max_wait_ms`` are per shard.
+
+    Parameters
+    ----------
+    registry:
+        The base registry; reloads through it propagate to every shard.
+    shards:
+        Number of scheduler shards (>= 1).
+    pool:
+        Execute waves in one dedicated worker process per shard instead
+        of the shard's thread.
+    bundle_root:
+        Directory for the shared memmap bundles (a temp directory owned
+        by the router when omitted).
+    """
+
+    def __init__(
+        self,
+        registry: SelectorRegistry,
+        selector: str = "default",
+        *,
+        shards: int = 2,
+        pool: bool = False,
+        max_batch: int = 16,
+        max_wait_ms: float = 2.0,
+        queue_limit: int = 128,
+        bundle_root: str | None = None,
+        start: bool = True,
+    ) -> None:
+        if shards < 1:
+            raise ValidationError(f"shards must be >= 1, got {shards}")
+        self.registry = registry
+        self.selector_name = selector
+        self.pool = pool
+        self._bundles = BundleCache(bundle_root)
+        self._shards: list[MicroBatchScheduler] = []
+        for index in range(shards):
+            if pool:
+                backend = ProcessPoolBackend(self._bundles)
+                shard_registry = registry
+            else:
+                backend = InlineBackend()
+                # A single inline shard is the unsharded scheduler: let
+                # it serve the live handle directly, no replica needed.
+                shard_registry = (
+                    registry
+                    if shards == 1
+                    else _ShardRegistryView(registry, self._bundles)
+                )
+            self._shards.append(
+                MicroBatchScheduler(
+                    shard_registry,
+                    selector,
+                    max_batch=max_batch,
+                    max_wait_ms=max_wait_ms,
+                    queue_limit=queue_limit,
+                    backend=backend,
+                    shard=index,
+                    start=start,
+                )
+            )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start every shard's worker thread (idempotent)."""
+        for shard in self._shards:
+            shard.start()
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Close every shard (and its backend), then the bundle cache."""
+        for shard in self._shards:
+            shard.close(timeout_s=timeout_s)
+        self._bundles.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- submission -----------------------------------------------------------
+
+    @property
+    def shards(self) -> tuple[MicroBatchScheduler, ...]:
+        return tuple(self._shards)
+
+    def shard_for(self, workload_name: str) -> int:
+        return shard_for(workload_name, len(self._shards))
+
+    def submit(
+        self,
+        workload: WorkloadSpec | str,
+        objective: str = "time",
+        *,
+        timeout_s: float | None = None,
+    ) -> Future:
+        """Route one request to its workload's shard; see
+        :meth:`MicroBatchScheduler.submit`."""
+        spec = get_workload(workload) if isinstance(workload, str) else workload
+        shard = self._shards[self.shard_for(spec.name)]
+        return shard.submit(spec, objective, timeout_s=timeout_s)
+
+    def select(
+        self,
+        workload: WorkloadSpec | str,
+        objective: str = "time",
+        *,
+        timeout_s: float | None = None,
+    ) -> SelectResponse:
+        """Blocking submit: wait for (and return) the response."""
+        return self.submit(workload, objective, timeout_s=timeout_s).result()
+
+    def select_all(
+        self, workloads: Iterable[WorkloadSpec | str], objective: str = "time"
+    ) -> tuple[SelectResponse, ...]:
+        """Submit many requests at once and wait for all responses."""
+        futures = [self.submit(w, objective) for w in workloads]
+        return tuple(f.result() for f in futures)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        return sum(shard.queue_depth for shard in self._shards)
+
+    def stats(self) -> dict:
+        """Fleet statistics: scheduler-shaped totals plus per-shard rows.
+
+        The top level keeps every single-scheduler key (counter totals,
+        merged histogram, latency aggregated over the shard windows) so
+        ``/statsz`` consumers see one shape regardless of sharding.
+        """
+        per_shard = [shard.stats() for shard in self._shards]
+        histogram: dict[str, int] = {}
+        for row in per_shard:
+            for size, count in row["batch_size_histogram"].items():
+                histogram[size] = histogram.get(size, 0) + count
+        totals = {
+            key: sum(row[key] for row in per_shard)
+            for key in (
+                "queue_depth",
+                "submitted",
+                "completed",
+                "rejected",
+                "expired",
+                "shed",
+                "failed",
+                "batches",
+            )
+        }
+        first = per_shard[0]
+        return {
+            "selector": self.selector_name,
+            "shards": len(self._shards),
+            "pool": self.pool,
+            "queue_limit": first["queue_limit"],
+            "max_batch": first["max_batch"],
+            "max_wait_ms": first["max_wait_ms"],
+            **totals,
+            "batch_size_histogram": dict(sorted(histogram.items())),
+            "latency": DurationSummary.aggregate(
+                [shard.latency for shard in self._shards]
+            ),
+            "per_shard": per_shard,
+        }

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import asdict
 
 from repro.core.vesta import Recommendation
+from repro.errors import DeadlineExceededError, ServiceOverloadedError
 from repro.service.scheduler import SelectResponse
 
 __all__ = [
@@ -57,7 +58,11 @@ def response_to_dict(response: SelectResponse) -> dict:
             "fingerprint": response.fingerprint,
             "generation": response.generation,
         },
-        "batch": {"id": response.batch_id, "size": response.batch_size},
+        "batch": {
+            "id": response.batch_id,
+            "size": response.batch_size,
+            "shard": response.shard,
+        },
         "latency": {
             "queued_ms": response.queued_ms,
             "service_ms": response.service_ms,
@@ -66,11 +71,26 @@ def response_to_dict(response: SelectResponse) -> dict:
 
 
 def error_to_dict(exc: BaseException) -> dict:
-    """JSON-able error body: typed, so clients can map back to errors."""
+    """JSON-able error body: typed, so clients can map back to errors.
+
+    Backpressure errors carry their context — queue limit/depth and the
+    retry hint for overload, the wait and enforcement stage for missed
+    deadlines — so a client can back off intelligently instead of
+    treating every rejection as an opaque failure.
+    """
     # KeyError subclasses (CatalogError) repr their message; unwrap.
     message = (
         str(exc.args[0])
         if isinstance(exc, KeyError) and exc.args
         else str(exc)
     )
-    return {"error": type(exc).__name__, "message": message}
+    payload = {"error": type(exc).__name__, "message": message}
+    if isinstance(exc, ServiceOverloadedError):
+        payload["queue_limit"] = exc.queue_limit
+        payload["queue_depth"] = exc.queue_depth
+        payload["retry_after_s"] = exc.retry_after_s
+    elif isinstance(exc, DeadlineExceededError):
+        payload["workload"] = exc.workload
+        payload["waited_s"] = exc.waited_s
+        payload["stage"] = exc.stage
+    return payload

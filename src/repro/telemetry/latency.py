@@ -20,6 +20,7 @@ by a latency objective reduces to ranking by the slowest batch, which
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,9 +44,15 @@ class DurationSummary:
     The serving frontend needs cheap p50/p99 over the most recent
     requests, not the whole process lifetime: a fixed-size ring buffer
     keeps the last ``window`` samples and quantiles are computed on
-    demand.  Recording is O(1); callers that share a summary across
-    threads serialize access themselves (the scheduler records under its
-    stats lock).
+    demand.  Recording is O(1).
+
+    The summary is safe for concurrent writers and readers: the sharded
+    serving tier records from every shard worker and snapshots from HTTP
+    handler threads, so the ring index, the buffer slot and the running
+    count advance under one internal lock.  Without it a snapshot taken
+    mid-wrap could observe the freshly written slot *and* the stale
+    count — mixing a new sample into the old tail — or lose count
+    increments entirely under concurrent ``record`` calls.
     """
 
     def __init__(self, window: int = 2048) -> None:
@@ -53,37 +60,67 @@ class DurationSummary:
             raise ValidationError(f"window must be >= 1, got {window}")
         self._buf = np.zeros(window, dtype=float)
         self._next = 0
+        self._lock = threading.Lock()
         self.count = 0
 
     def record(self, seconds: float) -> None:
         """Add one observed duration (seconds)."""
-        self._buf[self._next] = seconds
-        self._next = (self._next + 1) % self._buf.size
-        self.count += 1
+        with self._lock:
+            self._buf[self._next] = seconds
+            self._next = (self._next + 1) % self._buf.size
+            self.count += 1
 
-    def _samples(self) -> np.ndarray:
+    def _samples_locked(self) -> np.ndarray:
         return self._buf[: min(self.count, self._buf.size)]
+
+    def samples(self) -> np.ndarray:
+        """Consistent copy of the current window (oldest order not kept)."""
+        with self._lock:
+            return self._samples_locked().copy()
 
     def percentile(self, pct: float) -> float:
         """The ``pct``-th percentile duration (s) over the window."""
         if not 0.0 <= pct <= 100.0:
             raise ValidationError(f"pct must be in [0, 100], got {pct}")
-        samples = self._samples()
+        samples = self.samples()
         return float(np.percentile(samples, pct)) if samples.size else 0.0
 
-    def snapshot(self) -> dict:
-        """JSON-able summary: count, mean/p50/p99/max in milliseconds."""
-        samples = self._samples()
+    @staticmethod
+    def _format(samples: np.ndarray, count: int) -> dict:
         if not samples.size:
             return {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
                     "p99_ms": 0.0, "max_ms": 0.0}
         return {
-            "count": self.count,
+            "count": count,
             "mean_ms": round(float(samples.mean()) * 1e3, 3),
             "p50_ms": round(float(np.percentile(samples, 50)) * 1e3, 3),
             "p99_ms": round(float(np.percentile(samples, 99)) * 1e3, 3),
             "max_ms": round(float(samples.max()) * 1e3, 3),
         }
+
+    def snapshot(self) -> dict:
+        """JSON-able summary: count, mean/p50/p99/max in milliseconds."""
+        with self._lock:
+            samples = self._samples_locked().copy()
+            count = self.count
+        return self._format(samples, count)
+
+    @classmethod
+    def aggregate(cls, summaries) -> dict:
+        """Combined snapshot over several summaries (one per shard).
+
+        Percentiles are computed over the union of the windows, not
+        averaged per shard — a hot shard's tail latency must show up in
+        the fleet p99 even when the other shards are idle.
+        """
+        parts = [s.samples() for s in summaries]
+        count = sum(s.count for s in summaries)
+        merged = (
+            np.concatenate([p for p in parts if p.size])
+            if any(p.size for p in parts)
+            else np.empty(0)
+        )
+        return cls._format(merged, count)
 
 
 def batch_latencies(run: RunResult) -> np.ndarray:
