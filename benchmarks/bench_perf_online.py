@@ -118,3 +118,59 @@ def test_select_many_at_least_2x_sequential(serving):
         f"select_many {batch_s * 1e3:.2f} ms   speedup: {speedup:.1f}x"
     )
     assert speedup >= 2.0
+
+
+@pytest.fixture(scope="module")
+def merged_serving():
+    """EC2-only and merged-catalog fold-in selectors over matched sizes.
+
+    The merged selector draws the same number of candidate VMs from the
+    ``multi`` catalog (EC2 head + Azure tail) so the comparison measures
+    the catalog dimension's overhead — pricing model indirection and
+    per-VM billing-increment lookups — not a larger candidate space.
+    """
+    from repro.cloud.catalog import get_catalog
+
+    multi = get_catalog("multi")
+    # Same candidate count as VMS: half EC2 head, half Azure tail.
+    half = len(VMS) // 2
+    merged_vms = multi.vms[:half] + multi.vms[-(len(VMS) - half):]
+    ec2 = VestaSelector(
+        vms=VMS, sources=SOURCES, seed=SEED, cmf_mode="foldin"
+    ).fit()
+    merged = VestaSelector(
+        vms=merged_vms, sources=SOURCES, seed=SEED, cmf_mode="foldin",
+        catalog=multi,
+    ).fit()
+    for spec in TARGETS:
+        ec2.online(spec)
+        merged.online(spec)
+    return ec2, merged
+
+
+def test_merged_catalog_batch_within_2_5x_of_ec2(merged_serving):
+    """Batched selection over the merged catalog vs EC2-only.
+
+    The non-default catalog path resolves budgets through the pricing
+    model (per-VM billing increments for the ``az-`` prefix) instead of
+    the baked-in EC2 constant; that indirection must stay cheap — no more
+    than 2.5x the EC2-only per-session latency on the same batch size.
+    """
+    ec2, merged = merged_serving
+    ec2_s = _timed(lambda: merged_batch(ec2))
+    merged_s = _timed(lambda: merged_batch(merged))
+    ratio = merged_s / ec2_s
+    _record(
+        merged_batch_ec2_ms=round(ec2_s * 1e3, 3),
+        merged_batch_multi_ms=round(merged_s * 1e3, 3),
+        merged_batch_ratio=round(ratio, 2),
+    )
+    print(
+        f"\nmerged catalog batch: ec2 {ec2_s * 1e3:.1f} ms   "
+        f"multi {merged_s * 1e3:.1f} ms   ratio: {ratio:.2f}x"
+    )
+    assert ratio <= 2.5
+
+
+def merged_batch(selector):
+    return selector.select_many(TARGETS, objective="budget")

@@ -1,46 +1,70 @@
 #!/usr/bin/env python
-"""Multi-cloud selection: EC2 + Azure in one candidate space.
+"""Multi-cloud selection with first-class provider catalogs.
 
 PARIS — the paper's ML baseline — originally targets selection *across
 multiple public clouds*; the paper's intro counts 100+ types per provider.
-Every selector here takes an explicit VM tuple, so multi-cloud selection
-is just a bigger catalog: this example fits Vesta over the combined
-EC2 + Azure space and shows when the cheaper provider wins.
+The catalog registry makes that a one-line switch: ``ec2`` (the Table-4
+default), ``azure`` (pay-as-you-go per-second billing), and ``multi``
+(the merged space, each provider keeping its own billing rule).
+
+This example fits one selector per catalog from the same workload
+knowledge and prints the EC2 and Azure picks side by side, then lets the
+merged catalog arbitrate which provider actually wins per workload.
 
 Run:  python examples/multi_cloud.py
 """
 
-import numpy as np
-
 from repro.baselines.ground_truth import GroundTruth
-from repro.cloud.azure import multi_cloud_catalog
+from repro.cloud.catalog import get_catalog
 from repro.core.vesta import VestaSelector
 from repro.workloads.catalog import get_workload
 
+WORKLOADS = ("spark-lr", "spark-sort", "spark-page-rank", "spark-pca")
+
 
 def main() -> None:
-    vms = multi_cloud_catalog()
-    print(f"candidate space: {len(vms)} VM types "
-          f"({sum(1 for v in vms if not v.name.startswith('az-'))} EC2 + "
-          f"{sum(1 for v in vms if v.name.startswith('az-'))} Azure)\n")
+    for name in ("ec2", "azure", "multi"):
+        cat = get_catalog(name)
+        print(f"{name:6s} catalog: {len(cat.vms):3d} VM types, "
+              f"pricing {cat.pricing.name} "
+              f"(fingerprint {cat.fingerprint()})")
+    print()
 
-    vesta = VestaSelector(vms=vms, seed=7)
-    vesta.fit()
-    gt = GroundTruth(vms=vms, seed=7)
+    # One fit per catalog; the workload knowledge (correlation structure)
+    # is learned the same way, only the candidate space changes.
+    selectors = {
+        name: VestaSelector(seed=7, catalog=name).fit()
+        for name in ("ec2", "azure", "multi")
+    }
 
-    for name in ("spark-lr", "spark-sort", "spark-page-rank", "spark-pca"):
-        spec = get_workload(name)
-        session = vesta.online(spec)
-        rec_t = session.recommend("time")
-        rec_b = session.recommend("budget")
-        best_t = gt.best_vm(spec, "time").name
-        best_b = gt.best_vm(spec, "budget").name
-        rt = gt.value_of(spec, rec_t.vm_name)
-        regret = (rt - gt.best_value(spec)) / gt.best_value(spec) * 100
-        print(f"{name}")
-        print(f"   fastest : picked {rec_t.vm_name:14s} (true best {best_t}, "
-              f"regret {regret:.1f} %)")
-        print(f"   cheapest: picked {rec_b.vm_name:14s} (true best {best_b})")
+    print(f"{'workload':16s} {'EC2 pick':>14s} {'Azure pick':>14s} "
+          f"{'EC2 $':>8s} {'Azure $':>8s} {'cheaper':>8s}")
+    for wname in WORKLOADS:
+        spec = get_workload(wname)
+        row = {
+            provider: selectors[provider].select(spec, objective="budget")
+            for provider in ("ec2", "azure")
+        }
+        cheaper = (
+            "azure"
+            if row["azure"].predicted_budget_usd < row["ec2"].predicted_budget_usd
+            else "ec2"
+        )
+        print(f"{wname:16s} {row['ec2'].vm_name:>14s} "
+              f"{row['azure'].vm_name:>14s} "
+              f"{row['ec2'].predicted_budget_usd:>8.4f} "
+              f"{row['azure'].predicted_budget_usd:>8.4f} {cheaper:>8s}")
+
+    # The merged catalog arbitrates: its ground truth holds both menus.
+    gt = GroundTruth(seed=7, catalog="multi")
+    print("\nmerged-catalog picks (budget objective):")
+    for wname in WORKLOADS:
+        spec = get_workload(wname)
+        rec = selectors["multi"].select(spec, objective="budget")
+        best = gt.best_vm(spec, "budget").name
+        provider = "azure" if rec.vm_name.startswith("az-") else "ec2"
+        print(f"   {wname:16s} picked {rec.vm_name:14s} [{provider}] "
+              f"(true best {best})")
 
     # How often does each provider hold the true optimum?
     wins = {"ec2": 0, "azure": 0}

@@ -37,6 +37,13 @@ echo "== baseline: repro select --archive --json =="
 python -m repro select "$WORKLOAD" --archive "$ARCHIVE" --json \
     > "$WORKDIR/cli.json"
 
+echo "== expected catalog identity: repro catalog --json =="
+python -m repro catalog --json \
+    | python -c 'import json,sys; d=json.load(sys.stdin); \
+print(json.dumps({"catalog": d["catalog"], \
+"catalog_fingerprint": d["catalog_fingerprint"]}))' \
+    > "$WORKDIR/cli.json.catalog"
+
 echo "== repro serve --archive --shards 2 + HTTP /select =="
 python -m repro serve --archive "$ARCHIVE" --port "$PORT" --shards 2 \
     > "$WORKDIR/serve.log" 2>&1 &
@@ -79,6 +86,18 @@ print(
     f"HTTP payload == CLI payload: {payload['recommendation']['vm_name']} "
     f"(fingerprint {payload['model']['fingerprint']}, "
     f"served {stats['schedulers']['default']['completed']})"
+)
+with open(cli_path + ".catalog") as fh:
+    served = stats["catalogs"]["default"]
+    expected_catalog = json.load(fh)
+    if served != expected_catalog:
+        sys.exit(
+            "served catalog diverged from `repro catalog --json`:\n"
+            f"  served:   {served}\n  expected: {expected_catalog}"
+        )
+print(
+    f"served catalog == registry catalog: {served['catalog']} "
+    f"({served['catalog_fingerprint']})"
 )
 PY
 then

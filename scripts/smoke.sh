@@ -27,4 +27,7 @@ python -m pytest -q benchmarks/bench_perf_online.py
 echo "== selection service (>= 2x sequential; 2-shard row not slower) =="
 python -m pytest -q benchmarks/bench_serve_throughput.py
 
+echo "== multi-cloud catalogs (EC2 vs Azure side by side) =="
+python examples/multi_cloud.py
+
 echo "smoke OK"

@@ -26,7 +26,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.baselines.cherrypick import CherryPick, SearchStep
-from repro.cloud.vmtypes import VMType, catalog
+from repro.cloud.catalog import pricing_override
+from repro.cloud.vmtypes import VMType
 from repro.errors import ValidationError
 from repro.telemetry.collector import DataCollector
 from repro.telemetry.metrics import METRIC_INDEX
@@ -98,7 +99,12 @@ class Arrow(CherryPick):
         if relief_strength < 0:
             raise ValidationError("relief_strength must be >= 0")
         self.relief_strength = relief_strength
-        self.collector = DataCollector(repetitions=repetitions, seed=collector_seed)
+        self.collector = DataCollector(
+            repetitions=repetitions,
+            seed=collector_seed,
+            pricing=pricing_override(self.catalog),
+            catalog=self.catalog,
+        )
 
     # -- search with low-level augmentation ------------------------------------
 

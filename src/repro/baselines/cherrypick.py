@@ -19,7 +19,8 @@ from math import erf, pi, sqrt
 
 import numpy as np
 
-from repro.cloud.vmtypes import VMType, catalog
+from repro.cloud.catalog import ProviderCatalog, resolve_catalog
+from repro.cloud.vmtypes import VMType
 from repro.errors import ValidationError
 
 __all__ = ["CherryPick", "SearchStep"]
@@ -60,6 +61,9 @@ class CherryPick:
         RBF kernel hyperparameters over standardized features.
     seed:
         RNG seed for the initial design.
+    catalog:
+        Provider catalog the candidate VMs default to (name, instance, or
+        ``None`` for the session default).
     """
 
     def __init__(
@@ -73,8 +77,10 @@ class CherryPick:
         signal_var: float = 1.0,
         noise_var: float = 1e-4,
         seed: int = 0,
+        catalog: ProviderCatalog | str | None = None,
     ) -> None:
-        self.vms = catalog() if vms is None else tuple(vms)
+        self.catalog = resolve_catalog(catalog)
+        self.vms = self.catalog.vms if vms is None else tuple(vms)
         if not self.vms:
             raise ValidationError("need at least one VM type")
         if n_init < 1 or max_iters < n_init:

@@ -28,8 +28,14 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import nnls
 
-from repro.cloud.vmtypes import VMType, catalog, get_vm_type
-from repro.errors import ValidationError
+from repro.cloud.catalog import (
+    ProviderCatalog,
+    pricing_override,
+    reference_spread,
+    resolve_catalog,
+)
+from repro.cloud.vmtypes import VMType
+from repro.errors import CatalogError, ValidationError
 from repro.telemetry.collector import DataCollector
 from repro.workloads.spec import WorkloadSpec
 
@@ -55,7 +61,11 @@ class Ernest:
     vms:
         Candidate VM types to rank.
     probe_vms:
-        VM types used for the scaled-down training runs.
+        VM types used for the scaled-down training runs.  ``None`` picks
+        the cheap EC2 general-purpose defaults when the catalog has
+        them, else a deterministic family spread of the candidates.
+    catalog:
+        Provider catalog (name, instance, or ``None`` for the default).
     probe_scales:
         Input-scale fractions of the training runs.
     repetitions:
@@ -68,21 +78,41 @@ class Ernest:
         self,
         vms: tuple[VMType, ...] | None = None,
         *,
-        probe_vms: tuple[str, ...] = DEFAULT_PROBE_VMS,
+        probe_vms: tuple[str, ...] | None = None,
         probe_scales: tuple[float, ...] = DEFAULT_PROBE_SCALES,
         repetitions: int = 10,
         seed: int = 0,
+        catalog: ProviderCatalog | str | None = None,
     ) -> None:
-        self.vms = catalog() if vms is None else tuple(vms)
+        self.catalog = resolve_catalog(catalog)
+        self.vms = self.catalog.vms if vms is None else tuple(vms)
         if not self.vms:
             raise ValidationError("need at least one VM type")
-        if not probe_vms or not probe_scales:
+        if probe_vms is not None and not probe_vms:
+            raise ValidationError("need probe VMs and probe scales")
+        if not probe_scales:
             raise ValidationError("need probe VMs and probe scales")
         if any(not 0 < s <= 1 for s in probe_scales):
             raise ValidationError("probe scales must be in (0, 1]")
-        self.probe_vms = tuple(get_vm_type(n) for n in probe_vms)
+        if probe_vms is None:
+            # EC2's cheap general-purpose probes when the catalog has
+            # them; otherwise a deterministic family spread of the
+            # candidate set (non-EC2 catalogs have no m5/c5/r5 names).
+            try:
+                self.probe_vms = tuple(
+                    self.catalog.get(n) for n in DEFAULT_PROBE_VMS
+                )
+            except CatalogError:
+                self.probe_vms = reference_spread(self.vms, len(DEFAULT_PROBE_VMS))
+        else:
+            self.probe_vms = tuple(self.catalog.get(n) for n in probe_vms)
         self.probe_scales = tuple(probe_scales)
-        self.collector = DataCollector(repetitions=repetitions, seed=seed)
+        self.collector = DataCollector(
+            repetitions=repetitions,
+            seed=seed,
+            pricing=pricing_override(self.catalog),
+            catalog=self.catalog,
+        )
         self._theta: dict[str, np.ndarray] = {}
 
     @property
@@ -124,7 +154,7 @@ class Ernest:
     def predict_runtime(self, spec: WorkloadSpec, vm: VMType | str) -> float:
         """Predicted full-scale runtime of ``spec`` on ``vm``."""
         if isinstance(vm, str):
-            vm = get_vm_type(vm)
+            vm = self.catalog.get(vm)
         theta = self.fit_workload(spec)
         return float(self._features(spec, vm, 1.0) @ theta)
 
@@ -140,7 +170,7 @@ class Ernest:
         if objective == "time":
             scores = runtimes
         elif objective == "budget":
-            prices = np.array([vm.price_per_hour for vm in self.vms])
+            prices = self.catalog.pricing.rates_array(self.vms)
             scores = runtimes * prices * spec.nodes
         else:
             raise ValidationError(

@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cloud.catalog import ProviderCatalog, pricing_override, resolve_catalog
 from repro.cloud.cluster import Cluster
 from repro.cloud.faults import FaultPlan
-from repro.cloud.vmtypes import VMType, catalog
+from repro.cloud.vmtypes import VMType
 from repro.core.artifacts import ArtifactStore
 from repro.core.pipeline import shared_perf_rows
 from repro.errors import ValidationError
@@ -47,12 +48,20 @@ class GroundTruth:
         cache: ProfileCache | str | None = None,
         faults: FaultPlan | None = None,
         store: ArtifactStore | str | None = None,
+        catalog: ProviderCatalog | str | None = None,
     ) -> None:
-        self.vms = catalog() if vms is None else tuple(vms)
+        self.catalog = resolve_catalog(catalog)
+        self.vms = self.catalog.vms if vms is None else tuple(vms)
         if not self.vms:
             raise ValidationError("need at least one VM type")
+        self._pricing = pricing_override(self.catalog)
         self.campaign = ProfilingCampaign(
-            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache, faults=faults
+            repetitions=repetitions,
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
+            faults=faults,
+            catalog=self.catalog,
         )
         self.collector = self.campaign.collector
         self.store = ArtifactStore(store) if isinstance(store, str) else store
@@ -93,7 +102,7 @@ class GroundTruth:
         runtimes = self.runtimes(spec)
         return np.array(
             [
-                Cluster(vm=vm, nodes=spec.nodes).budget(rt)
+                Cluster(vm=vm, nodes=spec.nodes, pricing=self._pricing).budget(rt)
                 for vm, rt in zip(self.vms, runtimes)
             ]
         )

@@ -26,11 +26,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.baselines.random_forest import RandomForestRegressor
+from repro.cloud.catalog import ProviderCatalog, reference_spread, resolve_catalog
 from repro.cloud.faults import FaultPlan
-from repro.cloud.vmtypes import VMType, catalog, get_vm_type
+from repro.cloud.vmtypes import VMType
 from repro.core.artifacts import ArtifactStore
 from repro.core.pipeline import shared_perf_rows
-from repro.errors import ValidationError
+from repro.errors import CatalogError, ValidationError
 from repro.telemetry.campaign import ProfileCache, ProfilingCampaign
 from repro.telemetry.metrics import METRIC_INDEX
 from repro.workloads.spec import WorkloadSpec
@@ -65,7 +66,11 @@ class Paris:
     vms:
         Candidate VM types to rank.
     reference_vms:
-        Names of the fingerprint reference VM types.
+        Names of the fingerprint reference VM types.  ``None`` picks the
+        EC2 defaults when the catalog has them, else a deterministic
+        family spread of the candidates.
+    catalog:
+        Provider catalog (name, instance, or ``None`` for the default).
     n_estimators:
         Forest size.
     repetitions:
@@ -87,7 +92,7 @@ class Paris:
         self,
         vms: tuple[VMType, ...] | None = None,
         *,
-        reference_vms: tuple[str, ...] = DEFAULT_REFERENCE_VMS,
+        reference_vms: tuple[str, ...] | None = None,
         n_estimators: int = 40,
         repetitions: int = 10,
         seed: int = 0,
@@ -95,15 +100,34 @@ class Paris:
         cache: ProfileCache | str | None = None,
         faults: FaultPlan | None = None,
         store: ArtifactStore | str | None = None,
+        catalog: ProviderCatalog | str | None = None,
     ) -> None:
-        self.vms = catalog() if vms is None else tuple(vms)
+        self.catalog = resolve_catalog(catalog)
+        self.vms = self.catalog.vms if vms is None else tuple(vms)
         if not self.vms:
             raise ValidationError("need at least one VM type")
-        if not reference_vms:
+        if reference_vms is not None and not reference_vms:
             raise ValidationError("need at least one reference VM")
-        self.reference_vms = tuple(get_vm_type(n) for n in reference_vms)
+        if reference_vms is None:
+            # EC2's four-shape reference set when the catalog has those
+            # names; otherwise a deterministic family spread.
+            try:
+                self.reference_vms = tuple(
+                    self.catalog.get(n) for n in DEFAULT_REFERENCE_VMS
+                )
+            except CatalogError:
+                self.reference_vms = reference_spread(
+                    self.vms, len(DEFAULT_REFERENCE_VMS)
+                )
+        else:
+            self.reference_vms = tuple(self.catalog.get(n) for n in reference_vms)
         self.campaign = ProfilingCampaign(
-            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache, faults=faults
+            repetitions=repetitions,
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
+            faults=faults,
+            catalog=self.catalog,
         )
         self.collector = self.campaign.collector
         self.store = ArtifactStore(store) if isinstance(store, str) else store
@@ -227,7 +251,7 @@ class Paris:
         if objective == "time":
             scores = runtimes
         elif objective == "budget":
-            prices = np.array([vm.price_per_hour for vm in self.vms])
+            prices = self.catalog.pricing.rates_array(self.vms)
             scores = runtimes * prices * spec.nodes
         else:
             raise ValidationError(

@@ -41,6 +41,7 @@ EXPERIMENT_IDS = {
     "fig13": "fig13_budget",
     "tab01": "tab01_correlations",
     "tab04": "tab04_vmtypes",
+    "ext_crosscloud": "ext_crosscloud",
 }
 
 
@@ -56,8 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_cat = sub.add_parser("catalog", help="list the Table-4 VM types")
+    p_cat = sub.add_parser(
+        "catalog", help="list VM types of a provider catalog"
+    )
     p_cat.add_argument("--family", help="restrict to one family (e.g. M5)")
+    p_cat.add_argument(
+        "--catalog", default=None, metavar="NAME",
+        help="provider catalog (default: REPRO_CATALOG environment, "
+             "else the EC2 Table-4 catalog)",
+    )
+    p_cat.add_argument(
+        "--list", action="store_true", dest="list_catalogs",
+        help="list the registered provider catalogs instead of VM types",
+    )
+    p_cat.add_argument(
+        "--json", action="store_true",
+        help="emit JSON (catalog identity + VM types, or the registry list)",
+    )
 
     sub.add_parser("workloads", help="list the Table-3 workload suite")
 
@@ -97,6 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="SPEC",
         help="fault-injection plan, e.g. 'transient=0.2,straggle=0.1,seed=3' "
              "(default: REPRO_FAULT_* environment, else none)",
+    )
+    p_prof.add_argument(
+        "--catalog", default=None, metavar="NAME",
+        help="provider catalog (default: REPRO_CATALOG environment, else ec2)",
     )
 
     p_sel = sub.add_parser("select", help="recommend a VM type with Vesta")
@@ -149,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the recommendation(s) as JSON (the service wire format)",
     )
+    p_sel.add_argument(
+        "--catalog", default=None, metavar="NAME",
+        help="provider catalog for a fresh fit (default: REPRO_CATALOG "
+             "environment, else ec2); archives carry their own catalog",
+    )
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper artifact")
     p_exp.add_argument("id", choices=sorted(EXPERIMENT_IDS), help="artifact id")
@@ -157,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stage-artifact store sqlite path shared by the experiment "
              "fixtures (default: REPRO_ARTIFACT_STORE environment, else "
              "one in-memory store per process)",
+    )
+    p_exp.add_argument(
+        "--catalog", default=None, metavar="NAME",
+        help="provider catalog for catalog-sensitive experiments, exported "
+             "as REPRO_CATALOG for the experiment process (default: unset)",
     )
 
     p_stage = sub.add_parser(
@@ -234,18 +264,58 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    p_srv.add_argument(
+        "--catalog", default=None, metavar="NAME",
+        help="provider catalog for a fresh fit (default: REPRO_CATALOG "
+             "environment, else ec2); archives carry their own catalog",
+    )
     return parser
 
 
 def _cmd_catalog(args: argparse.Namespace) -> int:
-    from repro.cloud.vmtypes import catalog
+    import json
 
-    vms = catalog()
+    from repro.cloud.catalog import catalog_names, get_catalog
+
+    if args.list_catalogs:
+        payload = [get_catalog(name).describe() for name in catalog_names()]
+        if args.json:
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        print(f"{'catalog':12s} {'VMs':>5s} {'pricing':16s} {'fingerprint':16s}")
+        for info in payload:
+            print(f"{info['name']:12s} {info['vm_count']:>5d} "
+                  f"{info['pricing']['name']:16s} {info['fingerprint']:16s}")
+        return 0
+
+    cat = get_catalog(args.catalog)
+    vms = cat.vms
     if args.family:
         vms = tuple(vm for vm in vms if vm.family.lower() == args.family.lower())
         if not vms:
             print(f"unknown family {args.family!r}", file=sys.stderr)
             return 2
+    if args.json:
+        payload = {
+            "catalog": cat.name,
+            "catalog_fingerprint": cat.fingerprint(),
+            "pricing": cat.pricing.describe(),
+            "vms": [
+                {
+                    "name": vm.name,
+                    "vcpus": vm.vcpus,
+                    "mem_gb": vm.mem_gb,
+                    "disk_mbps": vm.disk_mbps,
+                    "net_gbps": vm.net_gbps,
+                    "price_per_hour": vm.price_per_hour,
+                }
+                for vm in vms
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"catalog: {cat.name} (fingerprint {cat.fingerprint()}, "
+          f"pricing {cat.pricing.name})")
     print(f"{'name':16s} {'vCPU':>5s} {'mem GB':>8s} {'disk MB/s':>10s} "
           f"{'net Gb/s':>9s} {'$/h':>8s}")
     for vm in vms:
@@ -298,26 +368,26 @@ def _fault_plan(args: argparse.Namespace):
 def _cmd_profile(args: argparse.Namespace) -> int:
     import numpy as np
 
-    from repro.cloud.vmtypes import catalog, get_vm_type
+    from repro.cloud.catalog import get_catalog
     from repro.telemetry.campaign import ProfilingCampaign
     from repro.workloads.catalog import get_workload, source_set
 
+    cat = get_catalog(args.catalog)
     specs = (
         tuple(get_workload(n) for n in args.workloads)
         if args.workloads
         else source_set()
     )
-    vms = (
-        tuple(get_vm_type(n) for n in args.vms) if args.vms else catalog()
-    )
+    vms = tuple(cat.get(n) for n in args.vms) if args.vms else cat.vms
     faults = _fault_plan(args)
     campaign = ProfilingCampaign(
         repetitions=args.reps, seed=args.seed, jobs=args.jobs, cache=args.cache,
-        faults=faults,
+        faults=faults, catalog=cat,
     )
     print(
         f"campaign: {len(specs)} workloads x {len(vms)} VM types "
-        f"({campaign.jobs} jobs, cache: {args.cache or 'in-process'}"
+        f"(catalog: {cat.name}, {campaign.jobs} jobs, "
+        f"cache: {args.cache or 'in-process'}"
         f"{', faults on' if campaign.faults is not None else ''})"
     )
     if args.full:
@@ -360,6 +430,7 @@ def _build_selector(args: argparse.Namespace, *, announce: bool = True):
         seed=args.seed, jobs=args.jobs, cache=args.cache,
         faults=_fault_plan(args), store=args.store,
         cmf_mode=args.cmf_mode or "full",
+        catalog=getattr(args, "catalog", None),
     ).fit()
 
 
@@ -458,6 +529,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         # The experiment fixtures key on the resolved environment, so
         # this takes effect even if fixtures were already built.
         os.environ["REPRO_ARTIFACT_STORE"] = args.store
+    if args.catalog:
+        os.environ["REPRO_CATALOG"] = args.catalog
     module = importlib.import_module(
         f"repro.experiments.{EXPERIMENT_IDS[args.id]}"
     )
@@ -524,7 +597,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.pool:
         tier += " (process pool)"
     print(f"serving selector 'default' (fingerprint {handle.fingerprint}, "
-          f"cmf_mode={vesta.cmf_mode}, {tier}) on http://{host}:{port}")
+          f"catalog={vesta.catalog.name}, cmf_mode={vesta.cmf_mode}, {tier}) "
+          f"on http://{host}:{port}")
     print('   POST /select   {"workload": "spark-lr"}')
     print("   GET  /healthz  GET /statsz        (Ctrl-C to stop)")
     import time

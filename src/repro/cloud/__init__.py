@@ -14,10 +14,27 @@ Table 4.  This package provides the equivalent substrate offline:
 - :mod:`repro.cloud.cluster` — homogeneous clusters of a VM type, the unit
   on which framework engines schedule work;
 - :mod:`repro.cloud.azure` — a second provider catalog for multi-cloud
-  selection (the setting PARIS originally targets).
+  selection (the setting PARIS originally targets);
+- :mod:`repro.cloud.catalog` — named, content-fingerprinted provider
+  catalogs (``ec2``/``azure``/``multi``/``ec2-spot``) binding a VM set
+  to a pricing model, the dimension threaded through pipeline,
+  persistence and service.
 """
 
 from repro.cloud.azure import azure_catalog, get_azure_vm_type, multi_cloud_catalog
+from repro.cloud.catalog import (
+    CATALOG_ENV,
+    DEFAULT_CATALOG,
+    PricingModel,
+    ProviderCatalog,
+    catalog_names,
+    default_catalog_name,
+    get_catalog,
+    pricing_override,
+    reference_spread,
+    register_catalog,
+    resolve_catalog,
+)
 from repro.cloud.cluster import Cluster
 from repro.cloud.faults import FaultDecision, FaultEvent, FaultPlan
 from repro.cloud.noise import CloudNoiseModel, NoiseSample
@@ -34,10 +51,21 @@ from repro.cloud.vmtypes import (
 )
 
 __all__ = [
+    "CATALOG_ENV",
     "Cluster",
+    "DEFAULT_CATALOG",
+    "PricingModel",
+    "ProviderCatalog",
     "azure_catalog",
+    "catalog_names",
+    "default_catalog_name",
     "get_azure_vm_type",
+    "get_catalog",
     "multi_cloud_catalog",
+    "pricing_override",
+    "reference_spread",
+    "register_catalog",
+    "resolve_catalog",
     "CloudNoiseModel",
     "FaultDecision",
     "FaultEvent",

@@ -1,0 +1,411 @@
+"""Provider catalogs: named, content-fingerprinted VM bundles + pricing.
+
+The paper evaluates on one fixed EC2 Table-4 catalog; this module makes
+the catalog a first-class dimension.  A :class:`ProviderCatalog` is a
+named bundle of :class:`~repro.cloud.vmtypes.VMType` entries plus a
+:class:`PricingModel` (billing increment, on-demand/spot rate, and a
+deterministic interruption-risk hook that feeds the fault layer).  A
+registry exposes the built-in catalogs:
+
+``ec2``
+    The Table-4 catalog with EC2 on-demand billing (60 s minimum).
+    This is the default and is bit-identical to the pre-catalog code:
+    its pricing model reproduces ``budget_for_runtime`` operand for
+    operand, and it contributes nothing to cache keys or fingerprints.
+``azure``
+    The :mod:`~repro.cloud.azure` catalog with pay-as-you-go per-second
+    billing (no minimum).
+``multi``
+    EC2 + Azure merged, each VM billed under its own provider's rule.
+``ec2-spot``
+    The EC2 catalog at a spot discount with nonzero interruption risk;
+    :meth:`PricingModel.interruption_plan` derives a deterministic
+    :class:`~repro.cloud.faults.FaultPlan` so reclaims flow through the
+    existing fault machinery (retries, degradation, fingerprints).
+
+Fingerprints are content-addressed: two catalogs with the same VM
+resource vectors and the same pricing rule fingerprint identically no
+matter how they were constructed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import zlib
+from dataclasses import asdict, dataclass
+from functools import lru_cache
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.cloud.azure import azure_catalog, multi_cloud_catalog
+from repro.cloud.faults import FaultPlan
+from repro.cloud.vmtypes import VMType, catalog as ec2_vm_catalog
+from repro.errors import CatalogError, ValidationError
+
+__all__ = [
+    "CATALOG_ENV",
+    "DEFAULT_CATALOG",
+    "PricingModel",
+    "ProviderCatalog",
+    "catalog_names",
+    "default_catalog_name",
+    "get_catalog",
+    "pricing_override",
+    "reference_spread",
+    "register_catalog",
+    "resolve_catalog",
+]
+
+#: Environment variable selecting the default catalog (CLI / experiments).
+CATALOG_ENV = "REPRO_CATALOG"
+
+#: Registry name resolved when no catalog is specified anywhere.
+DEFAULT_CATALOG = "ec2"
+
+#: EC2's minimum billed duration — the historical module-wide constant.
+_EC2_INCREMENT_S = 60.0
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """A provider's billing rule plus (optional) spot semantics.
+
+    Attributes
+    ----------
+    name:
+        Rule mnemonic (``"ec2-ondemand"``, ``"azure-payg"``, ...).
+    billing_increment_s:
+        Minimum billed duration in seconds (EC2: 60, Azure PAYG: 0).
+    rate_scale:
+        Multiplier on each VM's list price (spot discount).  ``1.0``
+        means the list price is used untouched (bitwise).
+    interruption_prob:
+        Per-attempt probability that a run is reclaimed mid-flight.
+        Nonzero only for spot-style rules; materialized as a transient
+        fault via :meth:`interruption_plan`.
+    per_vm_increments:
+        ``(name_prefix, increment_s)`` overrides, first match wins —
+        how the merged catalog bills ``az-*`` types per-second while
+        EC2 types keep the 60 s floor.
+    """
+
+    name: str = "ec2-ondemand"
+    billing_increment_s: float = _EC2_INCREMENT_S
+    rate_scale: float = 1.0
+    interruption_prob: float = 0.0
+    per_vm_increments: tuple[tuple[str, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.billing_increment_s < 0:
+            raise ValidationError(
+                f"billing_increment_s must be >= 0, got {self.billing_increment_s}"
+            )
+        if self.rate_scale <= 0:
+            raise ValidationError(f"rate_scale must be > 0, got {self.rate_scale}")
+        if not 0.0 <= self.interruption_prob < 1.0:
+            raise ValidationError(
+                f"interruption_prob must be in [0, 1), got {self.interruption_prob}"
+            )
+        for prefix, increment in self.per_vm_increments:
+            if increment < 0:
+                raise ValidationError(
+                    f"per-VM increment for {prefix!r} must be >= 0, got {increment}"
+                )
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def is_default(self) -> bool:
+        """True when this rule is bitwise the historical EC2 billing.
+
+        The default rule must contribute nothing to cache keys, stage
+        fingerprints, or archives, so pre-catalog artifacts stay valid.
+        """
+        return (
+            self.billing_increment_s == _EC2_INCREMENT_S
+            and self.rate_scale == 1.0
+            and self.interruption_prob == 0.0
+            and not self.per_vm_increments
+        )
+
+    def describe(self) -> dict:
+        """JSON-serializable content description (fingerprint input)."""
+        return {
+            "name": self.name,
+            "billing_increment_s": repr(self.billing_increment_s),
+            "rate_scale": repr(self.rate_scale),
+            "interruption_prob": repr(self.interruption_prob),
+            "per_vm_increments": [
+                [prefix, repr(increment)]
+                for prefix, increment in self.per_vm_increments
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        """Content digest of the billing rule (floats repr-exact)."""
+        payload = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+    # -- billing ---------------------------------------------------------------
+
+    def increment_for(self, vm_name: str) -> float:
+        """Minimum billed seconds for the named VM type."""
+        for prefix, increment in self.per_vm_increments:
+            if vm_name.startswith(prefix):
+                return increment
+        return self.billing_increment_s
+
+    def effective_rate(self, vm: VMType) -> float:
+        """Hourly rate after the spot discount.
+
+        ``rate_scale == 1.0`` returns the list price itself (not
+        ``price * 1.0``) so the default rule is bitwise transparent.
+        """
+        if self.rate_scale == 1.0:
+            return vm.price_per_hour
+        return vm.price_per_hour * self.rate_scale
+
+    def hourly_price(self, vm: VMType, nodes: int = 1) -> float:
+        """USD per hour for a cluster of ``nodes`` instances of ``vm``."""
+        if nodes < 1:
+            raise ValidationError(f"nodes must be >= 1, got {nodes}")
+        return self.effective_rate(vm) * nodes
+
+    def budget(self, vm: VMType, runtime_s: float, nodes: int = 1) -> float:
+        """Billed USD for one run — same operand order as the EC2 rule."""
+        if runtime_s < 0:
+            raise ValidationError(f"runtime_s must be >= 0, got {runtime_s}")
+        billed = max(runtime_s, self.increment_for(vm.name))
+        return self.hourly_price(vm, nodes) * billed / 3600.0
+
+    def increments_array(self, vms: tuple[VMType, ...]) -> np.ndarray:
+        """Per-VM billing increments aligned with ``vms`` (read-only)."""
+        out = np.array([self.increment_for(vm.name) for vm in vms])
+        out.setflags(write=False)
+        return out
+
+    def rates_array(self, vms: tuple[VMType, ...]) -> np.ndarray:
+        """Per-VM effective hourly rates aligned with ``vms`` (read-only)."""
+        out = np.array([self.effective_rate(vm) for vm in vms])
+        out.setflags(write=False)
+        return out
+
+    # -- spot interruption → fault layer ---------------------------------------
+
+    def interruption_plan(self, seed: int = 0) -> FaultPlan | None:
+        """Deterministic spot-reclaim plan, or ``None`` without risk.
+
+        Interruptions are transient faults: a reclaimed attempt is
+        retried on a fresh instance (fresh noise seed, backoff), which
+        is exactly how spot workloads behave.  The plan seed is derived
+        from the rule's content so two campaigns on the same catalog and
+        seed observe the same reclaims.
+        """
+        if self.interruption_prob == 0.0:
+            return None
+        token = f"spot|{self.name}|{self.fingerprint()}|{seed}"
+        return FaultPlan(
+            transient_prob=self.interruption_prob,
+            max_attempts=4,
+            seed=zlib.crc32(token.encode()),
+        )
+
+
+@lru_cache(maxsize=4096)
+def _vm_content_token(vm: VMType) -> str:
+    """Canonical serialization of one VM type's full content."""
+    desc = asdict(vm)
+    desc["category"] = vm.category.value
+    return json.dumps(desc, sort_keys=True, default=str)
+
+
+@dataclass(frozen=True)
+class ProviderCatalog:
+    """A named VM catalog bound to one pricing rule."""
+
+    name: str
+    vms: tuple[VMType, ...]
+    pricing: PricingModel
+
+    def __post_init__(self) -> None:
+        if not self.vms:
+            raise ValidationError(f"catalog {self.name!r} has no VM types")
+        names = [vm.name for vm in self.vms]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise ValidationError(
+                f"catalog {self.name!r} has duplicate VM names: {dupes}"
+            )
+
+    # -- lookup ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.vms)
+
+    def __iter__(self) -> Iterator[VMType]:
+        return iter(self.vms)
+
+    def _index(self) -> dict[str, VMType]:
+        cached = self.__dict__.get("_by_name")
+        if cached is None:
+            cached = {vm.name: vm for vm in self.vms}
+            object.__setattr__(self, "_by_name", cached)
+        return cached
+
+    def get(self, name: str) -> VMType:
+        """Look up a VM type by name within this catalog."""
+        try:
+            return self._index()[name]
+        except KeyError:
+            raise CatalogError(
+                f"unknown VM type {name!r} in catalog {self.name!r}"
+            ) from None
+
+    def vm_names(self) -> tuple[str, ...]:
+        return tuple(vm.name for vm in self.vms)
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def is_default(self) -> bool:
+        """True for the implicit catalog of all pre-catalog artifacts."""
+        return self.name == DEFAULT_CATALOG and self.pricing.is_default
+
+    def fingerprint(self) -> str:
+        """Content digest over the VM set and the pricing rule."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            joined = "\n".join(_vm_content_token(vm) for vm in self.vms)
+            payload = json.dumps(
+                {
+                    "vms": hashlib.sha256(joined.encode()).hexdigest(),
+                    "pricing": self.pricing.describe(),
+                },
+                sort_keys=True,
+            )
+            cached = hashlib.sha256(payload.encode()).hexdigest()[:16]
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    def describe(self) -> dict:
+        """Human/JSON summary used by the CLI and the service."""
+        return {
+            "name": self.name,
+            "fingerprint": self.fingerprint(),
+            "vm_count": len(self.vms),
+            "pricing": self.pricing.describe(),
+        }
+
+
+def pricing_override(catalog: "ProviderCatalog | None") -> PricingModel | None:
+    """The pricing model to thread into billing paths, or ``None``.
+
+    ``None`` means "use the historical EC2 arithmetic" — callers keep
+    executing the exact pre-catalog code path, which is the strongest
+    possible bit-identity guarantee for the default catalog.
+    """
+    if catalog is None or catalog.pricing.is_default:
+        return None
+    return catalog.pricing
+
+
+# -- registry ------------------------------------------------------------------
+
+_EC2_PRICING = PricingModel()
+_AZURE_PRICING = PricingModel(name="azure-payg", billing_increment_s=0.0)
+_MULTI_PRICING = PricingModel(
+    name="multi-ondemand", per_vm_increments=(("az-", 0.0),)
+)
+_SPOT_PRICING = PricingModel(
+    name="ec2-spot", rate_scale=0.31, interruption_prob=0.05
+)
+
+_REGISTRY: dict[str, Callable[[], ProviderCatalog]] = {}
+
+
+@lru_cache(maxsize=32)
+def _materialize(name: str) -> ProviderCatalog:
+    built = _REGISTRY[name]()
+    if built.name != name:
+        raise ValidationError(
+            f"catalog factory for {name!r} built catalog named {built.name!r}"
+        )
+    return built
+
+
+def register_catalog(
+    name: str, factory: Callable[[], ProviderCatalog], *, replace: bool = False
+) -> None:
+    """Register a catalog factory under ``name``."""
+    if name in _REGISTRY and not replace:
+        raise ValidationError(f"catalog {name!r} is already registered")
+    _REGISTRY[name] = factory
+    _materialize.cache_clear()
+
+
+register_catalog(
+    "ec2", lambda: ProviderCatalog("ec2", ec2_vm_catalog(), _EC2_PRICING)
+)
+register_catalog(
+    "azure", lambda: ProviderCatalog("azure", azure_catalog(), _AZURE_PRICING)
+)
+register_catalog(
+    "multi", lambda: ProviderCatalog("multi", multi_cloud_catalog(), _MULTI_PRICING)
+)
+register_catalog(
+    "ec2-spot", lambda: ProviderCatalog("ec2-spot", ec2_vm_catalog(), _SPOT_PRICING)
+)
+
+
+def catalog_names() -> tuple[str, ...]:
+    """Registered catalog names, registration order."""
+    return tuple(_REGISTRY)
+
+
+def default_catalog_name() -> str:
+    """``REPRO_CATALOG`` if set, else ``"ec2"``."""
+    return os.environ.get(CATALOG_ENV, "").strip() or DEFAULT_CATALOG
+
+
+def get_catalog(name: str | None = None) -> ProviderCatalog:
+    """Resolve a registered catalog (default: env / ``"ec2"``)."""
+    name = name or default_catalog_name()
+    if name not in _REGISTRY:
+        known = ", ".join(catalog_names())
+        raise CatalogError(f"unknown catalog {name!r} (known: {known})")
+    return _materialize(name)
+
+
+def resolve_catalog(
+    catalog: "ProviderCatalog | str | None",
+) -> ProviderCatalog:
+    """Accept a catalog object, a registry name, or ``None`` (default)."""
+    if isinstance(catalog, ProviderCatalog):
+        return catalog
+    return get_catalog(catalog)
+
+
+def reference_spread(vms: tuple[VMType, ...], count: int) -> tuple[VMType, ...]:
+    """Deterministic family-diverse reference subset of ``vms``.
+
+    Used by baselines whose probe/reference defaults are EC2 VM names:
+    on a catalog without those names, pick one mid-size type per family
+    (ordered by family name) and spread ``count`` picks evenly across
+    them.  Pure function of the catalog content.
+    """
+    if count < 1:
+        raise ValidationError(f"count must be >= 1, got {count}")
+    by_family: dict[str, list[VMType]] = {}
+    for vm in vms:
+        by_family.setdefault(vm.family, []).append(vm)
+    mids = []
+    for family in sorted(by_family):
+        members = sorted(by_family[family], key=lambda vm: vm.price_per_hour)
+        mids.append(members[len(members) // 2])
+    if count >= len(mids):
+        return tuple(mids)
+    positions = np.linspace(0, len(mids) - 1, count).round().astype(int)
+    return tuple(mids[int(i)] for i in positions)

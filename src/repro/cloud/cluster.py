@@ -11,10 +11,14 @@ bandwidth, and the per-node figures needed for memory-pressure modeling.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.cloud.pricing import budget_for_runtime, hourly_price
 from repro.cloud.vmtypes import VMType
 from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.cloud.catalog import PricingModel
 
 __all__ = ["Cluster", "DEFAULT_NODES", "OS_MEMORY_RESERVE_GB"]
 
@@ -36,6 +40,8 @@ class Cluster:
 
     vm: VMType
     nodes: int = DEFAULT_NODES
+    #: Billing rule; ``None`` keeps the historical EC2 on-demand arithmetic.
+    pricing: "PricingModel | None" = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1:
@@ -89,11 +95,13 @@ class Cluster:
 
     def hourly_price(self) -> float:
         """USD/hour for the whole cluster."""
-        return hourly_price(self.vm, self.nodes)
+        return hourly_price(self.vm, self.nodes, model=self.pricing)
 
     def budget(self, runtime_s: float) -> float:
         """USD cost of holding the cluster for ``runtime_s`` seconds."""
-        return budget_for_runtime(self.vm, runtime_s, self.nodes)
+        return budget_for_runtime(
+            self.vm, runtime_s, self.nodes, model=self.pricing
+        )
 
     # -- placement helpers -----------------------------------------------------
 

@@ -1,36 +1,59 @@
-"""On-demand pricing and budget arithmetic.
+"""Pricing and budget arithmetic, parameterized by billing rule.
 
 The paper's second practical metric (Section 5.2) is *budget*: the cost of
-running a workload on a VM type.  EC2 bills per-second with a one-minute
-minimum for Linux on-demand instances; we reproduce that billing rule so
-budget comparisons between short and long runs behave like the real cloud.
+running a workload on a VM type.  Billing rules differ per provider (EC2
+bills per-second with a one-minute minimum; Azure PAYG has no minimum;
+spot rates are discounted).  The rule lives in the catalog's
+:class:`~repro.cloud.catalog.PricingModel`; the functions here accept an
+optional ``model`` and, when none is given, execute the historical EC2
+arithmetic verbatim — pre-catalog callers stay bit-identical.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.cloud.vmtypes import VMType
 from repro.errors import ValidationError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.cloud.catalog import PricingModel
+
 __all__ = ["MIN_BILLED_SECONDS", "hourly_price", "budget_for_runtime"]
 
-#: EC2 Linux on-demand minimum billing increment, in seconds.
+#: EC2 Linux on-demand minimum billing increment, in seconds — the default
+#: rule applied when no :class:`PricingModel` is supplied.
 MIN_BILLED_SECONDS = 60.0
 
 
-def hourly_price(vm: VMType, nodes: int = 1) -> float:
-    """USD/hour for ``nodes`` instances of ``vm``."""
+def hourly_price(
+    vm: VMType, nodes: int = 1, *, model: "PricingModel | None" = None
+) -> float:
+    """USD/hour for ``nodes`` instances of ``vm`` under ``model``'s rate."""
+    if model is not None:
+        return model.hourly_price(vm, nodes)
     if nodes < 1:
         raise ValidationError(f"nodes must be >= 1, got {nodes}")
     return vm.price_per_hour * nodes
 
 
-def budget_for_runtime(vm: VMType, runtime_s: float, nodes: int = 1) -> float:
+def budget_for_runtime(
+    vm: VMType,
+    runtime_s: float,
+    nodes: int = 1,
+    *,
+    model: "PricingModel | None" = None,
+) -> float:
     """Cost (USD) of running for ``runtime_s`` seconds on ``nodes`` x ``vm``.
 
-    Per-second billing with the :data:`MIN_BILLED_SECONDS` minimum, matching
-    EC2's Linux on-demand rule.  This is the quantity plotted on the paper's
-    Figure 1 heat maps and Figure 13 budget comparison.
+    Without a ``model``: per-second billing with the
+    :data:`MIN_BILLED_SECONDS` minimum, matching EC2's Linux on-demand
+    rule — the quantity plotted on the paper's Figure 1 heat maps and
+    Figure 13 budget comparison.  With a ``model``: that provider's
+    increment and rate, same operand order.
     """
+    if model is not None:
+        return model.budget(vm, runtime_s, nodes)
     if runtime_s < 0:
         raise ValidationError(f"runtime_s must be >= 0, got {runtime_s}")
     billed = max(runtime_s, MIN_BILLED_SECONDS)

@@ -22,6 +22,8 @@ the pipeline's own apply-time validation and *adopts* the artifacts
 under their archived fingerprints, so a
 :meth:`~repro.core.vesta.VestaSelector.refit` right after a load reuses
 the archived stages instead of re-running the profiling campaign.
+Version 3 additionally records the provider catalog (name + content
+fingerprint); versions 1 and 2 load as the implicit ``ec2`` catalog.
 Version 1 archives (flat array names, pre-pipeline) remain loadable.
 
 Loading re-binds the stored workload/VM names against the current
@@ -38,8 +40,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.kmeans import KMeans
+from repro.cloud.catalog import DEFAULT_CATALOG, get_catalog
 from repro.cloud.faults import FaultPlan
-from repro.cloud.vmtypes import get_vm_type
 from repro.core.artifacts import (
     ArtifactStore,
     read_memmap_bundle,
@@ -63,7 +65,7 @@ __all__ = [
     "FORMAT_VERSION",
 ]
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 _HYPERPARAMS_V1 = (
     "k",
@@ -119,6 +121,8 @@ def _archive_meta(selector: VestaSelector) -> dict:
         "vms": [vm.name for vm in selector.vms],
         "label_features": list(selector.label_space.feature_names),
         "stage_fingerprints": selector.pipeline.fingerprints(),
+        "catalog": selector.catalog.name,
+        "catalog_fingerprint": selector.catalog.fingerprint(),
     }
 
 
@@ -312,7 +316,7 @@ def load_selector(
         with np.load(path) as data:
             meta = json.loads(bytes(data["meta"]).decode())
             version = meta.get("format_version")
-            if version not in (1, FORMAT_VERSION):
+            if version not in (1, 2, FORMAT_VERSION):
                 raise ValidationError(
                     f"unsupported archive version {version!r}; "
                     f"this build reads versions 1..{FORMAT_VERSION}"
@@ -358,7 +362,7 @@ def load_selector_memmap(
             f"cannot read memmap bundle {directory}: {exc}"
         ) from exc
     version = meta.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in (2, FORMAT_VERSION):
         raise ValidationError(
             f"unsupported bundle version {version!r}; "
             f"memmap bundles are written at version {FORMAT_VERSION}"
@@ -379,14 +383,33 @@ def _restore_selector(
 ) -> VestaSelector:
     """Common tail of every load path: rebind names, restore stages."""
     version = meta.get("format_version")
+    # Versions 1 and 2 predate the catalog dimension: they were always
+    # fitted against the EC2 Table-4 catalog, so they load as implicit
+    # ``ec2``.  Version 3 records the catalog explicitly and refuses a
+    # load when the registered catalog's content has drifted from what
+    # the archive was fitted on.
+    catalog_name = meta.get("catalog", DEFAULT_CATALOG)
+    try:
+        catalog = get_catalog(catalog_name)
+    except Exception as exc:
+        raise ValidationError(
+            f"archive references unknown catalog {catalog_name!r}: {exc}"
+        ) from exc
+    recorded_fp = meta.get("catalog_fingerprint")
+    if recorded_fp is not None and recorded_fp != catalog.fingerprint():
+        raise ValidationError(
+            f"archive was fitted on catalog {catalog_name!r} with fingerprint "
+            f"{recorded_fp}, but the registered catalog now fingerprints "
+            f"{catalog.fingerprint()}"
+        )
     try:
         sources = tuple(get_workload(name) for name in meta["sources"])
-        vms = tuple(get_vm_type(name) for name in meta["vms"])
+        vms = tuple(catalog.get(name) for name in meta["vms"])
     except Exception as exc:
         raise ValidationError(f"archive references unknown catalog entries: {exc}") from exc
 
     hp = meta["hyperparams"]
-    names = _HYPERPARAMS if version == FORMAT_VERSION else _HYPERPARAMS_V1
+    names = _HYPERPARAMS_V1 if version == 1 else _HYPERPARAMS
     selector = VestaSelector(
         vms=vms,
         sources=sources,
@@ -395,6 +418,7 @@ def _restore_selector(
         cache=cache,
         faults=faults,
         store=store,
+        catalog=catalog,
         # Tolerant of archives written before a hyperparameter existed
         # (e.g. pre-serving v2 archives have no cmf_mode): constructor
         # defaults cover the gap.

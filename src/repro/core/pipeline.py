@@ -204,6 +204,16 @@ class KnowledgePipeline:
         sel = self.sel
         campaign_fp = sel.campaign.config_fingerprint()
         sources_fp = specs_token(sel.sources)
+        # The catalog id + content fingerprint are stamped into the two
+        # root stages (and propagate down the chain) — but only for
+        # non-default catalogs, so every pre-catalog artifact keeps its
+        # address and the EC2 path stays bit-identical.
+        catalog_extra: dict[str, str] = {}
+        if not sel.catalog.is_default:
+            catalog_extra = {
+                "catalog": sel.catalog.name,
+                "catalog_fingerprint": sel.catalog.fingerprint(),
+            }
         fp: dict[str, str] = {}
         fp["perf_matrix"] = content_fingerprint(
             pipeline_version=PIPELINE_VERSION,
@@ -211,6 +221,7 @@ class KnowledgePipeline:
             campaign=campaign_fp,
             sources=sources_fp,
             vms=vms_token(sel.vms),
+            **catalog_extra,
         )
         fp["corr_signatures"] = content_fingerprint(
             pipeline_version=PIPELINE_VERSION,
@@ -219,6 +230,7 @@ class KnowledgePipeline:
             sources=sources_fp,
             corr_vms=vms_token(sel._corr_probe_vms()),
             signature=self._signature_token(),
+            **catalog_extra,
         )
         fp["feature_selection"] = content_fingerprint(
             pipeline_version=PIPELINE_VERSION,
@@ -464,6 +476,7 @@ class KnowledgePipeline:
             "campaign": campaign_fp,
             "sources": [w.name for w in sel.sources],
             "vms": [vm.name for vm in sel.vms],
+            "catalog": sel.catalog.name,
         }
         if name == "perf_matrix":
             meta["vms_token"] = vms_token(sel.vms)

@@ -42,9 +42,9 @@ from repro.analysis.correlation import (
     correlation_vector,
 )
 from repro.analysis.intervals import INTERVAL_WIDTH
+from repro.cloud.catalog import ProviderCatalog, resolve_catalog
 from repro.cloud.faults import FaultEvent, FaultPlan
-from repro.cloud.pricing import MIN_BILLED_SECONDS
-from repro.cloud.vmtypes import SIZE_LADDER, VMType, catalog
+from repro.cloud.vmtypes import SIZE_LADDER, VMType
 from repro.core.artifacts import ArtifactStore, content_fingerprint
 from repro.core.cmf import CMF, CMFResult
 from repro.core.pipeline import NEAR_BEST_TAU, KnowledgePipeline
@@ -296,13 +296,15 @@ class OnlineSession:
     def predict_budgets(self) -> np.ndarray:
         """Predicted budget (USD) on every catalog VM.
 
-        Vectorized over the selector's precomputed price array — the
-        billing arithmetic matches
-        :func:`repro.cloud.pricing.budget_for_runtime` bit for bit.
+        Vectorized over the selector's precomputed rate and billing-floor
+        arrays — the arithmetic matches
+        :func:`repro.cloud.pricing.budget_for_runtime` under the
+        catalog's pricing rule bit for bit (for EC2 the floor array is
+        the historical :data:`MIN_BILLED_SECONDS` constant broadcast).
         """
         if self._predicted_budgets is None:
             runtimes = self.predict_runtimes()
-            billed = np.maximum(runtimes, MIN_BILLED_SECONDS)
+            billed = np.maximum(runtimes, self._sel._billing_increments)
             budgets = (self._sel._prices * self.spec.nodes) * billed / 3600.0
             budgets.setflags(write=False)
             self._predicted_budgets = budgets
@@ -449,6 +451,14 @@ class VestaSelector:
         reuses any stored stage whose fingerprint matches and persists
         the stages it computes, so fitted knowledge is shared across
         processes and :meth:`refit` sweeps stay warm across runs.
+    catalog:
+        :class:`~repro.cloud.catalog.ProviderCatalog` (or registry name)
+        supplying the default VM set, the billing rule for budget
+        predictions, and — for spot catalogs — the deterministic
+        interruption fault plan.  Defaults to ``REPRO_CATALOG`` / the
+        EC2 Table-4 catalog, which is bit-identical to the pre-catalog
+        selector; non-default catalogs are stamped into stage
+        fingerprints and archives.
     """
 
     def __init__(
@@ -475,8 +485,10 @@ class VestaSelector:
         cache: ProfileCache | str | None = None,
         faults: FaultPlan | None = None,
         store: ArtifactStore | str | None = None,
+        catalog: ProviderCatalog | str | None = None,
     ) -> None:
-        self.vms = catalog() if vms is None else tuple(vms)
+        self.catalog = resolve_catalog(catalog)
+        self.vms = self.catalog.vms if vms is None else tuple(vms)
         if not self.vms:
             raise ValidationError("need at least one VM type")
         self.sources = training_set() if sources is None else tuple(sources)
@@ -505,7 +517,12 @@ class VestaSelector:
         self.cmf_mode = cmf_mode
         self.seed = seed
         self.campaign = ProfilingCampaign(
-            repetitions=repetitions, seed=seed, jobs=jobs, cache=cache, faults=faults
+            repetitions=repetitions,
+            seed=seed,
+            jobs=jobs,
+            cache=cache,
+            faults=faults,
+            catalog=self.catalog,
         )
         self.collector = self.campaign.collector
         if store is None or isinstance(store, ArtifactStore):
@@ -515,8 +532,11 @@ class VestaSelector:
         self.pipeline = KnowledgePipeline(self)
 
         self._vm_index = {vm.name: i for i, vm in enumerate(self.vms)}
-        self._prices = np.array([vm.price_per_hour for vm in self.vms])
-        self._prices.setflags(write=False)
+        # Effective hourly rates and billing floors under the catalog's
+        # pricing rule; for the default EC2 catalog these are exactly the
+        # list prices and the 60 s constant (bitwise).
+        self._prices = self.catalog.pricing.rates_array(self.vms)
+        self._billing_increments = self.catalog.pricing.increments_array(self.vms)
         self._fitted = False
 
     @staticmethod

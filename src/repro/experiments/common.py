@@ -91,6 +91,10 @@ def _options_key() -> tuple:
         opts["cache"],
         opts["faults"],
         os.environ.get("REPRO_ARTIFACT_STORE") or None,
+        # Fixtures resolve the session-default provider catalog at build
+        # time (REPRO_CATALOG); key on it so switching catalogs builds
+        # fresh fixtures instead of serving ones fitted elsewhere.
+        os.environ.get("REPRO_CATALOG") or None,
     )
 
 

@@ -12,11 +12,15 @@ Two ways to run the simulator:
 from __future__ import annotations
 
 from collections.abc import Sequence
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.cloud.cluster import Cluster
 from repro.cloud.vmtypes import VMType, get_vm_type
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cloud.catalog import PricingModel
 from repro.errors import CatalogError, ValidationError
 from repro.frameworks.base import Engine, RunResult
 from repro.frameworks.hadoop import HadoopEngine
@@ -68,16 +72,20 @@ def simulate_run(
     with_timeseries: bool = True,
     sample_period_s: float = 5.0,
     rng: np.random.Generator | None = None,
+    pricing: "PricingModel | None" = None,
 ) -> RunResult:
     """Simulate one execution of ``spec`` on a cluster of ``vm`` instances.
 
     Convenience wrapper: resolves the VM name, builds the
     :class:`~repro.cloud.cluster.Cluster` (defaulting to the spec's node
-    count), and dispatches to the right engine.
+    count, billing under ``pricing`` when given), and dispatches to the
+    right engine.
     """
     if isinstance(vm, str):
         vm = get_vm_type(vm)
-    cluster = Cluster(vm=vm, nodes=nodes if nodes is not None else spec.nodes)
+    cluster = Cluster(
+        vm=vm, nodes=nodes if nodes is not None else spec.nodes, pricing=pricing
+    )
     engine = get_engine(spec.framework)
     return engine.run(
         spec,
@@ -91,6 +99,8 @@ def simulate_run(
 
 def resolve_cells(
     cells: Sequence[BatchCell],
+    *,
+    pricing: "PricingModel | None" = None,
 ) -> tuple[list[WorkloadSpec], list[Cluster]]:
     """Resolve ``(spec, vm[, nodes])`` cells into specs and clusters."""
     specs: list[WorkloadSpec] = []
@@ -109,7 +119,11 @@ def resolve_cells(
             vm = get_vm_type(vm)
         specs.append(spec)
         clusters.append(
-            Cluster(vm=vm, nodes=nodes if nodes is not None else spec.nodes)
+            Cluster(
+                vm=vm,
+                nodes=nodes if nodes is not None else spec.nodes,
+                pricing=pricing,
+            )
         )
     return specs, clusters
 
@@ -122,6 +136,7 @@ def simulate_batch(
     sample_period_s: float = 5.0,
     rngs: Sequence[np.random.Generator | None] | None = None,
     oom: str = "raise",
+    pricing: "PricingModel | None" = None,
 ) -> list[RunResult | None]:
     """Simulate a whole array of cells in vectorized NumPy passes.
 
@@ -143,6 +158,9 @@ def simulate_batch(
         :class:`~repro.errors.OutOfMemoryError` with the scalar engine's
         message.  ``"mask"`` returns ``None`` for every infeasible cell
         and full results for the rest.
+    pricing:
+        Billing rule for every cell's budget; ``None`` keeps the
+        historical EC2 on-demand arithmetic.
 
     Returns
     -------
@@ -153,7 +171,7 @@ def simulate_batch(
     """
     if oom not in ("raise", "mask"):
         raise ValidationError(f"oom must be 'raise' or 'mask', got {oom!r}")
-    specs, clusters = resolve_cells(cells)
+    specs, clusters = resolve_cells(cells, pricing=pricing)
     n = len(specs)
     if noise_multipliers is None:
         mults = [1.0] * n

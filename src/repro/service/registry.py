@@ -57,6 +57,8 @@ class SelectorHandle:
             "vms": len(sel.vms),
             "sources": len(sel.sources),
             "seed": sel.seed,
+            "catalog": sel.catalog.name,
+            "catalog_fingerprint": sel.catalog.fingerprint(),
         }
 
 
@@ -113,6 +115,13 @@ class SelectorRegistry:
         current handle is returned with ``swapped=False``.  Otherwise the
         archive is fully restored and atomically swapped in.  Returns
         ``(handle, swapped)``.
+
+        A reload never changes the provider catalog a name serves: an
+        archive fitted on a different catalog than the one currently
+        registered under ``name`` is refused with a
+        :class:`~repro.errors.ServiceError` (clients cache VM names and
+        pricing semantics per served name — a silent catalog swap would
+        invalidate them mid-flight).
         """
         current = self.get(name) if name in self.names() else None
         if current is not None:
@@ -120,6 +129,18 @@ class SelectorRegistry:
             if peeked is not None and peeked == current.fingerprint:
                 return current, False
         selector = load_selector(path, **load_kwargs)
+        if current is not None:
+            served = current.selector.catalog
+            loaded = selector.catalog
+            if (served.name, served.fingerprint()) != (
+                loaded.name,
+                loaded.fingerprint(),
+            ):
+                raise ServiceError(
+                    f"reload of {name!r} refused: archive is fitted on catalog "
+                    f"{loaded.name!r} ({loaded.fingerprint()}) but the served "
+                    f"selector uses {served.name!r} ({served.fingerprint()})"
+                )
         fingerprint = selector.knowledge_fingerprint()
         with self._lock:
             existing = self._handles.get(name)

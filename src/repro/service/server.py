@@ -143,8 +143,16 @@ class SelectionService:
     def stats(self) -> dict:
         with self._lock:
             schedulers = dict(self._schedulers)
+        described = self.registry.describe()
         return {
             "selectors": self.registry.names(),
+            "catalogs": {
+                name: {
+                    "catalog": info["catalog"],
+                    "catalog_fingerprint": info["catalog_fingerprint"],
+                }
+                for name, info in described.items()
+            },
             "schedulers": {name: s.stats() for name, s in schedulers.items()},
         }
 

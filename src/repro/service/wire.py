@@ -14,15 +14,30 @@ from __future__ import annotations
 
 from dataclasses import asdict
 
+from repro.cloud.catalog import ProviderCatalog
 from repro.core.vesta import Recommendation
 from repro.errors import DeadlineExceededError, ServiceOverloadedError
 from repro.service.scheduler import SelectResponse
 
 __all__ = [
+    "catalog_to_dict",
     "recommendation_to_dict",
     "response_to_dict",
     "error_to_dict",
 ]
+
+
+def catalog_to_dict(catalog: ProviderCatalog) -> dict:
+    """JSON-able identity of a provider catalog (name + content hash).
+
+    The same pair the registry reports per served selector and ``repro
+    catalog --json`` prints, so the serving check can compare them
+    string-for-string.
+    """
+    return {
+        "catalog": catalog.name,
+        "catalog_fingerprint": catalog.fingerprint(),
+    }
 
 
 def recommendation_to_dict(rec: Recommendation) -> dict:

@@ -36,6 +36,12 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.cloud.catalog import (
+    PricingModel,
+    ProviderCatalog,
+    pricing_override,
+    resolve_catalog,
+)
 from repro.cloud.faults import FaultEvent, FaultPlan
 from repro.cloud.noise import CloudNoiseModel
 from repro.cloud.vmtypes import VMType, get_vm_type
@@ -108,16 +114,19 @@ def profile_cache_key(
     sample_period_s: float,
     fingerprint: str,
     kind: str = "profile",
+    catalog: ProviderCatalog | None = None,
 ) -> str:
     """Content address of one profiling result.
 
     ``kind`` separates full profiles (``"profile"``) from runtime-only P90
     scalars (``"p90"``), which carry different payloads.  A VM given by
-    name resolves through the Table-4 catalog, so string and
-    :class:`VMType` spellings of the same VM share one address.
+    name resolves through ``catalog`` (default: the Table-4 catalog), so
+    string and :class:`VMType` spellings of the same VM share one
+    address.  The key hashes the VM's full content, so same-named types
+    from different catalogs never collide.
     """
     if isinstance(vm, str):
-        vm = get_vm_type(vm)
+        vm = catalog.get(vm) if catalog is not None else get_vm_type(vm)
     payload = "|".join(
         (
             kind,
@@ -261,6 +270,10 @@ class _Task:
     sample_period_s: float
     runtime_only: bool
     faults: FaultPlan | None = None
+    #: Billing rule for budgets; ``None`` is the historical EC2 rule.
+    #: Strings were resolved in the parent, so workers never ship a
+    #: whole catalog — just the (small, frozen) pricing model.
+    pricing: PricingModel | None = None
     #: Capture mode (speculative prefetch): a permanently failed run
     #: returns ``(index, None, ())`` instead of raising, leaving the cell
     #: uncomputed so the consumer's own retry reproduces the failure (and
@@ -294,7 +307,14 @@ def _run_batch(
         return [_run_task(t) for t in tasks]
     groups: dict[tuple, list[_Task]] = {}
     for t in tasks:
-        key = (t.repetitions, t.seed, t.sample_period_s, id(t.faults), t.capture)
+        key = (
+            t.repetitions,
+            t.seed,
+            t.sample_period_s,
+            id(t.faults),
+            id(t.pricing),
+            t.capture,
+        )
         groups.setdefault(key, []).append(t)
     out: list[tuple[int, WorkloadProfile | float | None, tuple[FaultEvent, ...]]] = []
     for group in groups.values():
@@ -304,6 +324,7 @@ def _run_batch(
             seed=head.seed,
             sample_period_s=head.sample_period_s,
             faults=head.faults,
+            pricing=head.pricing,
         )
         results = collector.profile_many(
             [(t.spec, t.vm, t.nodes, t.runtime_only) for t in group],
@@ -331,6 +352,7 @@ def _run_task(task: _Task) -> tuple[int, WorkloadProfile | float, tuple[FaultEve
         seed=task.seed,
         sample_period_s=task.sample_period_s,
         faults=task.faults,
+        pricing=task.pricing,
     )
     try:
         if task.runtime_only:
@@ -376,6 +398,15 @@ class ProfilingCampaign:
         merged into :attr:`counters` and :attr:`fault_log` regardless of
         which worker process saw it.  Runs that exhaust the retry budget
         raise :class:`~repro.errors.ProbeFailedError`.
+    catalog:
+        Optional :class:`~repro.cloud.catalog.ProviderCatalog` (or
+        registry name).  Resolves string VM names, supplies the billing
+        rule for budgets, and — for spot-style pricing with nonzero
+        interruption risk — derives a deterministic interruption
+        :class:`FaultPlan` when no explicit ``faults`` plan is given.
+        ``None`` (and the default ``ec2`` catalog's pricing) leaves all
+        results and cache addresses bit-identical to the pre-catalog
+        code.
     """
 
     def __init__(
@@ -387,6 +418,7 @@ class ProfilingCampaign:
         cache: ProfileCache | str | None = None,
         sample_period_s: float = 5.0,
         faults: FaultPlan | None = None,
+        catalog: ProviderCatalog | str | None = None,
     ) -> None:
         if repetitions < 1:
             raise ValidationError("repetitions must be >= 1")
@@ -401,6 +433,10 @@ class ProfilingCampaign:
             self.cache = cache
         else:
             self.cache = ProfileCache(str(cache))
+        self.catalog = None if catalog is None else resolve_catalog(catalog)
+        self.pricing = pricing_override(self.catalog)
+        if faults is None and self.catalog is not None:
+            faults = self.catalog.pricing.interruption_plan(seed)
         self.faults = faults if faults is not None and faults.enabled else None
         self.counters = CampaignCounters()
         self.fault_log: list[FaultEvent] = []
@@ -409,6 +445,8 @@ class ProfilingCampaign:
             seed=seed,
             sample_period_s=sample_period_s,
             faults=self.faults,
+            pricing=self.pricing,
+            catalog=self.catalog,
         )
         self._memo: dict[str, WorkloadProfile | float] = {}
 
@@ -502,6 +540,7 @@ class ProfilingCampaign:
                         sample_period_s=self.sample_period_s,
                         runtime_only=runtime_only,
                         faults=self.faults,
+                        pricing=self.pricing,
                         capture=True,
                     ),
                     key,
@@ -529,9 +568,10 @@ class ProfilingCampaign:
 
     # -- internals ---------------------------------------------------------------------
 
-    @staticmethod
-    def _resolve_vm(vm: VMType | str) -> VMType:
-        return get_vm_type(vm) if isinstance(vm, str) else vm
+    def _resolve_vm(self, vm: VMType | str) -> VMType:
+        if isinstance(vm, str):
+            return self.catalog.get(vm) if self.catalog is not None else get_vm_type(vm)
+        return vm
 
     def _absorb_events(self, events) -> None:
         """Merge fault events (from any collector/worker) into the telemetry."""
@@ -551,6 +591,11 @@ class ProfilingCampaign:
             # Fault-injected results are a different generation: address
             # them apart so a clean cache never serves faulted values.
             fingerprint = f"{fingerprint}+faults:{self.faults.fingerprint()}"
+        if self.pricing is not None:
+            # Non-default billing changes budgets: a separate generation,
+            # while the default EC2 rule contributes nothing (pre-catalog
+            # cache entries stay addressable).
+            fingerprint = f"{fingerprint}+pricing:{self.pricing.fingerprint()}"
         self._generation_fp = fingerprint
         return fingerprint
 
@@ -670,6 +715,7 @@ class ProfilingCampaign:
                                 sample_period_s=self.sample_period_s,
                                 runtime_only=runtime_only,
                                 faults=self.faults,
+                                pricing=self.pricing,
                             ),
                             key,
                         )

@@ -28,10 +28,14 @@ from __future__ import annotations
 import time
 import zlib
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.cloud.faults import FaultDecision, FaultEvent, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cloud.catalog import PricingModel, ProviderCatalog
 from repro.cloud.noise import CloudNoiseModel
 from repro.cloud.vmtypes import VMType, get_vm_type
 from repro.errors import (
@@ -121,6 +125,12 @@ class DataCollector:
         :class:`~repro.errors.ProbeFailedError`), straggler inflation and
         telemetry sample drops.  Observed faults accumulate in
         :attr:`fault_events` until drained.
+    pricing:
+        Billing rule for run budgets; ``None`` keeps the historical EC2
+        on-demand arithmetic (bit-identical to the pre-catalog paths).
+    catalog:
+        Catalog used to resolve string VM names; ``None`` resolves
+        against the Table-4 EC2 catalog as before.
     """
 
     def __init__(
@@ -129,6 +139,8 @@ class DataCollector:
         seed: int = 0,
         sample_period_s: float = 5.0,
         faults: FaultPlan | None = None,
+        pricing: "PricingModel | None" = None,
+        catalog: "ProviderCatalog | None" = None,
     ) -> None:
         if repetitions < 1:
             raise ValidationError("repetitions must be >= 1")
@@ -136,7 +148,14 @@ class DataCollector:
         self.seed = seed
         self.sample_period_s = sample_period_s
         self.faults = faults if faults is not None and faults.enabled else None
+        self.pricing = pricing
+        self.catalog = catalog
         self.fault_events: list[FaultEvent] = []
+
+    def _resolve_vm(self, vm: VMType | str) -> VMType:
+        if isinstance(vm, str):
+            return self.catalog.get(vm) if self.catalog is not None else get_vm_type(vm)
+        return vm
 
     def drain_fault_events(self) -> list[FaultEvent]:
         """Return and clear the fault events observed since the last drain."""
@@ -254,8 +273,7 @@ class DataCollector:
         nodes: int | None = None,
     ) -> WorkloadProfile:
         """Profile ``spec`` on ``vm``: repeated runs, P90, one time series."""
-        if isinstance(vm, str):
-            vm = get_vm_type(vm)
+        vm = self._resolve_vm(vm)
         stream = _stream_seed(spec.name, vm.name, self.seed)
         noise = CloudNoiseModel(seed=stream)
         rng = np.random.default_rng(stream + 1)
@@ -277,6 +295,7 @@ class DataCollector:
                 with_timeseries=rep == 0,
                 sample_period_s=self.sample_period_s,
                 rng=rng,
+                pricing=self.pricing,
             )
             runtimes[rep] = result.runtime_s
             budgets[rep] = result.budget_usd
@@ -311,8 +330,7 @@ class DataCollector:
         Used by the ground-truth exhaustive sweeps where only runtimes
         matter (30 workloads × 100 VM types × 10 reps).
         """
-        if isinstance(vm, str):
-            vm = get_vm_type(vm)
+        vm = self._resolve_vm(vm)
         stream = _stream_seed(spec.name, vm.name, self.seed)
         noise = CloudNoiseModel(seed=stream)
         base = simulate_run(
@@ -357,8 +375,13 @@ class DataCollector:
         from repro.frameworks.registry import resolve_cells
         from repro.frameworks.resources import build_timeseries_batch
 
-        reqs = [(spec, vm, nodes, bool(fast)) for spec, vm, nodes, fast in requests]
-        specs, clusters = resolve_cells([(s, v, n) for s, v, n, _ in reqs])
+        reqs = [
+            (spec, self._resolve_vm(vm), nodes, bool(fast))
+            for spec, vm, nodes, fast in requests
+        ]
+        specs, clusters = resolve_cells(
+            [(s, v, n) for s, v, n, _ in reqs], pricing=self.pricing
+        )
         sim = simulate_cells(specs, clusters)
 
         profile_idx = [
@@ -451,9 +474,16 @@ class DataCollector:
                     series = self._drop_samples(series, spec.name, cluster.vm.name, rep)
         # Vectorized Cluster.budget: same operand order as the scalar
         # ``hourly_price * max(runtime, floor) / 3600`` per repetition.
+        # The billing floor comes from the pricing model when one is
+        # threaded (e.g. Azure's 0 s, the merged catalog's per-provider
+        # increments); ``None`` keeps the historical EC2 constant.
+        if self.pricing is None:
+            floor = MIN_BILLED_SECONDS
+        else:
+            floor = self.pricing.increment_for(cluster.vm.name)
         budgets = (
-            hourly_price(cluster.vm, cluster.nodes)
-            * np.maximum(runtimes, MIN_BILLED_SECONDS)
+            hourly_price(cluster.vm, cluster.nodes, model=self.pricing)
+            * np.maximum(runtimes, floor)
             / 3600.0
         )
         if series is None:
