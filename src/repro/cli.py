@@ -239,6 +239,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: 1)",
     )
     p_srv.add_argument(
+        "--rec-cache", type=int, default=512, metavar="N",
+        help="recommendation memo-cache entries per scheduler shard, keyed "
+             "by (knowledge fingerprint, catalog fingerprint, workload, "
+             "objective); 0 disables, as does REPRO_REC_CACHE=0 "
+             "(default: 512)",
+    )
+    p_srv.add_argument(
         "--pool", action="store_true",
         help="execute each shard's waves in a dedicated worker process "
              "(knowledge shared read-only via memory-mapped bundles)",
@@ -588,6 +595,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_limit=args.queue_limit,
         shards=args.shards,
         pool=args.pool,
+        rec_cache_size=args.rec_cache,
     )
     server = serve(
         service, args.host, args.port, verbose=args.verbose, background=True

@@ -28,6 +28,7 @@ is disabled.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -35,6 +36,18 @@ import numpy as np
 from repro.errors import ConvergenceError, ValidationError
 
 __all__ = ["CMF", "CMFResult", "SourceFactors"]
+
+
+def _foldin_fast_path() -> bool:
+    """Escape hatch for the grouped fold-in path.
+
+    ``REPRO_FOLDIN_CACHE=0`` restores the historical per-row solve loop
+    exactly (read at call time, like the simulator's ``REPRO_SIM_BATCH``
+    gate).  The two paths are proven byte-identical by tests; the switch
+    exists so a production incident can rule the fast path out in
+    seconds without a rollback.
+    """
+    return os.environ.get("REPRO_FOLDIN_CACHE", "1") != "0"
 
 
 @dataclass(frozen=True)
@@ -295,6 +308,8 @@ class CMF:
         L: np.ndarray,
         ustar_rows: np.ndarray,
         mask: np.ndarray | None = None,
+        *,
+        operator_cache=None,
     ) -> np.ndarray:
         """Complete target rows against a fixed L: the online half.
 
@@ -307,6 +322,20 @@ class CMF:
         solved exactly in O(g³) per row — deterministic, no SGD, no
         iteration.  Rows are independent, so completing a batch is
         bit-identical to completing each row alone.
+
+        Steady-state serving traffic reuses a tiny set of probe masks,
+        and the gram matrix depends on the mask alone (L and the
+        hyperparameters are fixed), so rows are grouped by identical
+        mask bit-pattern: each group builds its gram once and all its
+        rows are solved in one stacked LAPACK call — byte-identical to
+        the per-row loop because the gufunc solves each row as its own
+        1-D system.  ``operator_cache`` (an
+        :class:`~repro.core.caching.LRUCache`) persists grams across
+        calls keyed by mask bytes; callers must scope it to one
+        ``(L, hyperparameters)`` pair — :class:`VestaSelector` keys it
+        to the ``source_factors`` artifact, so a refit or hot-reload
+        starts from an empty cache by construction.  Setting
+        ``REPRO_FOLDIN_CACHE=0`` restores the historical row loop.
 
         Returns the stacked ``A*`` with shape ``(n_rows, latent_dim)``.
         """
@@ -330,7 +359,14 @@ class CMF:
             raise ValidationError(
                 f"mask shape {mask.shape} != ustar_rows shape {ustar_rows.shape}"
             )
+        if not _foldin_fast_path():
+            return self._fold_in_row_loop(L, ustar_rows, mask)
+        return self._fold_in_grouped(L, ustar_rows, mask, operator_cache)
 
+    def _fold_in_row_loop(
+        self, L: np.ndarray, ustar_rows: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """The reference implementation: one gram + one solve per row."""
         g = self.latent_dim
         eye = self.reg * np.eye(g)
         astar = np.empty((ustar_rows.shape[0], g))
@@ -342,6 +378,51 @@ class CMF:
                 astar[i] = np.linalg.solve(gram, rhs)
             except np.linalg.LinAlgError:
                 astar[i] = np.linalg.lstsq(gram, rhs, rcond=None)[0]
+        return astar
+
+    def _fold_in_grouped(
+        self,
+        L: np.ndarray,
+        ustar_rows: np.ndarray,
+        mask: np.ndarray,
+        operator_cache,
+    ) -> np.ndarray:
+        g = self.latent_dim
+        eye = self.reg * np.eye(g)
+        astar = np.empty((ustar_rows.shape[0], g))
+        groups: dict[bytes, list[int]] = {}
+        for i in range(ustar_rows.shape[0]):
+            groups.setdefault(mask[i].tobytes(), []).append(i)
+        for key, indices in groups.items():
+            gram = None if operator_cache is None else operator_cache.get(key)
+            if gram is None:
+                # Same expression, same operand order as the row loop —
+                # "byte-identical" hinges on it.
+                weighted = L * mask[indices[0]][:, None]
+                gram = self.target_weight * (weighted.T @ L) + eye
+                if operator_cache is not None:
+                    gram.setflags(write=False)
+                    operator_cache.put(key, gram)
+            rhs = np.empty((len(indices), g))
+            for row, i in enumerate(indices):
+                rhs[row] = self.target_weight * (L.T @ (mask[i] * ustar_rows[i]))
+            try:
+                # Broadcasting the gram over a stack of 1-column systems
+                # makes LAPACK solve each row as its own 1-D problem —
+                # bit-identical to the row loop, unlike a true multi-RHS
+                # solve against an (g, n) matrix.
+                solved = np.linalg.solve(
+                    np.broadcast_to(gram, (len(indices), g, g)),
+                    rhs[:, :, None],
+                )[:, :, 0]
+            except np.linalg.LinAlgError:
+                solved = np.stack(
+                    [
+                        np.linalg.lstsq(gram, rhs[row], rcond=None)[0]
+                        for row in range(len(indices))
+                    ]
+                )
+            astar[indices] = solved
         return astar
 
     def _fit_once(

@@ -46,6 +46,7 @@ from repro.cloud.catalog import ProviderCatalog, resolve_catalog
 from repro.cloud.faults import FaultEvent, FaultPlan
 from repro.cloud.vmtypes import SIZE_LADDER, VMType
 from repro.core.artifacts import ArtifactStore, content_fingerprint
+from repro.core.caching import LRUCache
 from repro.core.cmf import CMF, CMFResult
 from repro.core.pipeline import NEAR_BEST_TAU, KnowledgePipeline
 from repro.core.sandbox import choose_probe_vms, choose_sandbox_vm
@@ -572,6 +573,28 @@ class VestaSelector:
         hyperparameter."""
         return CMF(latent_dim=self.latent_dim, lam=self.lam, seed=self.seed)
 
+    def _foldin_operator_cache(self, factors) -> LRUCache:
+        """Mask-keyed gram-matrix cache scoped to one ``source_factors``.
+
+        The gram ``(μ LᵀdiagₘL + reg·I)`` depends only on the probe mask
+        once L and the hyperparameters are fixed, and both are frozen
+        inside the ``source_factors`` artifact's lifetime — so the cache
+        is held next to (and invalidated with) that artifact: a refit or
+        hot-reload produces a new factors object and thereby an empty
+        cache, by construction.  Steady-state serving sees a handful of
+        distinct masks (one per probe plan), so 256 entries is generous.
+        """
+        held = getattr(self, "_foldin_ops", None)
+        if held is None or held[0] is not factors:
+            held = (factors, LRUCache(maxsize=256))
+            self._foldin_ops = held
+        return held[1]
+
+    def foldin_cache_stats(self) -> dict | None:
+        """Counters of the fold-in operator cache; ``None`` before first use."""
+        held = getattr(self, "_foldin_ops", None)
+        return None if held is None else held[1].stats()
+
     def complete_rows(
         self, rows: np.ndarray, masks: np.ndarray
     ) -> tuple[CMFResult, ...]:
@@ -598,7 +621,12 @@ class VestaSelector:
                     "cmf_mode='foldin' needs the offline source_factors "
                     "stage; call fit() first"
                 )
-            astar = self._cmf().fold_in(factors.L, rows, masks)
+            astar = self._cmf().fold_in(
+                factors.L,
+                rows,
+                masks,
+                operator_cache=self._foldin_operator_cache(factors),
+            )
             return tuple(
                 CMFResult(
                     A=factors.A,

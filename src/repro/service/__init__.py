@@ -27,9 +27,16 @@ from repro.service.registry import SelectorHandle, SelectorRegistry
 from repro.service.scheduler import MicroBatchScheduler, SelectResponse
 from repro.service.server import SelectionService, ServiceHTTPServer, serve
 from repro.service.shards import ShardRouter
-from repro.service.wire import recommendation_to_dict, response_to_dict
+from repro.service.wire import (
+    canonical_request,
+    recommendation_to_dict,
+    request_key,
+    response_to_dict,
+)
 
 __all__ = [
+    "canonical_request",
+    "request_key",
     "BundleCache",
     "InlineBackend",
     "MicroBatchScheduler",

@@ -11,7 +11,13 @@ socket.
 from __future__ import annotations
 
 import json
-from http.client import HTTPConnection
+import threading
+from http.client import (
+    BadStatusLine,
+    CannotSendRequest,
+    HTTPConnection,
+    ResponseNotReady,
+)
 
 from repro.errors import (
     CatalogError,
@@ -31,34 +37,77 @@ _ERRORS = {
     "CatalogError": CatalogError,
 }
 
+#: Failures that mean "the pooled connection went stale" — the server
+#: (or an intermediary) dropped it between requests, so reopening and
+#: resending is the fix, not an error.  ``OSError`` covers broken pipes
+#: and resets surfacing below http.client; timeouts are explicitly NOT
+#: retried (see :meth:`ServiceClient._request`).
+_STALE_CONNECTION = (OSError, BadStatusLine, CannotSendRequest, ResponseNotReady)
+
 
 class ServiceClient:
-    """One service endpoint; a fresh connection per request.
+    """One service endpoint; a pooled keep-alive connection per thread.
 
-    Connection-per-request keeps the client trivially usable from many
-    threads (the bench hammers one instance from a thread pool) at the
-    cost of a localhost TCP handshake per call — noise next to the
-    service latency being measured.
+    The server speaks HTTP/1.1 keep-alive, so opening a fresh TCP
+    connection per request is pure overhead.  Each thread owns one
+    persistent :class:`~http.client.HTTPConnection` (``threading.local``
+    — many bench threads can hammer one client instance without
+    sharing sockets), and a request that fails because the pooled
+    connection went stale is transparently retried once on a fresh
+    connection.  The retry is safe: every endpoint is idempotent
+    (selection is deterministic per knowledge fingerprint).
     """
 
     def __init__(self, host: str, port: int, *, timeout_s: float = 60.0) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
+        self._local = threading.local()
 
     # -- plumbing ---------------------------------------------------------------
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
-        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
-        try:
-            payload = None if body is None else json.dumps(body).encode()
-            headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
-            response = conn.getresponse()
-            retry_after = response.getheader("Retry-After")
-            data = json.loads(response.read().decode() or "{}")
-        finally:
+    def _connection(self) -> HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Close the calling thread's pooled connection (if any).
+
+        Other threads' connections close when their threads die (or via
+        their own ``close`` calls); the client stays usable after —
+        the next request opens a fresh connection.
+        """
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
             conn.close()
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                retry_after = response.getheader("Retry-After")
+                data = json.loads(response.read().decode() or "{}")
+                break
+            except _STALE_CONNECTION as exc:
+                self.close()
+                # A timeout is a server that has the request and is slow,
+                # not a stale connection: resending could double-charge
+                # the queue, so it propagates immediately.
+                if isinstance(exc, TimeoutError) or attempt == 2:
+                    raise
+            except Exception:
+                # Anything else (bad JSON, protocol violation): drop the
+                # connection so the next call starts clean, then raise.
+                self.close()
+                raise
         if response.status >= 400:
             raise self._error(response.status, path, data, retry_after)
         return data

@@ -59,6 +59,9 @@ class SelectorHandle:
             "seed": sel.seed,
             "catalog": sel.catalog.name,
             "catalog_fingerprint": sel.catalog.fingerprint(),
+            # Mask-keyed fold-in operator cache (None until the selector
+            # serves its first fold-in wave, or under cmf_mode="full").
+            "foldin_cache": sel.foldin_cache_stats(),
         }
 
 

@@ -36,6 +36,15 @@ from the registry before serving, so a hot-reload never mixes knowledge
 versions within a batch — each response carries the fingerprint and
 generation that produced it.
 
+Steady-state traffic repeats a small set of requests, and selection is
+deterministic per knowledge version, so the scheduler keeps a bounded
+recommendation memo cache keyed by ``(knowledge fingerprint, catalog
+fingerprint, workload, objective)``.  A hit is answered at submit time —
+no queueing, no wave — with the byte-identical recommendation the
+original wave computed, stamped ``cached=True``.  Reload invalidation is
+by construction (the fingerprints are in the key); ``REPRO_REC_CACHE=0``
+or ``rec_cache_size=0`` turns the layer off entirely.
+
 Fault tolerance reuses the online degradation machinery: selectors
 running under a fault plan return ``degraded`` recommendations (lost
 probes, widened thresholds) which flow through unchanged, and when a
@@ -46,6 +55,7 @@ instead of failing its neighbours.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import deque
@@ -53,6 +63,7 @@ from collections.abc import Iterable
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
+from repro.core.caching import LRUCache
 from repro.core.vesta import Recommendation
 from repro.errors import (
     DeadlineExceededError,
@@ -77,6 +88,16 @@ _OBJECTIVES = ("time", "budget")
 _EWMA_ALPHA = 0.2
 
 
+def _rec_cache_enabled() -> bool:
+    """Escape hatch: ``REPRO_REC_CACHE=0`` disables the memo cache.
+
+    Read once per scheduler construction; with it off every request
+    flows through the batching worker exactly as before the cache
+    existed.
+    """
+    return os.environ.get("REPRO_REC_CACHE", "1") != "0"
+
+
 @dataclass(frozen=True)
 class SelectResponse:
     """One served selection: the recommendation plus serving provenance.
@@ -86,6 +107,9 @@ class SelectResponse:
     locate the coalesced wave; ``queued_ms``/``service_ms`` split the
     request's latency into waiting and serving time; ``shard`` is the
     scheduler shard that served it (0 for an unsharded scheduler).
+    ``cached`` marks answers served from the recommendation memo cache —
+    ``batch_id``/``batch_size`` then locate the wave that originally
+    computed the recommendation.
     """
 
     recommendation: Recommendation = field(repr=False)
@@ -97,6 +121,7 @@ class SelectResponse:
     queued_ms: float
     service_ms: float
     shard: int = 0
+    cached: bool = False
 
 
 @dataclass
@@ -138,6 +163,14 @@ class MicroBatchScheduler:
         owns it: :meth:`close` closes the backend too.
     shard:
         Shard index stamped on responses and stats (routers set this).
+    rec_cache_size:
+        Entries in the recommendation memo cache, keyed by
+        ``(knowledge fingerprint, catalog fingerprint, workload,
+        objective)``.  A repeat request whose knowledge version is
+        unchanged is answered at submit time without touching the
+        worker, byte-identical to the wave that computed it (selection
+        is deterministic per fingerprint).  ``0`` disables the cache;
+        ``REPRO_REC_CACHE=0`` disables it globally.
     start:
         Start the worker thread immediately (tests pass ``False`` to
         exercise admission control with a stalled worker).
@@ -153,6 +186,7 @@ class MicroBatchScheduler:
         queue_limit: int = 128,
         backend=None,
         shard: int = 0,
+        rec_cache_size: int = 512,
         start: bool = True,
     ) -> None:
         if max_batch < 1:
@@ -161,6 +195,10 @@ class MicroBatchScheduler:
             raise ValidationError(f"max_wait_ms must be >= 0, got {max_wait_ms}")
         if queue_limit < 1:
             raise ValidationError(f"queue_limit must be >= 1, got {queue_limit}")
+        if rec_cache_size < 0:
+            raise ValidationError(
+                f"rec_cache_size must be >= 0, got {rec_cache_size}"
+            )
         self.registry = registry
         self.selector_name = selector
         self.max_batch = max_batch
@@ -168,6 +206,11 @@ class MicroBatchScheduler:
         self.queue_limit = queue_limit
         self.backend = backend if backend is not None else InlineBackend()
         self.shard = shard
+        self._rec_cache = (
+            LRUCache(rec_cache_size)
+            if rec_cache_size > 0 and _rec_cache_enabled()
+            else None
+        )
         self._pending: deque[_Pending] = deque()
         self._cond = threading.Condition()
         self._stats_lock = threading.Lock()
@@ -254,6 +297,10 @@ class MicroBatchScheduler:
                 f"objective must be one of {_OBJECTIVES}, got {objective!r}"
             )
         spec = get_workload(workload) if isinstance(workload, str) else workload
+        if self._rec_cache is not None:
+            hit = self._serve_from_cache(spec, objective)
+            if hit is not None:
+                return hit
         now = time.monotonic()
         pending = _Pending(
             spec=spec,
@@ -303,6 +350,68 @@ class MicroBatchScheduler:
         if error is not None:
             raise error
         return pending.future
+
+    def _cache_key_for(self, handle, spec_name: str, objective: str) -> tuple:
+        """Memo-cache key of one request under one knowledge handle.
+
+        Both fingerprints are in the key, so invalidation on hot-reload
+        (or a catalog swap) happens by construction: the reloaded handle
+        simply never finds the old version's entries, and LRU ages them
+        out.  No entry is ever deleted for correctness reasons.
+        """
+        return (
+            handle.fingerprint,
+            handle.selector.catalog.fingerprint(),
+            spec_name,
+            objective,
+        )
+
+    def _serve_from_cache(self, spec: WorkloadSpec, objective: str) -> Future | None:
+        """Complete a submit from the memo cache; ``None`` on a miss.
+
+        The lookup resolves the *base* registry handle (``peek`` — shard
+        replica views must not be touched from submitting threads), so a
+        reload that already swapped the base handle misses here even if
+        this shard's replica has not caught up yet — the conservative
+        direction.
+        """
+        started = time.monotonic()
+        try:
+            lookup = getattr(self.registry, "peek", None) or self.registry.get
+            handle = lookup(self.selector_name)
+            key = self._cache_key_for(handle, spec.name, objective)
+        except (ReproError, AttributeError):
+            # Unknown selector (the wave will surface the error exactly
+            # as before) or a selector double without catalog identity:
+            # serve through the normal path.
+            return None
+        entry = self._rec_cache.get(key)
+        if entry is None:
+            return None
+        with self._cond:
+            if self._closed:
+                raise ServiceError("selection scheduler is shut down")
+        recommendation, batch_id, batch_size = entry
+        done = time.monotonic()
+        response = SelectResponse(
+            recommendation=recommendation,
+            selector=handle.name,
+            fingerprint=handle.fingerprint,
+            generation=handle.generation,
+            batch_id=batch_id,
+            batch_size=batch_size,
+            queued_ms=0.0,
+            service_ms=round((done - started) * 1e3, 3),
+            shard=self.shard,
+            cached=True,
+        )
+        with self._stats_lock:
+            self._submitted += 1
+            self._completed += 1
+            self._latency.record(done - started)
+        future: Future = Future()
+        future.set_result(response)
+        return future
 
     def _shed_doomed_locked(
         self, now: float, ewma: float
@@ -417,7 +526,27 @@ class MicroBatchScheduler:
                 else _EWMA_ALPHA * service_s
                 + (1.0 - _EWMA_ALPHA) * self._service_ewma_s
             )
+        key_prefix: tuple | None = None
+        if self._rec_cache is not None:
+            try:
+                # Keyed by the handle that actually served the wave (not
+                # the one current at submit time), so a reload landing
+                # mid-flight can never file a result under the wrong
+                # fingerprint.
+                key_prefix = (
+                    handle.fingerprint,
+                    handle.selector.catalog.fingerprint(),
+                )
+            except AttributeError:
+                key_prefix = None
         for req, outcome in zip(live, outcomes):
+            if key_prefix is not None and isinstance(outcome, Recommendation):
+                # Inserted even when this request's own deadline lapsed
+                # below: the computation is valid knowledge either way.
+                self._rec_cache.put(
+                    (*key_prefix, req.spec.name, req.objective),
+                    (outcome, batch_id, len(live)),
+                )
             if req.deadline is not None and done > req.deadline:
                 # The deadline lapsed *during* the wave: the slot is
                 # burned either way, but a stale answer must not be
@@ -497,4 +626,7 @@ class MicroBatchScheduler:
                     for size, count in sorted(self._batch_sizes.items())
                 },
                 "latency": self._latency.snapshot(),
+                "rec_cache": (
+                    None if self._rec_cache is None else self._rec_cache.stats()
+                ),
             }

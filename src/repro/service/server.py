@@ -44,7 +44,7 @@ from repro.errors import (
 from repro.service.registry import SelectorRegistry
 from repro.service.scheduler import MicroBatchScheduler, SelectResponse
 from repro.service.shards import ShardRouter
-from repro.service.wire import error_to_dict, response_to_dict
+from repro.service.wire import canonical_request, error_to_dict, response_to_dict
 
 __all__ = ["SelectionService", "ServiceHTTPServer", "serve"]
 
@@ -72,6 +72,7 @@ class SelectionService:
         shards: int = 1,
         pool: bool = False,
         bundle_root: str | None = None,
+        rec_cache_size: int = 512,
     ) -> None:
         if shards < 1:
             raise ValidationError(f"shards must be >= 1, got {shards}")
@@ -83,6 +84,7 @@ class SelectionService:
         self.shards = shards
         self.pool = pool
         self.bundle_root = bundle_root
+        self.rec_cache_size = rec_cache_size
         self._lock = threading.Lock()
         self._schedulers: dict[str, MicroBatchScheduler | ShardRouter] = {}
         self._closed = False
@@ -95,6 +97,7 @@ class SelectionService:
                 max_batch=self.max_batch,
                 max_wait_ms=self.max_wait_ms,
                 queue_limit=self.queue_limit,
+                rec_cache_size=self.rec_cache_size,
             )
         return ShardRouter(
             self.registry,
@@ -105,6 +108,7 @@ class SelectionService:
             max_wait_ms=self.max_wait_ms,
             queue_limit=self.queue_limit,
             bundle_root=self.bundle_root,
+            rec_cache_size=self.rec_cache_size,
         )
 
     def scheduler(self, name: str | None = None) -> MicroBatchScheduler | ShardRouter:
@@ -234,20 +238,23 @@ class _Handler(BaseHTTPRequestHandler):
             self._fail(404, ServiceError(f"unknown path {self.path!r}"))
 
     def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        # Always drain the body: replying without reading it desyncs the
+        # keep-alive stream (the leftover bytes parse as the next request).
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b""
         if self.path != "/select":
             self._fail(404, ServiceError(f"unknown path {self.path!r}"))
             return
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            request = json.loads(self.rfile.read(length) or b"{}")
-            if not isinstance(request, dict) or "workload" not in request:
-                raise ValidationError('body must be JSON with a "workload" field')
-            timeout_s = request.get("timeout_s")
+            request = json.loads(raw or b"{}")
+            # Canonicalize before serving: key order, omitted defaults
+            # and timeout spelling never produce distinct requests.
+            request = canonical_request(request)
             response = self.server.service.select(
                 request["workload"],
-                request.get("objective", "time"),
+                request["objective"],
                 selector=request.get("selector"),
-                timeout_s=None if timeout_s is None else float(timeout_s),
+                timeout_s=request.get("timeout_s"),
             )
         except json.JSONDecodeError as exc:
             self._fail(400, ValidationError(f"invalid JSON body: {exc}"))

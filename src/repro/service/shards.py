@@ -68,6 +68,16 @@ class _ShardRegistryView:
         self._bundles = bundles
         self._replicas: dict[str, SelectorHandle] = {}
 
+    def peek(self, name: str) -> SelectorHandle:
+        """The *base* handle, without touching this shard's replica.
+
+        Safe from any thread — the scheduler's memo-cache lookup runs on
+        submitting threads and must never trigger (or race) a replica
+        rebuild, which only the shard's worker thread may do via
+        :meth:`get`.
+        """
+        return self._base.get(name)
+
     def get(self, name: str) -> SelectorHandle:
         base = self._base.get(name)
         held = self._replicas.get(name)
@@ -112,6 +122,11 @@ class ShardRouter:
     bundle_root:
         Directory for the shared memmap bundles (a temp directory owned
         by the router when omitted).
+    rec_cache_size:
+        Per-shard recommendation memo-cache bound (see
+        :class:`MicroBatchScheduler`); identity routing keeps each
+        workload's entries on its own shard, so the caches never
+        duplicate entries across the fleet.
     """
 
     def __init__(
@@ -125,6 +140,7 @@ class ShardRouter:
         max_wait_ms: float = 2.0,
         queue_limit: int = 128,
         bundle_root: str | None = None,
+        rec_cache_size: int = 512,
         start: bool = True,
     ) -> None:
         if shards < 1:
@@ -156,6 +172,7 @@ class ShardRouter:
                     queue_limit=queue_limit,
                     backend=backend,
                     shard=index,
+                    rec_cache_size=rec_cache_size,
                     start=start,
                 )
             )
@@ -250,6 +267,7 @@ class ShardRouter:
             )
         }
         first = per_shard[0]
+        rec_rows = [row["rec_cache"] for row in per_shard if row["rec_cache"]]
         return {
             "selector": self.selector_name,
             "shards": len(self._shards),
@@ -261,6 +279,16 @@ class ShardRouter:
             "batch_size_histogram": dict(sorted(histogram.items())),
             "latency": DurationSummary.aggregate(
                 [shard.latency for shard in self._shards]
+            ),
+            # Fleet-wide memo-cache counters (summed over shards; the
+            # per-shard rows keep the per-cache view).
+            "rec_cache": (
+                {
+                    key: sum(row[key] for row in rec_rows)
+                    for key in ("size", "maxsize", "hits", "misses", "evictions")
+                }
+                if rec_rows
+                else None
             ),
             "per_shard": per_shard,
         }

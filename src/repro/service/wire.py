@@ -12,19 +12,73 @@ bit-level statement, not an approximate one.
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict
 
 from repro.cloud.catalog import ProviderCatalog
 from repro.core.vesta import Recommendation
-from repro.errors import DeadlineExceededError, ServiceOverloadedError
+from repro.errors import DeadlineExceededError, ServiceOverloadedError, ValidationError
 from repro.service.scheduler import SelectResponse
 
 __all__ = [
+    "canonical_request",
+    "request_key",
     "catalog_to_dict",
     "recommendation_to_dict",
     "response_to_dict",
     "error_to_dict",
 ]
+
+
+def canonical_request(body: dict) -> dict:
+    """Canonical form of one ``/select`` request body.
+
+    Two semantically identical requests — same workload, objective,
+    selector, whatever the JSON key order or omitted defaults — map to
+    the same dict: fields land in a fixed order, ``objective`` defaults
+    to ``"time"``, absent optionals stay absent, ``timeout_s`` is
+    normalized to a float, and unknown fields are dropped.  This is the
+    prerequisite for stable memo-cache identities; the function is
+    idempotent, so the server can canonicalize unconditionally.
+
+    Raises :class:`~repro.errors.ValidationError` on a missing/non-string
+    workload or a non-numeric timeout.
+    """
+    if not isinstance(body, dict):
+        raise ValidationError("request body must be a JSON object")
+    workload = body.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise ValidationError('body must be JSON with a "workload" field')
+    canonical: dict = {
+        "workload": workload,
+        "objective": body.get("objective", "time"),
+    }
+    selector = body.get("selector")
+    if selector is not None:
+        canonical["selector"] = selector
+    timeout_s = body.get("timeout_s")
+    if timeout_s is not None:
+        try:
+            canonical["timeout_s"] = float(timeout_s)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"timeout_s must be a number, got {timeout_s!r}"
+            ) from None
+    return canonical
+
+
+def request_key(body: dict) -> str:
+    """Stable string identity of a request for memo-cache keying.
+
+    Compact sorted-key JSON of the canonical form, minus ``timeout_s`` —
+    the deadline shapes *whether* an answer arrives in time, never which
+    answer is computed, so two requests differing only in timeout share
+    one identity.  (The scheduler keys its cache on the same fields plus
+    the knowledge/catalog fingerprints, which live outside the request.)
+    """
+    canonical = canonical_request(body)
+    canonical.pop("timeout_s", None)
+    return json.dumps(canonical, sort_keys=True, separators=(",", ":"))
 
 
 def catalog_to_dict(catalog: ProviderCatalog) -> dict:
@@ -77,6 +131,7 @@ def response_to_dict(response: SelectResponse) -> dict:
             "id": response.batch_id,
             "size": response.batch_size,
             "shard": response.shard,
+            "cached": response.cached,
         },
         "latency": {
             "queued_ms": response.queued_ms,

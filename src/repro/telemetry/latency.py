@@ -70,6 +70,16 @@ class DurationSummary:
             self._next = (self._next + 1) % self._buf.size
             self.count += 1
 
+    def reset(self) -> None:
+        """Drop every recorded sample, starting a fresh window.
+
+        The serving benches reset between the warm-up and the measured
+        round so p50/p99 summarize only the traffic being measured.
+        """
+        with self._lock:
+            self._next = 0
+            self.count = 0
+
     def _samples_locked(self) -> np.ndarray:
         return self._buf[: min(self.count, self._buf.size)]
 

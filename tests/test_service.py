@@ -165,10 +165,18 @@ class TestScheduler:
             assert response.fingerprint == registry.get("default").fingerprint
         assert stats["completed"] == len(requests)
         assert stats["rejected"] == 0
+        # Repeat requests are answered by the recommendation memo cache
+        # (bit-identity asserted above either way); everything else must
+        # have flowed through batched waves.
+        hits = stats["rec_cache"]["hits"]
         assert sum(
             size_count * int(size)
             for size, size_count in stats["batch_size_histogram"].items()
-        ) == len(requests)
+        ) == len(requests) - hits
+        if clients == 1:
+            # Sequential submission: the second pass over the request
+            # list repeats the first exactly, so every repeat must hit.
+            assert hits == len(requests) // 2
         if clients > 1:
             # Concurrent clients must actually coalesce sometimes.
             assert any(
