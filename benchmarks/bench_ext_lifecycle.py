@@ -1,0 +1,64 @@
+"""Extension bench: the gated knowledge lifecycle vs frozen knowledge.
+
+Pins the lifecycle's contract on the serve-stream progression
+(:mod:`repro.experiments.ext_lifecycle`): promoted knowledge must yield
+non-increasing mean selection regret versus the frozen baseline, and the
+gate must actually reject negative-transfer candidates rather than
+absorbing everything (the naive-absorption failure mode recorded by
+``bench_ext_continual.py``).
+
+Numbers land in ``BENCH_lifecycle.json`` at the repo root (same
+trajectory convention as ``BENCH_serve.json``) so future PRs can compare.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments import ext_lifecycle
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_lifecycle.json"
+
+
+def _record(**fields) -> None:
+    """Merge measurements into BENCH_lifecycle.json (the perf trajectory)."""
+    results = {}
+    if RESULTS_PATH.is_file():
+        try:
+            results = json.loads(RESULTS_PATH.read_text())
+        except json.JSONDecodeError:
+            results = {}
+    results.update(fields)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+def test_ext_lifecycle(once):
+    result = once(ext_lifecycle.run)
+    print()
+    print(ext_lifecycle.format_table(result))
+
+    frozen, naive, gated = result.frozen, result.naive, result.gated
+    _record(
+        lifecycle_targets=len(result.targets),
+        lifecycle_rounds=result.rounds,
+        lifecycle_frozen_mean_mape=round(frozen.mean_mape, 2),
+        lifecycle_naive_mean_mape=round(naive.mean_mape, 2),
+        lifecycle_gated_mean_mape=round(gated.mean_mape, 2),
+        lifecycle_frozen_mean_regret=round(frozen.mean_regret, 2),
+        lifecycle_naive_mean_regret=round(naive.mean_regret, 2),
+        lifecycle_gated_mean_regret=round(gated.mean_regret, 2),
+        lifecycle_promoted=list(gated.admitted),
+        lifecycle_gate_rejected=len(result.gate_rejected),
+    )
+
+    # The lifecycle's contract: grown knowledge never regresses the
+    # served stream relative to the frozen baseline.
+    assert gated.mean_regret <= frozen.mean_regret
+    assert gated.mean_mape <= frozen.mean_mape
+    # The gate must be doing real work: candidates rejected for measured
+    # negative transfer, none of them promoted.
+    assert result.gate_rejected
+    assert not set(result.gate_rejected) & set(gated.admitted)
+    # Promotions carry lineage through a changed knowledge fingerprint.
+    assert gated.admitted
+    assert gated.fingerprint != frozen.fingerprint
+    assert gated.knowledge_rows == frozen.knowledge_rows + len(gated.admitted)

@@ -27,6 +27,9 @@ python -m pytest -q benchmarks/bench_perf_online.py
 echo "== selection service (>= 2x sequential; 2-shard row not slower) =="
 python -m pytest -q benchmarks/bench_serve_throughput.py
 
+echo "== knowledge lifecycle (gated growth: regret <= frozen) =="
+python -m pytest -q benchmarks/bench_ext_lifecycle.py
+
 echo "== multi-cloud catalogs (EC2 vs Azure side by side) =="
 python examples/multi_cloud.py
 

@@ -11,6 +11,7 @@ Commands
 ``latency``       batch-latency/throughput report for a workload on VM types
 ``stages``        inspect or invalidate stage artifacts in an artifact store
 ``serve``         run the concurrent selection service (HTTP frontend)
+``learn``         run gated knowledge promotion over a journalled session log
 
 The CLI is a thin shell over the library — every command maps to public
 API calls documented in the README.  Library errors (bad names, invalid
@@ -42,6 +43,7 @@ EXPERIMENT_IDS = {
     "tab01": "tab01_correlations",
     "tab04": "tab04_vmtypes",
     "ext_crosscloud": "ext_crosscloud",
+    "ext_lifecycle": "ext_lifecycle",
 }
 
 
@@ -272,6 +274,77 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true", help="log every HTTP request"
     )
     p_srv.add_argument(
+        "--catalog", default=None, metavar="NAME",
+        help="provider catalog for a fresh fit (default: REPRO_CATALOG "
+             "environment, else ec2); archives carry their own catalog",
+    )
+    p_srv.add_argument(
+        "--learn", action="store_true",
+        help="journal served sessions and promote measured-transfer "
+             "candidates into the served knowledge in the background "
+             "(inline serving only; REPRO_LEARN=0 force-disables)",
+    )
+    p_srv.add_argument(
+        "--learn-store", default=None, metavar="PATH",
+        help="session-log sqlite path for --learn (default: in-memory; "
+             "a file path makes the journal survive restarts)",
+    )
+    p_srv.add_argument(
+        "--learn-interval", type=float, default=5.0, metavar="S",
+        help="seconds between background promotion cycles (default: 5)",
+    )
+
+    p_learn = sub.add_parser(
+        "learn",
+        help="run gated knowledge promotion over a journalled session log",
+    )
+    p_learn.add_argument(
+        "sessions", metavar="SESSION_DB",
+        help="MetricsStore sqlite path holding the journalled session log "
+             "(e.g. the --learn-store of a serve run)",
+    )
+    p_learn.add_argument(
+        "--archive", default=None, metavar="PATH",
+        help="load fitted knowledge from a persistence archive (.npz) "
+             "instead of fitting fresh",
+    )
+    p_learn.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="save the grown knowledge to a persistence archive (.npz)",
+    )
+    p_learn.add_argument(
+        "--min-observations", type=int, default=3,
+        help="observed VMs a session needs to be a promotion candidate "
+             "(default: 3)",
+    )
+    p_learn.add_argument(
+        "--min-holdouts", type=int, default=1,
+        help="distinct holdout sessions needed to score a candidate "
+             "(default: 1)",
+    )
+    p_learn.add_argument(
+        "--max-promotions", type=int, default=None, metavar="N",
+        help="stop after N promotions (default: promote until the gate "
+             "rejects everything)",
+    )
+    p_learn.add_argument(
+        "--cmf-mode", choices=("full", "foldin"), default=None,
+        help="completion mode for a fresh fit or archive override",
+    )
+    p_learn.add_argument("--seed", type=int, default=7, help="fresh-fit seed")
+    p_learn.add_argument(
+        "--jobs", type=int, default=None,
+        help="offline-campaign worker processes (default: CPU count)",
+    )
+    p_learn.add_argument(
+        "--cache", default=None,
+        help="persistent profile-cache sqlite path (default: none)",
+    )
+    p_learn.add_argument(
+        "--store", default=None,
+        help="stage-artifact store sqlite path (default: none)",
+    )
+    p_learn.add_argument(
         "--catalog", default=None, metavar="NAME",
         help="provider catalog for a fresh fit (default: REPRO_CATALOG "
              "environment, else ec2); archives carry their own catalog",
@@ -596,6 +669,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shards=args.shards,
         pool=args.pool,
         rec_cache_size=args.rec_cache,
+        learn=args.learn,
+        learn_store=args.learn_store,
+        learn_interval_s=args.learn_interval,
     )
     server = serve(
         service, args.host, args.port, verbose=args.verbose, background=True
@@ -607,6 +683,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"serving selector 'default' (fingerprint {handle.fingerprint}, "
           f"catalog={vesta.catalog.name}, cmf_mode={vesta.cmf_mode}, {tier}) "
           f"on http://{host}:{port}")
+    learning = service.stats()["learning"]
+    if learning["enabled"]:
+        print(f"   learning on: journal -> gate -> promote every "
+              f"{learning['interval_s']:g} s "
+              f"(store: {args.learn_store or 'in-memory'})")
+    elif args.learn:
+        print("   learning requested but disabled by REPRO_LEARN=0")
     print('   POST /select   {"workload": "spark-lr"}')
     print("   GET  /healthz  GET /statsz        (Ctrl-C to stop)")
     import time
@@ -617,7 +700,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         print("\nshutting down...")
     finally:
+        if learning["enabled"]:
+            final = service.stats()["learning"]
+            print(f"   lifecycle: {final['candidates_seen']} candidates seen, "
+                  f"{final['gated_out']} gated out, "
+                  f"{final['promoted']} promoted, "
+                  f"{final['reload_generations']} reload generations")
         server.close()
+    return 0
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.core.lifecycle import KnowledgeLifecycle
+    from repro.core.persistence import save_selector
+    from repro.telemetry.store import MetricsStore
+
+    if not os.path.exists(args.sessions):
+        print(f"no session log at {args.sessions}", file=sys.stderr)
+        return 2
+    with MetricsStore(args.sessions) as store:
+        records = store.sessions()
+    if not records:
+        print(f"session log {args.sessions} holds no sessions", file=sys.stderr)
+        return 2
+    print(f"{len(records)} journalled session(s) from {args.sessions}")
+    vesta = _build_selector(args)
+    before = vesta.knowledge_fingerprint()
+    lifecycle = KnowledgeLifecycle(
+        vesta,
+        min_observations=args.min_observations,
+        min_holdouts=args.min_holdouts,
+        max_promotions=args.max_promotions,
+    )
+    report = lifecycle.advance(records)
+    print(f"\npromotion cycle: {report.candidates} candidate(s), "
+          f"{len(report.promoted)} promoted, {report.gated_out} gated out, "
+          f"{report.deferred} deferred")
+    print(f"{'workload':20s} {'verdict':10s} {'baseline':>9s} {'candidate':>10s} "
+          f"{'reason'}")
+    for score in report.scores:
+        verdict = "promoted" if score.accepted else (
+            "deferred" if score.deferred else "gated"
+        )
+        base = f"{score.baseline_error:.4f}" if score.holdouts else "-"
+        cand = f"{score.candidate_error:.4f}" if score.holdouts else "-"
+        print(f"{score.workload:20s} {verdict:10s} {base:>9s} {cand:>10s} "
+              f"{score.reason}")
+    if report.promoted:
+        print(f"\nknowledge fingerprint: {before} -> "
+              f"{vesta.knowledge_fingerprint()} "
+              f"({vesta.U.shape[0]} source rows)")
+    else:
+        print(f"\nknowledge unchanged (fingerprint {before})")
+    if args.out:
+        path = save_selector(vesta, args.out)
+        print(f"saved grown knowledge to {path}")
     return 0
 
 
@@ -643,6 +782,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "latency": _cmd_latency,
         "stages": _cmd_stages,
         "serve": _cmd_serve,
+        "learn": _cmd_learn,
     }[args.command]
     try:
         return handler(args)

@@ -21,10 +21,17 @@ substrate, naive absorption *degrades* later predictions rather than
 improving them — the model-filled response rows carry their own
 prediction error, later targets match these same-framework rows strongly,
 and the errors compound ("knowledge pollution").  The bench records the
-effect; production use should absorb only heavily-observed sessions (the
-``min_observations`` guard) or keep absorption off.  This is an honest
-divergence from the paper's sketch of continual updating, documented in
-EXPERIMENTS.md.
+effect.  This is an honest divergence from the paper's sketch of
+continual updating, documented in EXPERIMENTS.md.
+
+The production answer is :mod:`repro.core.lifecycle`: instead of
+absorbing every structurally plausible session, the
+:class:`~repro.core.lifecycle.TransferGate` measures each candidate's
+held-out improvement over the current knowledge and promotes only
+non-negative transfer, with lineage stamped per promoted row
+(``repro serve --learn`` / ``repro learn``).  This class remains the
+paper-faithful naive baseline the gate is benchmarked against
+(``benchmarks/bench_ext_lifecycle.py``).
 """
 
 from __future__ import annotations

@@ -24,7 +24,15 @@ under their archived fingerprints, so a
 the archived stages instead of re-running the profiling campaign.
 Version 3 additionally records the provider catalog (name + content
 fingerprint); versions 1 and 2 load as the implicit ``ec2`` catalog.
-Version 1 archives (flat array names, pre-pipeline) remain loadable.
+Version 4 adds the knowledge lifecycle: promoted sources are stamped
+into the metadata (name + lineage — the knowledge fingerprint each was
+served under) with their label/perf rows archived under a
+``promotions.*`` namespace, while the stage arrays keep the unaugmented
+campaign-derived matrices; loading re-splices the promotions through
+the pipeline's own ``promotions`` stage.  Archives without promotions
+are byte-compatible with version 3 readers' expectations (same arrays,
+same stage fingerprints).  Version 1 archives (flat array names,
+pre-pipeline) remain loadable.
 
 Loading re-binds the stored workload/VM names against the current
 catalogs and rebuilds the knowledge graph and predictor; a mismatch (e.g.
@@ -49,7 +57,7 @@ from repro.core.artifacts import (
 )
 from repro.core.graph import KnowledgeGraph
 from repro.core.labels import LabelSpace
-from repro.core.pipeline import CACHED_STAGES, STAGES
+from repro.core.pipeline import CACHED_STAGES, STAGES, PromotedSource
 from repro.core.predictor import SimilarityPredictor
 from repro.core.vesta import VestaSelector
 from repro.errors import ValidationError
@@ -59,13 +67,14 @@ from repro.workloads.catalog import get_workload
 __all__ = [
     "save_selector",
     "load_selector",
+    "clone_knowledge",
     "export_memmap_bundle",
     "load_selector_memmap",
     "archive_knowledge_fingerprint",
     "FORMAT_VERSION",
 ]
 
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 
 _HYPERPARAMS_V1 = (
     "k",
@@ -85,15 +94,24 @@ _HYPERPARAMS = _HYPERPARAMS_V1 + ("label_width", "label_softness", "cmf_mode")
 
 
 def _stage_arrays(selector: VestaSelector) -> dict[str, dict[str, np.ndarray]]:
-    """The fitted selector's state, bundled per pipeline stage."""
+    """The fitted selector's state, bundled per pipeline stage.
+
+    A promoted selector's ``perf``/``U`` are the augmented matrices; the
+    archive stores the unaugmented campaign-derived stage arrays (their
+    stage fingerprints describe exactly those) and re-splices the
+    promotions through the pipeline's ``promotions`` stage on load.
+    """
+    promoted = bool(getattr(selector, "promotions", ()))
+    perf = selector.base_perf if promoted else selector.perf
+    U = selector.base_U if promoted else selector.U
     return {
-        "perf_matrix": {"perf": selector.perf},
+        "perf_matrix": {"perf": perf},
         "corr_signatures": {"correlations": selector.correlations},
         "feature_selection": {
             "kept_features": np.asarray(selector.kept_features, dtype=np.int64),
             "feature_importance": selector.feature_importance,
         },
-        "labels_u": {"U": selector.U},
+        "labels_u": {"U": U},
         "affinity_v": {
             "near_best": selector.near_best,
             "V": selector.V,
@@ -113,7 +131,7 @@ def _archive_meta(selector: VestaSelector) -> dict:
     """The JSON metadata blob shared by every knowledge serialization."""
     if not getattr(selector, "_fitted", False):
         raise ValidationError("cannot save an unfitted VestaSelector")
-    return {
+    meta = {
         "format_version": FORMAT_VERSION,
         "hyperparams": {name: getattr(selector, name) for name in _HYPERPARAMS},
         "repetitions": selector.collector.repetitions,
@@ -124,14 +142,28 @@ def _archive_meta(selector: VestaSelector) -> dict:
         "catalog": selector.catalog.name,
         "catalog_fingerprint": selector.catalog.fingerprint(),
     }
+    promotions = tuple(getattr(selector, "promotions", ()))
+    if promotions:
+        # Knowledge lineage: each promoted source remembers the knowledge
+        # fingerprint it was served under, so grown knowledge stays
+        # auditable back to the generation that produced it.
+        meta["promotions"] = [
+            {"name": p.name, "lineage": p.lineage} for p in promotions
+        ]
+    return meta
 
 
 def _flat_stage_arrays(selector: VestaSelector) -> dict[str, np.ndarray]:
-    return {
+    flat = {
         f"{stage}.{name}": array
         for stage, bundle in _stage_arrays(selector).items()
         for name, array in bundle.items()
     }
+    promotions = tuple(getattr(selector, "promotions", ()))
+    if promotions:
+        flat["promotions.labels"] = np.vstack([p.label_row for p in promotions])
+        flat["promotions.perf"] = np.vstack([p.perf_row for p in promotions])
+    return flat
 
 
 def save_selector(selector: VestaSelector, path: str | Path) -> Path:
@@ -316,7 +348,7 @@ def load_selector(
         with np.load(path) as data:
             meta = json.loads(bytes(data["meta"]).decode())
             version = meta.get("format_version")
-            if version not in (1, 2, FORMAT_VERSION):
+            if version not in (1, 2, 3, FORMAT_VERSION):
                 raise ValidationError(
                     f"unsupported archive version {version!r}; "
                     f"this build reads versions 1..{FORMAT_VERSION}"
@@ -362,7 +394,7 @@ def load_selector_memmap(
             f"cannot read memmap bundle {directory}: {exc}"
         ) from exc
     version = meta.get("format_version")
-    if version not in (2, FORMAT_VERSION):
+    if version not in (2, 3, FORMAT_VERSION):
         raise ValidationError(
             f"unsupported bundle version {version!r}; "
             f"memmap bundles are written at version {FORMAT_VERSION}"
@@ -425,9 +457,68 @@ def _restore_selector(
         **{name: hp[name] for name in names if name in hp},
     )
 
+    # Reconstruct the promotion list before the stage loop runs: the
+    # pipeline's ``promotions`` stage re-splices these rows into U and P
+    # during the restore, exactly as a live promote() would.
+    promo_meta = meta.get("promotions") or []
+    if promo_meta:
+        try:
+            labels = np.asarray(arrays["promotions.labels"], dtype=float)
+            perf = np.asarray(arrays["promotions.perf"], dtype=float)
+        except KeyError as exc:
+            raise ValidationError(
+                f"archive stamps promotions but is missing array {exc}"
+            ) from exc
+        if (
+            labels.ndim != 2
+            or perf.ndim != 2
+            or labels.shape[0] != len(promo_meta)
+            or perf.shape[0] != len(promo_meta)
+        ):
+            raise ValidationError(
+                f"promotion arrays labels{labels.shape} perf{perf.shape} "
+                f"inconsistent with {len(promo_meta)} stamped promotions"
+            )
+        selector.promotions = tuple(
+            PromotedSource(
+                name=entry["name"],
+                label_row=labels[i],
+                perf_row=perf[i],
+                lineage=entry.get("lineage", ""),
+            )
+            for i, entry in enumerate(promo_meta)
+        )
+
     if version == 1:
         _restore_v1(selector, meta, arrays)
     else:
         _restore_v2(selector, meta, arrays)
     selector._fitted = True
     return selector
+
+
+def clone_knowledge(
+    selector: VestaSelector,
+    *,
+    jobs: int | None = None,
+    cache: ProfileCache | str | None = None,
+    faults: FaultPlan | None = None,
+    store: ArtifactStore | str | None = None,
+) -> VestaSelector:
+    """Rebuild an independent fitted selector from a live one, in memory.
+
+    The archive round-trip (:func:`save_selector` → :func:`load_selector`)
+    without touching disk: the clone shares no mutable state with the
+    original, so a background promoter can grow and refit the clone while
+    the original keeps serving — ``deepcopy`` of a live served selector
+    would race with its online sessions.  Stage fingerprints (and thus the
+    knowledge fingerprint) match the original's exactly.
+    """
+    meta = json.loads(json.dumps(_archive_meta(selector)))
+    arrays = {
+        name: np.array(array, copy=True)
+        for name, array in _flat_stage_arrays(selector).items()
+    }
+    return _restore_selector(
+        meta, arrays, jobs=jobs, cache=cache, faults=faults, store=store
+    )

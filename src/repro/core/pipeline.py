@@ -59,10 +59,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "KnowledgePipeline",
+    "PromotedSource",
     "StageResult",
     "STAGES",
     "CACHED_STAGES",
     "NEAR_BEST_TAU",
+    "promotions_token",
     "shared_perf_rows",
     "specs_token",
     "vms_token",
@@ -75,12 +77,17 @@ NEAR_BEST_TAU = 0.3
 #: (which would now be wrong) stop being addressable.
 PIPELINE_VERSION = 1
 
-#: Execution order of the stage graph.
+#: Execution order of the stage graph.  ``promotions`` sits between the
+#: campaign-derived matrices and everything knowledge-bearing: it splices
+#: lifecycle-promoted sources into U and P, so affinity/factors/knowledge
+#: downstream see the grown knowledge while the campaign stages above are
+#: untouched (zero extra campaign cells per promotion).
 STAGES: tuple[str, ...] = (
     "perf_matrix",
     "corr_signatures",
     "feature_selection",
     "labels_u",
+    "promotions",
     "affinity_v",
     "source_factors",
     "knowledge",
@@ -88,8 +95,45 @@ STAGES: tuple[str, ...] = (
 
 #: Stages whose arrays are persisted.  ``knowledge`` builds in-memory
 #: objects (graph, predictor) derived deterministically from the cached
-#: stages, so persisting it would only duplicate bytes.
-CACHED_STAGES: frozenset[str] = frozenset(STAGES[:-1])
+#: stages, so persisting it would only duplicate bytes; ``promotions``
+#: derives from the selector's promotion list, which persistence stamps
+#: into archive metadata instead.
+CACHED_STAGES: frozenset[str] = frozenset(STAGES) - {"promotions", "knowledge"}
+
+
+@dataclass(frozen=True)
+class PromotedSource:
+    """One served target promoted into the source knowledge.
+
+    ``label_row`` is the target's CMF-completed workload-label row and
+    ``perf_row`` its predicted-plus-observed per-VM runtime response —
+    the two rows the promotion splices into U and P.  ``lineage`` names
+    the knowledge fingerprint the session was served under, preserving
+    which knowledge generation produced the row (the archive stamps it,
+    so grown knowledge is auditable back to its origin).
+    """
+
+    name: str
+    label_row: np.ndarray
+    perf_row: np.ndarray
+    lineage: str
+
+    def __post_init__(self) -> None:
+        for attr in ("label_row", "perf_row"):
+            row = np.ascontiguousarray(getattr(self, attr), dtype=float)
+            row.setflags(write=False)
+            object.__setattr__(self, attr, row)
+
+
+def promotions_token(promotions: tuple[PromotedSource, ...]) -> str:
+    """Content digest of an ordered promotion tuple."""
+    digest = hashlib.sha256()
+    for promo in promotions:
+        digest.update(promo.name.encode())
+        digest.update(promo.lineage.encode())
+        digest.update(promo.label_row.tobytes())
+        digest.update(promo.perf_row.tobytes())
+    return digest.hexdigest()
 
 
 def specs_token(specs) -> str:
@@ -245,6 +289,22 @@ class KnowledgePipeline:
             label_width=sel.label_width,
             label_softness=sel.label_softness,
         )
+        # Promotions follow the catalog idiom: the stage only gets a
+        # fingerprint — and only stamps the downstream stages — when the
+        # selector actually carries promoted sources, so an unpromoted
+        # selector keeps every pre-lifecycle artifact address and the
+        # learning-off serving path stays byte-identical.
+        promo_extra: dict[str, str] = {}
+        promotions = getattr(sel, "promotions", ())
+        if promotions:
+            fp["promotions"] = content_fingerprint(
+                pipeline_version=PIPELINE_VERSION,
+                stage="promotions",
+                perf=fp["perf_matrix"],
+                labels=fp["labels_u"],
+                promotions=promotions_token(promotions),
+            )
+            promo_extra = {"promotions": fp["promotions"]}
         fp["affinity_v"] = content_fingerprint(
             pipeline_version=PIPELINE_VERSION,
             stage="affinity_v",
@@ -252,6 +312,7 @@ class KnowledgePipeline:
             labels=fp["labels_u"],
             k=sel.k,
             seed=sel.seed,
+            **promo_extra,
         )
         fp["source_factors"] = content_fingerprint(
             pipeline_version=PIPELINE_VERSION,
@@ -261,6 +322,7 @@ class KnowledgePipeline:
             lam=sel.lam,
             latent_dim=sel.latent_dim,
             seed=sel.seed,
+            **promo_extra,
         )
         fp["knowledge"] = content_fingerprint(
             pipeline_version=PIPELINE_VERSION,
@@ -270,6 +332,7 @@ class KnowledgePipeline:
             affinity=fp["affinity_v"],
             top_m=sel.top_m,
             temperature=sel.temperature,
+            **promo_extra,
         )
         return fp
 
@@ -369,6 +432,50 @@ class KnowledgePipeline:
             kept_names, width=sel.label_width, softness=sel.label_softness
         )
 
+    def _apply_promotions(self, arrays: dict[str, np.ndarray]) -> None:
+        """Splice promoted sources into U and P for the downstream stages.
+
+        The campaign-derived matrices are stashed as ``base_U`` /
+        ``base_perf`` first, so persistence can archive the unaugmented
+        stage arrays and reconstruct the augmentation from the promotion
+        list on load.  ``knowledge_names`` carries the augmented row
+        ordering for the knowledge graph and predictor.
+        """
+        sel = self.sel
+        source_names = tuple(spec.name for spec in sel.sources)
+        sel.base_U = sel.U
+        sel.base_perf = sel.perf
+        promotions = tuple(getattr(sel, "promotions", ()))
+        if not promotions:
+            sel.knowledge_names = source_names
+            return
+        n_labels = sel.U.shape[1]
+        n_vms = len(sel.vms)
+        names = list(source_names)
+        for promo in promotions:
+            if promo.label_row.shape != (n_labels,):
+                raise ValidationError(
+                    f"promotion {promo.name!r} label row shape "
+                    f"{promo.label_row.shape} inconsistent with {n_labels} labels"
+                )
+            if promo.perf_row.shape != (n_vms,):
+                raise ValidationError(
+                    f"promotion {promo.name!r} perf row shape "
+                    f"{promo.perf_row.shape} inconsistent with {n_vms} VM types"
+                )
+            if not np.isfinite(promo.perf_row).all() or (promo.perf_row <= 0).any():
+                raise ValidationError(
+                    f"promotion {promo.name!r} perf row must be positive and finite"
+                )
+            if promo.name in names:
+                raise ValidationError(
+                    f"promotion name {promo.name!r} collides with existing source"
+                )
+            names.append(promo.name)
+        sel.U = np.vstack([sel.base_U] + [p.label_row for p in promotions])
+        sel.perf = np.vstack([sel.base_perf] + [p.perf_row for p in promotions])
+        sel.knowledge_names = tuple(names)
+
     def _compute_affinity_v(self) -> dict[str, np.ndarray]:
         sel = self.sel
         # Per-(VM, workload) near-best scores from P, aggregated through U
@@ -438,14 +545,15 @@ class KnowledgePipeline:
         L = np.asarray(arrays["L"], dtype=float)
         g = sel.latent_dim
         j = sel.U.shape[1]
+        n_rows = sel.U.shape[0]  # sources plus any promoted rows
         if (
-            A.shape != (len(sel.sources), g)
+            A.shape != (n_rows, g)
             or B.shape != (len(sel.vms), g)
             or L.shape != (j, g)
         ):
             raise ValidationError(
                 f"source-factor shapes A{A.shape} B{B.shape} L{L.shape} "
-                f"inconsistent with {len(sel.sources)} sources x "
+                f"inconsistent with {n_rows} sources x "
                 f"{len(sel.vms)} VM types x {j} labels x latent dim {g}"
             )
         converged = bool(np.asarray(arrays["converged"]).ravel()[0])
@@ -453,9 +561,12 @@ class KnowledgePipeline:
 
     def _apply_knowledge(self, arrays: dict[str, np.ndarray]) -> None:
         sel = self.sel
+        names = getattr(sel, "knowledge_names", None) or tuple(
+            spec.name for spec in sel.sources
+        )
         graph = KnowledgeGraph(sel.label_space, tuple(vm.name for vm in sel.vms))
-        for spec, row in zip(sel.sources, sel.U):
-            graph.add_source_workload(spec.name, row)
+        for name, row in zip(names, sel.U):
+            graph.add_source_workload(name, row)
         graph.set_label_vm_matrix(sel.V)
         sel.graph = graph
         sel.predictor = SimilarityPredictor(
@@ -542,7 +653,9 @@ class KnowledgePipeline:
         campaign_fp = self.sel.campaign.config_fingerprint()
         report: dict[str, StageResult] = {}
         for name in STAGES:
-            fp = fps[name]
+            # Uncached stages may carry no fingerprint (promotions is
+            # only stamped when the selector holds promoted sources).
+            fp = fps.get(name, "")
             action: str | None = None
             if name in CACHED_STAGES:
                 held = self._memory.get(name)

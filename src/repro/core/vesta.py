@@ -538,6 +538,9 @@ class VestaSelector:
         # list prices and the 60 s constant (bitwise).
         self._prices = self.catalog.pricing.rates_array(self.vms)
         self._billing_increments = self.catalog.pricing.increments_array(self.vms)
+        #: Lifecycle-promoted sources (see :meth:`promote`); empty until
+        #: the knowledge lifecycle grows this selector's knowledge.
+        self.promotions: tuple = ()
         self._fitted = False
 
     @staticmethod
@@ -760,6 +763,31 @@ class VestaSelector:
             setattr(self, name, value)
         self.stage_report = self.pipeline.run()
         self._fitted = True
+        return self
+
+    def promote(self, promotions) -> "VestaSelector":
+        """Splice gated promotions into the source knowledge and refit.
+
+        Appends :class:`~repro.core.pipeline.PromotedSource` rows to
+        :attr:`promotions` and re-executes the stage graph.  Everything
+        campaign-derived (P, correlations, feature selection, U) is a
+        cache hit; only the promotions splice and the affinity → factors
+        → knowledge chain recompute, so growing the knowledge costs zero
+        extra campaign cells.  On pipeline failure the promotion list is
+        rolled back, leaving the selector's previous knowledge intact.
+        """
+        if not self._fitted:
+            raise ValidationError("promote needs a fitted selector; call fit() first")
+        new = tuple(promotions)
+        if not new:
+            return self
+        previous = self.promotions
+        self.promotions = previous + new
+        try:
+            self.stage_report = self.pipeline.run()
+        except Exception:
+            self.promotions = previous
+            raise
         return self
 
     def knowledge_fingerprint(self) -> str:

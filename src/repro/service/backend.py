@@ -45,7 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["BundleCache", "InlineBackend", "ProcessPoolBackend"]
 
 
-def _recommend_all(selector, requests) -> list:
+def _recommend_all(selector, requests, on_session=None) -> list:
     """Serve ``[(spec, objective), ...]``; one outcome per request.
 
     One batched online wave — :meth:`VestaSelector.online_many`, proven
@@ -55,6 +55,11 @@ def _recommend_all(selector, requests) -> list:
     sessions — deterministic, because profiling is memoized per cell and
     sessions are independent — and only the requests whose own runs fail
     get the error.
+
+    ``on_session(session, objective)`` is invoked for every session that
+    produced a recommendation — the knowledge lifecycle's journal hook.
+    It observes; it never alters outcomes (even its exceptions are the
+    journal's problem, not the caller's response).
     """
     try:
         sessions = list(selector.online_many([spec for spec, _ in requests]))
@@ -74,6 +79,9 @@ def _recommend_all(selector, requests) -> list:
                 outcomes.append(session.recommend(objective))
             except ReproError as exc:
                 outcomes.append(exc)
+            else:
+                if on_session is not None:
+                    on_session(session, objective)
     return outcomes
 
 
@@ -116,12 +124,27 @@ class BundleCache:
 
 
 class InlineBackend:
-    """Serve waves on the calling thread against the live handle."""
+    """Serve waves on the calling thread against the live handle.
+
+    ``journal`` (optional) is called as ``journal(handle, session,
+    objective)`` for every served session — the knowledge lifecycle's
+    entry point.  Only the inline backend can journal: pool-backend
+    sessions live in the worker process and never cross back.
+    """
 
     name = "inline"
 
+    def __init__(self, journal=None) -> None:
+        self._journal = journal
+
     def run(self, handle: "SelectorHandle", requests) -> list:
-        return _recommend_all(handle.selector, requests)
+        on_session = None
+        if self._journal is not None:
+            journal = self._journal
+            on_session = lambda session, objective: journal(  # noqa: E731
+                handle, session, objective
+            )
+        return _recommend_all(handle.selector, requests, on_session)
 
     def close(self) -> None:  # noqa: D102 — nothing to release
         pass

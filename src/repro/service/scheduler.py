@@ -171,6 +171,11 @@ class MicroBatchScheduler:
         worker, byte-identical to the wave that computed it (selection
         is deterministic per fingerprint).  ``0`` disables the cache;
         ``REPRO_REC_CACHE=0`` disables it globally.
+    journal:
+        Session-journal callable ``journal(handle, session, objective)``
+        wired into the default inline backend — the knowledge
+        lifecycle's observation hook.  Ignored when ``backend`` is
+        passed explicitly.
     start:
         Start the worker thread immediately (tests pass ``False`` to
         exercise admission control with a stalled worker).
@@ -187,6 +192,7 @@ class MicroBatchScheduler:
         backend=None,
         shard: int = 0,
         rec_cache_size: int = 512,
+        journal=None,
         start: bool = True,
     ) -> None:
         if max_batch < 1:
@@ -204,7 +210,12 @@ class MicroBatchScheduler:
         self.max_batch = max_batch
         self.max_wait_s = max_wait_ms / 1e3
         self.queue_limit = queue_limit
-        self.backend = backend if backend is not None else InlineBackend()
+        # ``journal`` only applies to the default inline backend: pool
+        # workers keep their sessions process-local (SelectionService
+        # rejects learn+pool up front for exactly this reason).
+        self.backend = (
+            backend if backend is not None else InlineBackend(journal=journal)
+        )
         self.shard = shard
         self._rec_cache = (
             LRUCache(rec_cache_size)

@@ -41,10 +41,17 @@ from repro.errors import (
     ServiceOverloadedError,
     ValidationError,
 )
+from repro.service.learning import (
+    DEFAULT_JOURNAL_LIMIT,
+    LearningLoop,
+    SessionJournal,
+    learning_enabled,
+)
 from repro.service.registry import SelectorRegistry
 from repro.service.scheduler import MicroBatchScheduler, SelectResponse
 from repro.service.shards import ShardRouter
 from repro.service.wire import canonical_request, error_to_dict, response_to_dict
+from repro.telemetry.store import MetricsStore
 
 __all__ = ["SelectionService", "ServiceHTTPServer", "serve"]
 
@@ -73,9 +80,23 @@ class SelectionService:
         pool: bool = False,
         bundle_root: str | None = None,
         rec_cache_size: int = 512,
+        learn: bool = False,
+        learn_store: MetricsStore | str | None = None,
+        learn_interval_s: float = 5.0,
+        learn_journal_limit: int | None = DEFAULT_JOURNAL_LIMIT,
+        learn_min_observations: int = 3,
+        learn_min_holdouts: int = 1,
     ) -> None:
         if shards < 1:
             raise ValidationError(f"shards must be >= 1, got {shards}")
+        if learn and pool:
+            # Pool-backend sessions live (and die) in the worker
+            # process; nothing journallable ever crosses back, so
+            # learn+pool would silently learn nothing.  Refuse loudly.
+            raise ValidationError(
+                "learning requires inline serving: --pool sessions cannot "
+                "be journalled"
+            )
         self.registry = registry
         self.default_selector = default_selector
         self.max_batch = max_batch
@@ -88,6 +109,28 @@ class SelectionService:
         self._lock = threading.Lock()
         self._schedulers: dict[str, MicroBatchScheduler | ShardRouter] = {}
         self._closed = False
+        # ``REPRO_LEARN=0`` vetoes --learn: with learning off (either
+        # way) no journal hook exists and serving is byte-identical to a
+        # learning-free build.
+        self.learn = bool(learn) and learning_enabled()
+        self._journal: SessionJournal | None = None
+        self._learning: LearningLoop | None = None
+        self._owned_store: MetricsStore | None = None
+        if self.learn:
+            if learn_store is None or isinstance(learn_store, str):
+                store = MetricsStore(learn_store or ":memory:")
+                self._owned_store = store
+            else:
+                store = learn_store
+            self._journal = SessionJournal(store, limit=learn_journal_limit)
+            self._learning = LearningLoop(
+                registry,
+                self._journal,
+                selector=default_selector,
+                interval_s=learn_interval_s,
+                min_observations=learn_min_observations,
+                min_holdouts=learn_min_holdouts,
+            )
 
     def _build(self, name: str) -> MicroBatchScheduler | ShardRouter:
         if self.shards == 1 and not self.pool:
@@ -98,6 +141,7 @@ class SelectionService:
                 max_wait_ms=self.max_wait_ms,
                 queue_limit=self.queue_limit,
                 rec_cache_size=self.rec_cache_size,
+                journal=self._journal,
             )
         return ShardRouter(
             self.registry,
@@ -109,6 +153,7 @@ class SelectionService:
             queue_limit=self.queue_limit,
             bundle_root=self.bundle_root,
             rec_cache_size=self.rec_cache_size,
+            journal=self._journal,
         )
 
     def scheduler(self, name: str | None = None) -> MicroBatchScheduler | ShardRouter:
@@ -158,6 +203,14 @@ class SelectionService:
                 for name, info in described.items()
             },
             "schedulers": {name: s.stats() for name, s in schedulers.items()},
+            # Fleet-wide lifecycle counters: one journal and one
+            # promoter serve every shard, so no per-shard summing is
+            # needed here — the counters are already fleet totals.
+            "learning": (
+                self._learning.stats()
+                if self._learning is not None
+                else {"enabled": False}
+            ),
         }
 
     def close(self) -> None:
@@ -167,6 +220,10 @@ class SelectionService:
             self._schedulers.clear()
         for sched in schedulers:
             sched.close()
+        if self._learning is not None:
+            self._learning.close()
+        if self._owned_store is not None:
+            self._owned_store.close()
 
     def __enter__(self) -> "SelectionService":
         return self

@@ -141,6 +141,7 @@ class ShardRouter:
         queue_limit: int = 128,
         bundle_root: str | None = None,
         rec_cache_size: int = 512,
+        journal=None,
         start: bool = True,
     ) -> None:
         if shards < 1:
@@ -155,7 +156,10 @@ class ShardRouter:
                 backend = ProcessPoolBackend(self._bundles)
                 shard_registry = registry
             else:
-                backend = InlineBackend()
+                # One shared journal across shards: each shard serves its
+                # own replica, but sessions from every shard land in the
+                # same lifecycle journal (fingerprint-stamped per wave).
+                backend = InlineBackend(journal=journal)
                 # A single inline shard is the unsharded scheduler: let
                 # it serve the live handle directly, no replica needed.
                 shard_registry = (

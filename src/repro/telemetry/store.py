@@ -17,10 +17,12 @@ write without corrupting each other.
 
 from __future__ import annotations
 
+import json
 import sqlite3
 import threading
 from collections.abc import Iterator
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,7 +30,32 @@ from repro.errors import ValidationError
 from repro.telemetry.collector import WorkloadProfile
 from repro.telemetry.metrics import NUM_METRICS
 
-__all__ = ["MetricsStore"]
+__all__ = ["MetricsStore", "SessionRecord"]
+
+
+@dataclass(frozen=True)
+class SessionRecord:
+    """One completed online session, as journalled by the serving tier.
+
+    Everything the knowledge lifecycle needs to re-evaluate the session
+    offline: which workload was served under which knowledge
+    ``fingerprint``, the VMs actually probed with their measured
+    runtimes, the CMF-completed label row, and the full predicted
+    response surface.  ``seq`` is assigned by the store on insert
+    (monotone, so retention can evict oldest-first deterministically).
+    """
+
+    workload: str
+    objective: str
+    fingerprint: str
+    converged: bool
+    degraded: bool
+    knowledge_match: float
+    vm_names: tuple[str, ...]
+    observed: np.ndarray
+    completed_row: np.ndarray
+    predicted: np.ndarray
+    seq: int | None = field(default=None, compare=False)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS profiles (
@@ -65,6 +92,20 @@ CREATE TABLE IF NOT EXISTS scalar_cache (
     value       REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_scalar_cache_fp ON scalar_cache (fingerprint);
+CREATE TABLE IF NOT EXISTS session_log (
+    seq             INTEGER PRIMARY KEY AUTOINCREMENT,
+    workload        TEXT NOT NULL,
+    objective       TEXT NOT NULL,
+    fingerprint     TEXT NOT NULL,
+    converged       INTEGER NOT NULL,
+    degraded        INTEGER NOT NULL,
+    knowledge_match REAL NOT NULL,
+    vm_names        TEXT NOT NULL,
+    observed        BLOB NOT NULL,
+    completed_row   BLOB NOT NULL,
+    predicted       BLOB NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_session_log_workload ON session_log (workload);
 """
 
 
@@ -256,6 +297,106 @@ class MetricsStore:
                 "SELECT COUNT(*) FROM scalar_cache"
             ).fetchone()[0]
         return int(profiles), int(scalars)
+
+    # -- session journal ----------------------------------------------------------
+    #
+    # The serving tier appends every completed online session here; the
+    # knowledge lifecycle replays them offline as promotion candidates.
+    # Retention is bounded: passing ``limit`` to log_session (or calling
+    # prune_sessions) evicts the lowest ``seq`` rows first, so eviction
+    # order is deterministic regardless of thread interleaving.
+
+    def log_session(self, record: SessionRecord, *, limit: int | None = None) -> int:
+        """Append one session; returns its assigned ``seq``.
+
+        With ``limit`` set, the oldest rows beyond the newest ``limit``
+        are evicted in the same transaction, keeping the table bounded
+        for long-running ``repro serve --learn`` processes.
+        """
+        if limit is not None and limit < 1:
+            raise ValidationError(f"session-log limit must be >= 1, got {limit}")
+        observed = np.ascontiguousarray(record.observed, dtype=np.float64)
+        completed = np.ascontiguousarray(record.completed_row, dtype=np.float64)
+        predicted = np.ascontiguousarray(record.predicted, dtype=np.float64)
+        if observed.ndim != 1 or observed.shape[0] != len(record.vm_names):
+            raise ValidationError(
+                f"observed runtimes must match vm_names: {observed.shape[0]} "
+                f"vs {len(record.vm_names)}"
+            )
+        with self._lock:
+            cur = self._conn.execute(
+                "INSERT INTO session_log (workload, objective, fingerprint,"
+                " converged, degraded, knowledge_match, vm_names, observed,"
+                " completed_row, predicted) VALUES (?,?,?,?,?,?,?,?,?,?)",
+                (
+                    record.workload,
+                    record.objective,
+                    record.fingerprint,
+                    int(record.converged),
+                    int(record.degraded),
+                    float(record.knowledge_match),
+                    json.dumps(list(record.vm_names)),
+                    observed.tobytes(),
+                    completed.tobytes(),
+                    predicted.tobytes(),
+                ),
+            )
+            seq = int(cur.lastrowid)
+            if limit is not None:
+                self._conn.execute(
+                    "DELETE FROM session_log WHERE seq NOT IN"
+                    " (SELECT seq FROM session_log ORDER BY seq DESC LIMIT ?)",
+                    (limit,),
+                )
+            self._conn.commit()
+        return seq
+
+    def sessions(self, workload: str | None = None) -> list[SessionRecord]:
+        """Journalled sessions in insertion order, optionally one workload's."""
+        query = "SELECT * FROM session_log"
+        params: tuple = ()
+        if workload is not None:
+            query += " WHERE workload=?"
+            params = (workload,)
+        with self._lock:
+            rows = self._conn.execute(query + " ORDER BY seq", params).fetchall()
+        return [self._row_to_session(r) for r in rows]
+
+    def session_count(self) -> int:
+        with self._lock:
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM session_log").fetchone()[0]
+            )
+
+    def prune_sessions(self, keep: int) -> int:
+        """Evict the oldest sessions beyond the newest ``keep``; returns removed."""
+        if keep < 0:
+            raise ValidationError(f"keep must be >= 0, got {keep}")
+        with self._lock:
+            cur = self._conn.execute(
+                "DELETE FROM session_log WHERE seq NOT IN"
+                " (SELECT seq FROM session_log ORDER BY seq DESC LIMIT ?)",
+                (keep,),
+            )
+            self._conn.commit()
+        return int(cur.rowcount)
+
+    @staticmethod
+    def _row_to_session(row: tuple) -> SessionRecord:
+        (seq, workload, objective, fp, conv, degr, match, names, obs_b, row_b, pred_b) = row
+        return SessionRecord(
+            workload=workload,
+            objective=objective,
+            fingerprint=fp,
+            converged=bool(conv),
+            degraded=bool(degr),
+            knowledge_match=float(match),
+            vm_names=tuple(json.loads(names)),
+            observed=np.frombuffer(obs_b, dtype=np.float64),
+            completed_row=np.frombuffer(row_b, dtype=np.float64),
+            predicted=np.frombuffer(pred_b, dtype=np.float64),
+            seq=int(seq),
+        )
 
     # -- helpers -----------------------------------------------------------------
 

@@ -1,13 +1,15 @@
-"""Tests for the extension features: continual updating, cluster sizing,
-latency metrics, and the CLI."""
+"""Tests for the extension features: cluster sizing, latency metrics,
+and the CLI.
+
+Continual updating and the gated knowledge lifecycle have their own
+module now: ``tests/test_continual.py``.
+"""
 
 import numpy as np
 import pytest
 
 from repro.cli import EXPERIMENT_IDS, main
 from repro.core.cluster_sizing import ClusterChoice, ClusterSizer
-from repro.core.continual import ContinualVesta
-from repro.core.vesta import VestaSelector
 from repro.errors import ValidationError
 from repro.frameworks.registry import simulate_run
 from repro.telemetry.latency import (
@@ -17,70 +19,6 @@ from repro.telemetry.latency import (
     throughput_gb_per_s,
 )
 from repro.workloads.catalog import get_workload
-
-
-class TestContinual:
-    def test_requires_fitted_selector(self):
-        with pytest.raises(ValidationError):
-            ContinualVesta(VestaSelector())
-
-    def test_absorb_grows_knowledge(self, fitted_vesta):
-        import copy
-
-        selector = copy.deepcopy(fitted_vesta)
-        cont = ContinualVesta(selector, min_observations=3)
-        before = cont.knowledge_size
-        session = selector.online(get_workload("spark-lr"))
-        assert cont.absorb(session)
-        assert cont.knowledge_size == before + 1
-        assert "spark-lr" in cont.absorbed
-        assert selector.perf.shape[0] == before + 1
-        assert selector.U.shape[0] == before + 1
-        assert "spark-lr" in selector.graph.workload_names(target=False)
-
-    def test_absorb_is_idempotent_per_workload(self, fitted_vesta):
-        import copy
-
-        selector = copy.deepcopy(fitted_vesta)
-        cont = ContinualVesta(selector, min_observations=3)
-        s1 = selector.online(get_workload("spark-grep"))
-        assert cont.absorb(s1)
-        s2 = selector.online(get_workload("spark-grep"))
-        assert not cont.absorb(s2)
-
-    def test_source_workloads_not_reabsorbed(self, fitted_vesta):
-        import copy
-
-        selector = copy.deepcopy(fitted_vesta)
-        cont = ContinualVesta(selector)
-        session = selector.online(get_workload("hadoop-terasort"))
-        assert not cont.absorb(session)
-
-    def test_under_observed_session_rejected(self, fitted_vesta):
-        import copy
-
-        selector = copy.deepcopy(fitted_vesta)
-        cont = ContinualVesta(selector, min_observations=10)
-        session = selector.online(get_workload("spark-count"))  # 4 obs
-        assert not cont.absorb(session)
-
-    def test_onboard_returns_recommendation(self, fitted_vesta):
-        import copy
-
-        selector = copy.deepcopy(fitted_vesta)
-        cont = ContinualVesta(selector, min_observations=3)
-        rec = cont.onboard(get_workload("spark-bayes"))
-        assert rec.vm_name
-        assert "spark-bayes" in cont.absorbed
-
-    def test_selection_still_works_after_absorption(self, fitted_vesta):
-        import copy
-
-        selector = copy.deepcopy(fitted_vesta)
-        cont = ContinualVesta(selector, min_observations=3)
-        cont.onboard(get_workload("spark-lr"))
-        rec = selector.select(get_workload("spark-kmeans"))
-        assert rec.predicted_runtime_s > 0
 
 
 class TestClusterSizer:

@@ -19,7 +19,23 @@ import pytest
 
 from repro.core.artifacts import ArtifactStore
 from repro.telemetry.collector import WorkloadProfile
-from repro.telemetry.store import MetricsStore
+from repro.telemetry.store import MetricsStore, SessionRecord
+
+
+def _session(workload: str, *, vms: int = 4, seed: int = 0) -> SessionRecord:
+    rng = np.random.default_rng(seed)
+    return SessionRecord(
+        workload=workload,
+        objective="time",
+        fingerprint="fp-test",
+        converged=True,
+        degraded=False,
+        knowledge_match=0.9,
+        vm_names=tuple(f"vm-{i}" for i in range(vms)),
+        observed=rng.uniform(10.0, 100.0, size=vms),
+        completed_row=rng.uniform(size=6),
+        predicted=rng.uniform(10.0, 100.0, size=10),
+    )
 
 
 def _profile(workload: str, vm_name: str, nodes: int = 2, seed: int = 0):
@@ -126,6 +142,81 @@ class TestMetricsStoreConcurrency:
         profiles, scalars = store.cache_counts()
         assert profiles == 6 * 15 and scalars == 6 * 15
         assert store.prune_cache("fp-1") == 0
+        store.close()
+
+
+class TestSessionLogRetention:
+    """Bounded session journal: deterministic oldest-first eviction even
+    under concurrent writers (the serving fleet journals from every
+    shard's worker thread through one shared store)."""
+
+    def test_roundtrip_preserves_record(self, tmp_path):
+        store = MetricsStore(str(tmp_path / "m.db"))
+        record = _session("wl-rt", seed=3)
+        seq = store.log_session(record)
+        (back,) = store.sessions("wl-rt")
+        assert back.seq == seq
+        assert back.workload == record.workload
+        assert back.fingerprint == record.fingerprint
+        assert back.vm_names == record.vm_names
+        np.testing.assert_array_equal(back.observed, record.observed)
+        np.testing.assert_array_equal(back.completed_row, record.completed_row)
+        np.testing.assert_array_equal(back.predicted, record.predicted)
+        store.close()
+
+    def test_limit_bounds_rows_oldest_first(self, tmp_path):
+        store = MetricsStore(str(tmp_path / "m.db"))
+        for i in range(10):
+            store.log_session(_session(f"wl-{i}", seed=i), limit=4)
+        assert store.session_count() == 4
+        kept = [r.workload for r in store.sessions()]
+        assert kept == [f"wl-{i}" for i in range(6, 10)]
+        store.close()
+
+    def test_prune_sessions_returns_removed(self, tmp_path):
+        store = MetricsStore(str(tmp_path / "m.db"))
+        for i in range(8):
+            store.log_session(_session(f"wl-{i}", seed=i))
+        assert store.prune_sessions(keep=3) == 5
+        assert [r.workload for r in store.sessions()] == ["wl-5", "wl-6", "wl-7"]
+        assert store.prune_sessions(keep=3) == 0  # idempotent
+        store.close()
+
+    def test_invalid_bounds_rejected(self, tmp_path):
+        from repro.errors import ValidationError
+
+        store = MetricsStore(str(tmp_path / "m.db"))
+        with pytest.raises(ValidationError):
+            store.log_session(_session("wl"), limit=0)
+        with pytest.raises(ValidationError):
+            store.prune_sessions(keep=-1)
+        bad = _session("wl")
+        object.__setattr__(bad, "observed", np.zeros(99))
+        with pytest.raises(ValidationError):
+            store.log_session(bad)
+        store.close()
+
+    def test_concurrent_journal_writers_stay_bounded(self, tmp_path):
+        store = MetricsStore(str(tmp_path / "m.db"), wal=True)
+        limit = 16
+
+        def journaller(idx):
+            for j in range(25):
+                store.log_session(_session(f"wl-{idx}-{j}", seed=j), limit=limit)
+
+        def reader(_):
+            for _ in range(40):
+                assert store.session_count() <= limit
+                for record in store.sessions():
+                    assert record.observed.shape == (4,)
+
+        _run_threads([journaller, journaller, reader, reader], count=8)
+        assert store.session_count() == limit
+        # Retention kept exactly the newest ``limit`` rows by seq.
+        seqs = [r.seq for r in store.sessions()]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == limit
+        assert seqs[-1] - seqs[0] == limit - 1
         store.close()
 
 
